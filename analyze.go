@@ -1,0 +1,667 @@
+package hbbtvlab
+
+import (
+	"sort"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/consent"
+	"github.com/hbbtvlab/hbbtvlab/internal/cookies"
+	"github.com/hbbtvlab/hbbtvlab/internal/filterlist"
+	"github.com/hbbtvlab/hbbtvlab/internal/graphx"
+	"github.com/hbbtvlab/hbbtvlab/internal/policy"
+	"github.com/hbbtvlab/hbbtvlab/internal/stats"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+	"github.com/hbbtvlab/hbbtvlab/internal/synth"
+	"github.com/hbbtvlab/hbbtvlab/internal/tracking"
+)
+
+// TableIRow is one row of Table I (per-run data overview).
+type TableIRow struct {
+	Run          store.RunName
+	Date         time.Time
+	Channels     int
+	HTTPReq      int
+	HTTPSReq     int
+	HTTPSShare   float64
+	Cookies      int
+	FirstParty   int
+	ThirdParty   int
+	LocalStorage int
+}
+
+// Figure5 captures the long-tail distribution of cookie-using third
+// parties (party -> number of channels it set cookies on).
+type Figure5 struct {
+	PartyChannels map[string]int
+	// Top lists parties by descending channel count.
+	Top []graphx.NodeDegree
+	// PartiesOnMoreThan10 counts third parties used by >10 channels
+	// (the paper found only 25).
+	PartiesOnMoreThan10 int
+	// SingleChannelParties counts third parties seen on exactly one
+	// channel (the paper found 38).
+	SingleChannelParties int
+}
+
+// Figure6 captures the distribution of trackers/tracking requests per
+// channel.
+type Figure6 struct {
+	Requests stats.Desc // tracking requests per channel (paper: mean 1,132, max 59,499)
+	Trackers stats.Desc // distinct trackers per channel (paper: mean 7.25, max 33)
+	// Top10Share is the share of total tracking requests issued by the 10
+	// channels with the most trackers (paper: 6.34%).
+	Top10Share float64
+	// PerChannel maps channel -> tracking request count, for plotting.
+	PerChannel map[string]int
+}
+
+// Figure8 captures the ecosystem-graph metrics of Section V-E.
+type Figure8 struct {
+	Nodes              int
+	Edges              int
+	Components         int
+	AvgPathLength      float64
+	MeanNeighborDegree float64
+	DegreeMean         float64
+	DegreeSD           float64
+	TopNodes           []graphx.NodeDegree
+	NodesWith10Edges   int
+	SingleEdgeDomains  int
+	XitiDegree         int
+	TVPingDegree       int
+}
+
+// CookieFindings aggregates the Section V-C results.
+type CookieFindings struct {
+	DistinctCookies int
+	ClassifiedShare float64 // Cookiepedia-style coverage (paper: 20.5%)
+	// Purposes is the per-run purpose distribution (supplementary table);
+	// color-button runs classify better and skew towards Targeting.
+	Purposes           []PurposeRow
+	TargetingShare     float64 // share of classified cookies that are Targeting
+	SetByTrackingShare float64 // cookies set by tracking-labeled requests (paper: 92%)
+	PotentialIDs       int     // values passing the ID heuristic (paper: 14,236)
+	SyncEvents         []cookies.SyncEvent
+	SyncParties        int // distinct minting parties involved (paper: 2)
+	SyncChannels       int // channels with syncing observed (paper: 20)
+}
+
+// PurposeRow re-exports the per-run cookie purpose distribution.
+type PurposeRow = cookies.PurposeDistribution
+
+// LeakFindings aggregates Section V-B.
+type LeakFindings = tracking.LeakSummary
+
+// ChildrenFindings is the Section V-D5 case study.
+type ChildrenFindings struct {
+	Channels         []string
+	TrackingRequests int
+	TargetingCookies int
+	// MWU compares children's channels to all others on tracker counts;
+	// the paper found no significant difference (p > 0.3).
+	MWU stats.MannWhitneyResult
+}
+
+// ConsentFindings aggregates Section VI.
+type ConsentFindings struct {
+	TableIV             []consent.OverlayRow
+	TableV              []consent.PrevalenceRow
+	ChannelsWithPrivacy int
+	Styles              []consent.StyleSummary
+	Nudging             consent.NudgeFindings
+	Pointers            consent.PointerStats
+	// AgreementInitial/AgreementRefined reproduce the two-annotator
+	// codebook validation (Cohen's kappa before and after refinement).
+	AgreementInitial consent.AgreementResult
+	AgreementRefined consent.AgreementResult
+	// LocationAds are overlays naming the measurement city in ad copy
+	// (Section VI "Other Observations").
+	LocationAds []consent.LocationTargetedAd
+}
+
+// PolicyFindings aggregates Section VII.
+type PolicyFindings struct {
+	Corpus *policy.Corpus
+	// HbbTVMentions counts unique policies mentioning "HbbTV" (paper: 72%).
+	HbbTVMentions int
+	// BlueButtonMentions counts policies pointing to blue-button settings
+	// (paper: 8).
+	BlueButtonMentions int
+	// TDDDGMentions counts policies referencing the TTDSG/TDDDG (paper: 1).
+	TDDDGMentions int
+	// ThirdPartyDeclaring counts policies declaring third-party sharing
+	// (paper: 52% of German policies).
+	ThirdPartyDeclaring int
+	// LegitimateInterest counts policies invoking legitimate interests
+	// (paper: 10).
+	LegitimateInterest int
+	// RightsCoverage counts policies declaring each data-subject right.
+	RightsCoverage map[policy.GDPRArticle]int
+	// OptOutContradictions counts policies framing targeted ads as opt-out.
+	OptOutContradictions int
+	// VaguePolicies counts policies whose hedging density crosses the
+	// vagueness threshold (the Sachsen Eins case).
+	VaguePolicies int
+	// AdWindow is the declared children's-group profiling window.
+	AdWindow policy.AdWindow
+	// AdWindowDeclared reports whether any policy declared such a window.
+	AdWindowDeclared bool
+	// WindowViolations are tracking requests outside the declared window
+	// on channels covered by that policy.
+	WindowViolations []policy.WindowViolation
+}
+
+// StatFindings holds the study's statistical tests.
+type StatFindings struct {
+	RunTraffic       stats.KruskalWallisResult // run -> per-channel request volume
+	RunCookies       stats.KruskalWallisResult // run -> per-channel cookies set
+	ChannelTrackers  stats.KruskalWallisResult // channel -> tracking requests (per run)
+	CategoryTrackers stats.KruskalWallisResult // category -> tracking requests
+}
+
+// Results bundles every reproduced table, figure, and finding.
+type Results struct {
+	TableI   []TableIRow
+	TableII  []cookies.ThirdPartyUsage
+	TableIII []tracking.RunListStats
+	Fig5     Figure5
+	Fig6     Figure6
+	Fig7     []tracking.CategoryStats
+	Fig8     Figure8
+
+	FirstParties map[string]string
+	Leaks        LeakFindings
+	Cookies      CookieFindings
+	Children     ChildrenFindings
+	Consent      ConsentFindings
+	Policies     PolicyFindings
+	Stats        StatFindings
+
+	// SmartTVLists reports the smart-TV block-list comparison of V-D:
+	// requests blocked by Pi-hole vs Perflyst vs Kamran.
+	SmartTVLists map[string]int
+
+	// DerivedRules implements the paper's future-work proposal: filter
+	// rules automatically derived from the observed traffic, with the
+	// coverage improvement over the Pi-hole base list.
+	DerivedRules []tracking.DerivedRule
+	Extension    tracking.ExtensionResult
+}
+
+// Analyze runs the complete Section V/VI/VII analysis suite over a dataset.
+func Analyze(ds *store.Dataset) *Results {
+	res := &Results{}
+	cls := tracking.NewClassifier()
+
+	// First-party identification (Section V-A) with the filter-list
+	// correction.
+	res.FirstParties = tracking.FirstParties(ds.Runs, cls.EasyList)
+
+	windowStart, windowEnd := measurementWindow(ds)
+
+	// Table I.
+	var allEvents []cookies.SetEvent
+	for _, run := range ds.Runs {
+		events := cookies.SetEvents(run, res.FirstParties)
+		allEvents = append(allEvents, events...)
+		plain, https := run.CountHTTPS()
+		first, third := cookies.FirstThirdCounts(events)
+		localStorage := len(run.Storage)
+		res.TableI = append(res.TableI, TableIRow{
+			Run: run.Name, Date: run.Date,
+			Channels: len(run.Channels),
+			HTTPReq:  plain, HTTPSReq: https,
+			HTTPSShare:   run.HTTPSShare(),
+			Cookies:      len(run.Cookies),
+			FirstParty:   first,
+			ThirdParty:   third,
+			LocalStorage: localStorage,
+		})
+	}
+
+	// Table II.
+	for _, run := range ds.Runs {
+		res.TableII = append(res.TableII,
+			cookies.AnalyzeThirdParty(run.Name, allEvents))
+	}
+
+	// Table III + smart-TV list comparison.
+	for _, run := range ds.Runs {
+		res.TableIII = append(res.TableIII, cls.ListStats(run))
+	}
+	res.SmartTVLists = smartTVComparison(ds)
+
+	// Figure 5.
+	res.Fig5 = figure5(allEvents)
+
+	// Figures 6 and 7.
+	byChannel := cls.PerChannel(ds.Runs)
+	res.Fig6 = figure6(byChannel)
+	res.Fig7 = tracking.PerCategory(byChannel, ds, 10)
+
+	// Figure 8.
+	g := graphx.FromDataset(ds, res.FirstParties)
+	res.Fig8 = figure8(g)
+
+	// Section V-B leakage.
+	leaks := tracking.FindLeaks(ds, res.FirstParties, tracking.LGNeedles)
+	res.Leaks = tracking.Summarize(leaks, res.FirstParties)
+
+	// Section V-C cookies.
+	res.Cookies = cookieFindings(ds, cls, allEvents, windowStart, windowEnd)
+
+	// Section V-D5 children.
+	res.Children = childrenFindings(ds, cls, byChannel, allEvents)
+
+	// Section VI consent.
+	res.Consent = consentFindings(ds)
+
+	// Section VII policies.
+	res.Policies = policyFindings(ds, cls)
+
+	// Statistical tests.
+	res.Stats = statFindings(ds, cls, allEvents)
+
+	// Future-work extension: derive HbbTV filter rules from the traffic
+	// and measure the coverage gain over the Pi-hole base list.
+	res.DerivedRules = cls.DeriveFilterRules(ds, res.FirstParties, cls.PiHole)
+	if ext, err := cls.EvaluateExtension(ds, cls.PiHole, res.DerivedRules); err == nil {
+		res.Extension = ext
+	}
+
+	return res
+}
+
+func measurementWindow(ds *store.Dataset) (time.Time, time.Time) {
+	var lo, hi time.Time
+	for _, run := range ds.Runs {
+		for _, f := range run.Flows {
+			if lo.IsZero() || f.Time.Before(lo) {
+				lo = f.Time
+			}
+			if f.Time.After(hi) {
+				hi = f.Time
+			}
+		}
+	}
+	if lo.IsZero() {
+		lo = time.Date(2023, 8, 1, 0, 0, 0, 0, time.UTC)
+		hi = time.Date(2023, 12, 31, 0, 0, 0, 0, time.UTC)
+	}
+	return lo, hi
+}
+
+func smartTVComparison(ds *store.Dataset) map[string]int {
+	lists := []*filterlist.List{
+		filterlist.PiHole(), filterlist.PerflystSmartTV(), filterlist.KamranSmartTV(),
+	}
+	out := make(map[string]int, len(lists))
+	for _, run := range ds.Runs {
+		for _, f := range run.Flows {
+			u := f.URL.String()
+			for _, l := range lists {
+				if l.MatchURL(u) {
+					out[l.Name()]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+func figure5(events []cookies.SetEvent) Figure5 {
+	counts := cookies.PartyChannelCounts(events)
+	f := Figure5{PartyChannels: counts}
+	for p, n := range counts {
+		f.Top = append(f.Top, graphx.NodeDegree{Node: p, Degree: n})
+		if n > 10 {
+			f.PartiesOnMoreThan10++
+		}
+		if n == 1 {
+			f.SingleChannelParties++
+		}
+	}
+	sort.Slice(f.Top, func(a, b int) bool {
+		if f.Top[a].Degree != f.Top[b].Degree {
+			return f.Top[a].Degree > f.Top[b].Degree
+		}
+		return f.Top[a].Node < f.Top[b].Node
+	})
+	return f
+}
+
+func figure6(byChannel map[string]*tracking.ChannelStats) Figure6 {
+	f := Figure6{PerChannel: make(map[string]int, len(byChannel))}
+	var reqs, trackers []float64
+	type chReq struct {
+		channel  string
+		trackers int
+		requests int
+	}
+	var rows []chReq
+	total := 0
+	for ch, cs := range byChannel {
+		rows = append(rows, chReq{channel: ch, trackers: cs.TrackerCount(), requests: cs.TrackingRequests})
+		f.PerChannel[ch] = cs.TrackingRequests
+		total += cs.TrackingRequests
+	}
+	// Deterministic order: rank by trackers, break ties by requests, then
+	// name (the top-10 cut must not depend on map iteration order).
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].trackers != rows[b].trackers {
+			return rows[a].trackers > rows[b].trackers
+		}
+		if rows[a].requests != rows[b].requests {
+			return rows[a].requests > rows[b].requests
+		}
+		return rows[a].channel < rows[b].channel
+	})
+	for _, r := range rows {
+		reqs = append(reqs, float64(r.requests))
+		trackers = append(trackers, float64(r.trackers))
+	}
+	f.Requests = stats.Describe(reqs)
+	f.Trackers = stats.Describe(trackers)
+	top10 := 0
+	for i := 0; i < len(rows) && i < 10; i++ {
+		top10 += rows[i].requests
+	}
+	if total > 0 {
+		f.Top10Share = float64(top10) / float64(total)
+	}
+	return f
+}
+
+func figure8(g *graphx.Graph) Figure8 {
+	mean, sd := g.DegreeStats()
+	f := Figure8{
+		Nodes:              g.NodeCount(),
+		Edges:              g.EdgeCount(),
+		Components:         len(g.Components()),
+		AvgPathLength:      g.AveragePathLength(),
+		MeanNeighborDegree: g.MeanNeighborDegree(),
+		DegreeMean:         mean,
+		DegreeSD:           sd,
+		TopNodes:           topDomains(g, 3),
+		NodesWith10Edges:   g.CountDegreeAtLeast(10),
+		XitiDegree:         g.Degree("xiti.com"),
+		TVPingDegree:       g.Degree("tvping.com"),
+	}
+	for node, deg := range g.Degrees() {
+		if deg == 1 && g.Kind(node) == graphx.NodeDomain {
+			f.SingleEdgeDomains++
+		}
+	}
+	return f
+}
+
+// topDomains ranks domain (non-channel) nodes by degree.
+func topDomains(g *graphx.Graph, n int) []graphx.NodeDegree {
+	var all []graphx.NodeDegree
+	for node, deg := range g.Degrees() {
+		if g.Kind(node) == graphx.NodeDomain {
+			all = append(all, graphx.NodeDegree{Node: node, Degree: deg})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Degree != all[b].Degree {
+			return all[a].Degree > all[b].Degree
+		}
+		return all[a].Node < all[b].Node
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+func cookieFindings(ds *store.Dataset, cls *tracking.Classifier, events []cookies.SetEvent, lo, hi time.Time) CookieFindings {
+	f := CookieFindings{
+		DistinctCookies: cookies.DistinctCookies(events),
+		PotentialIDs:    cookies.PotentialIDs(events, lo, hi),
+	}
+	classified, targeting := 0, 0
+	distinct := make(map[[2]string]struct{})
+	for _, e := range events {
+		key := [2]string{e.Party, e.Name}
+		if _, dup := distinct[key]; dup {
+			continue
+		}
+		distinct[key] = struct{}{}
+		if purpose, known := cookies.ClassifyPurpose(e.Name); known {
+			classified++
+			if purpose == cookies.PurposeTargeting {
+				targeting++
+			}
+		}
+	}
+	if len(distinct) > 0 {
+		f.ClassifiedShare = float64(classified) / float64(len(distinct))
+	}
+	if classified > 0 {
+		f.TargetingShare = float64(targeting) / float64(classified)
+	}
+	// Share of Set-Cookie responses arriving on tracking-labeled requests.
+	setTotal, setTracking := 0, 0
+	for _, run := range ds.Runs {
+		for _, flow := range run.Flows {
+			if len(flow.SetCookies()) == 0 {
+				continue
+			}
+			setTotal++
+			if cls.IsTracking(flow) {
+				setTracking++
+			}
+		}
+	}
+	if setTotal > 0 {
+		f.SetByTrackingShare = float64(setTracking) / float64(setTotal)
+	}
+	for _, run := range ds.Runs {
+		f.Purposes = append(f.Purposes, cookies.AnalyzePurposes(run.Name, events))
+	}
+	// Cookie syncing.
+	f.SyncEvents = cookies.DetectSyncing(ds.Runs, events, lo, hi)
+	parties := make(map[string]struct{})
+	channels := make(map[string]struct{})
+	for _, s := range f.SyncEvents {
+		parties[s.FromParty] = struct{}{}
+		parties[s.ToParty] = struct{}{}
+		if s.Channel != "" {
+			channels[s.Channel] = struct{}{}
+		}
+	}
+	f.SyncParties = len(parties)
+	f.SyncChannels = len(channels)
+	return f
+}
+
+func childrenFindings(ds *store.Dataset, cls *tracking.Classifier, byChannel map[string]*tracking.ChannelStats, events []cookies.SetEvent) ChildrenFindings {
+	f := ChildrenFindings{}
+	isChild := make(map[string]bool)
+	for _, name := range ds.ChannelNames() {
+		if info := ds.ChannelInfo(name); info != nil && info.TargetsChildren() {
+			isChild[name] = true
+			f.Channels = append(f.Channels, name)
+		}
+	}
+	sort.Strings(f.Channels)
+	for name := range isChild {
+		if cs := byChannel[name]; cs != nil {
+			f.TrackingRequests += cs.TrackingRequests
+		}
+	}
+	seen := make(map[[3]string]struct{})
+	for _, e := range events {
+		if !isChild[e.Channel] || !e.ThirdParty {
+			continue
+		}
+		if p, known := cookies.ClassifyPurpose(e.Name); known && p == cookies.PurposeTargeting {
+			key := [3]string{e.Channel, e.Party, e.Name}
+			if _, dup := seen[key]; !dup {
+				seen[key] = struct{}{}
+				f.TargetingCookies++
+			}
+		}
+	}
+	// MWU on per-channel tracker counts: children vs all others.
+	var child, other []float64
+	for _, name := range ds.ChannelNames() {
+		n := 0.0
+		if cs := byChannel[name]; cs != nil {
+			n = float64(cs.TrackerCount())
+		}
+		if isChild[name] {
+			child = append(child, n)
+		} else {
+			other = append(other, n)
+		}
+	}
+	if mwu, err := stats.MannWhitney(child, other); err == nil {
+		f.MWU = mwu
+	}
+	return f
+}
+
+func consentFindings(ds *store.Dataset) ConsentFindings {
+	f := ConsentFindings{
+		ChannelsWithPrivacy: consent.ChannelsWithPrivacyInfo(ds),
+		Styles:              consent.NoticeInventory(ds),
+		Pointers:            consent.Pointers(ds),
+	}
+	for _, run := range ds.Runs {
+		f.TableIV = append(f.TableIV, consent.OverlayDistribution(run))
+		f.TableV = append(f.TableV, consent.PrivacyPrevalence(run))
+	}
+	f.Nudging = consent.AnalyzeNudging(f.Styles)
+	// Codebook validation on the first run's screenshot subset.
+	if len(ds.Runs) > 0 && len(ds.Runs[0].Screenshots) > 0 {
+		if ini, ref, err := consent.AgreementStudy(ds.Runs[0], 1); err == nil {
+			f.AgreementInitial, f.AgreementRefined = ini, ref
+		}
+	}
+	f.LocationAds = consent.FindLocationTargetedAds(ds, synth.MeasurementCity)
+	return f
+}
+
+func policyFindings(ds *store.Dataset, cls *tracking.Classifier) PolicyFindings {
+	corpus := policy.Collect(ds)
+	f := PolicyFindings{
+		Corpus:         corpus,
+		RightsCoverage: policy.RightsCoverage(corpus.Texts()),
+	}
+	var windowDocs []*policy.Doc
+	for _, d := range corpus.Unique {
+		if policy.MentionsHbbTV(d.Text) {
+			f.HbbTVMentions++
+		}
+		if policy.MentionsBlueButton(d.Text) {
+			f.BlueButtonMentions++
+		}
+		if policy.MentionsTDDDG(d.Text) {
+			f.TDDDGMentions++
+		}
+		if d.Practices[policy.PracticeThirdPartySharing] {
+			f.ThirdPartyDeclaring++
+		}
+		if d.Practices[policy.PracticeBasisLegitInt] {
+			f.LegitimateInterest++
+		}
+		if len(policy.CheckStatic(d.Practices)) > 0 {
+			f.OptOutContradictions++
+		}
+		if policy.IsVague(d.Text) {
+			f.VaguePolicies++
+		}
+		if w, ok := policy.ParseAdWindow(d.Text); ok {
+			f.AdWindow = w
+			f.AdWindowDeclared = true
+			windowDocs = append(windowDocs, d)
+		}
+	}
+	// The titular check: tracking outside the declared window on channels
+	// covered by the window-declaring policy.
+	var covered []string
+	for _, d := range windowDocs {
+		covered = append(covered, d.Channels...)
+	}
+	if f.AdWindowDeclared && len(covered) > 0 {
+		f.WindowViolations = policy.CheckAdWindow(ds, covered, f.AdWindow, cls.IsTracking)
+	}
+	return f
+}
+
+func statFindings(ds *store.Dataset, cls *tracking.Classifier, events []cookies.SetEvent) StatFindings {
+	f := StatFindings{}
+	// Run -> per-channel request volume.
+	var trafficGroups [][]float64
+	var cookieGroups [][]float64
+	for _, run := range ds.Runs {
+		byChan := run.FlowsByChannel()
+		var g []float64
+		for _, flows := range byChan {
+			g = append(g, float64(len(flows)))
+		}
+		trafficGroups = append(trafficGroups, g)
+		perChanCookies := make(map[string]int)
+		for _, e := range events {
+			if e.Run == run.Name {
+				perChanCookies[e.Channel]++
+			}
+		}
+		var cg []float64
+		for _, ch := range run.Channels {
+			cg = append(cg, float64(perChanCookies[ch.Name]))
+		}
+		cookieGroups = append(cookieGroups, cg)
+	}
+	if r, err := stats.KruskalWallis(trafficGroups...); err == nil {
+		f.RunTraffic = r
+	}
+	if r, err := stats.KruskalWallis(cookieGroups...); err == nil {
+		f.RunCookies = r
+	}
+	// Channel -> tracking requests, one observation per run.
+	perChannelPerRun := make(map[string][]float64)
+	for _, run := range ds.Runs {
+		counts := make(map[string]int)
+		for _, flow := range run.Flows {
+			if flow.Channel != "" && cls.IsTracking(flow) {
+				counts[flow.Channel]++
+			}
+		}
+		for _, ch := range run.Channels {
+			perChannelPerRun[ch.Name] = append(perChannelPerRun[ch.Name], float64(counts[ch.Name]))
+		}
+	}
+	var chanGroups [][]float64
+	for _, obs := range perChannelPerRun {
+		chanGroups = append(chanGroups, obs)
+	}
+	if r, err := stats.KruskalWallis(chanGroups...); err == nil {
+		f.ChannelTrackers = r
+	}
+	// Category -> per-channel tracking requests.
+	catGroups := make(map[string][]float64)
+	byChannel := cls.PerChannel(ds.Runs)
+	for _, name := range ds.ChannelNames() {
+		info := ds.ChannelInfo(name)
+		cat := "Other"
+		if info != nil && info.PrimaryCategory() != "" {
+			cat = string(info.PrimaryCategory())
+		}
+		n := 0.0
+		if cs := byChannel[name]; cs != nil {
+			n = float64(cs.TrackingRequests)
+		}
+		catGroups[cat] = append(catGroups[cat], n)
+	}
+	var cgs [][]float64
+	for _, g := range catGroups {
+		cgs = append(cgs, g)
+	}
+	if r, err := stats.KruskalWallis(cgs...); err == nil {
+		f.CategoryTrackers = r
+	}
+	return f
+}

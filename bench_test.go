@@ -1,0 +1,475 @@
+package hbbtvlab
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation at paper scale (3,575 received services, 396 analyzed
+// channels, the five measurement runs). The full study executes once per
+// test binary; each benchmark then measures the analysis that produces its
+// table/figure and reports the reproduced headline numbers as metrics so
+// the paper-vs-measured comparison is part of the bench output.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/consent"
+	"github.com/hbbtvlab/hbbtvlab/internal/cookies"
+	"github.com/hbbtvlab/hbbtvlab/internal/core"
+	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+	"github.com/hbbtvlab/hbbtvlab/internal/graphx"
+	"github.com/hbbtvlab/hbbtvlab/internal/hostnet"
+	"github.com/hbbtvlab/hbbtvlab/internal/policy"
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/stats"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+	"github.com/hbbtvlab/hbbtvlab/internal/synth"
+	"github.com/hbbtvlab/hbbtvlab/internal/tracking"
+)
+
+var (
+	benchOnce    sync.Once
+	benchFunnel  *core.FunnelReport
+	benchDataset *store.Dataset
+	benchResults *Results
+	benchWorld   *synth.World
+)
+
+// benchFixture runs the paper-scale study once and reuses it everywhere.
+func benchFixture(b *testing.B) (*store.Dataset, *Results) {
+	b.Helper()
+	benchOnce.Do(func() {
+		start := time.Now()
+		study := NewStudy(Options{Seed: 1, Scale: 1.0})
+		funnel, err := study.SelectChannels()
+		if err != nil {
+			panic(err)
+		}
+		ds, err := study.ExecuteRuns()
+		if err != nil {
+			panic(err)
+		}
+		benchWorld = study.World
+		benchFunnel = funnel
+		benchDataset = ds
+		benchResults = Analyze(ds)
+		fmt.Fprintf(os.Stderr, "[bench fixture] paper-scale study: %d channels, %d flows, built in %v\n",
+			funnel.FinalCount(), len(ds.AllFlows()), time.Since(start).Round(time.Millisecond))
+	})
+	return benchDataset, benchResults
+}
+
+// BenchmarkChannelFunnel regenerates the Section IV-B funnel (3,575
+// received -> 396 analyzed).
+func BenchmarkChannelFunnel(b *testing.B) {
+	benchFixture(b)
+	defer b.ReportMetric(float64(benchFunnel.Received), "received")
+	defer b.ReportMetric(float64(benchFunnel.FinalCount()), "final")
+	clk := clock.NewVirtual(time.Date(2023, 8, 1, 0, 0, 0, 0, time.UTC))
+	world := synth.Build(synth.Config{Seed: 1, Scale: 1.0}, clk)
+	bouquet := dvb.NewReceiver().Scan(world.Universe)
+	// Benchmark the metadata filtering steps (probe = AIT presence, so the
+	// loop cost is the funnel logic itself, not the exploratory watching).
+	probe := func(svc *dvb.Service) (bool, error) { return svc.HasAIT(), nil }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SelectChannels(bouquet, probe); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI regenerates Table I (per-run data overview).
+func BenchmarkTableI(b *testing.B) {
+	ds, res := benchFixture(b)
+	var totalReq int
+	for _, row := range res.TableI {
+		totalReq += row.HTTPReq + row.HTTPSReq
+	}
+	defer b.ReportMetric(float64(totalReq), "requests")
+	defer b.ReportMetric(res.Stats.RunTraffic.P, "p-run-traffic")
+	fp := res.FirstParties
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, run := range ds.Runs {
+			events := cookies.SetEvents(run, fp)
+			_, _ = cookies.FirstThirdCounts(events)
+			_, _ = run.CountHTTPS()
+		}
+	}
+}
+
+// BenchmarkTableII regenerates Table II (cookie-setting third parties).
+func BenchmarkTableII(b *testing.B) {
+	ds, res := benchFixture(b)
+	defer b.ReportMetric(float64(res.TableII[1].Parties), "red-3ps")
+	var events []cookies.SetEvent
+	for _, run := range ds.Runs {
+		events = append(events, cookies.SetEvents(run, res.FirstParties)...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, run := range store.AllRuns {
+			_ = cookies.AnalyzeThirdParty(run, events)
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates Table III (filter lists vs heuristics).
+func BenchmarkTableIII(b *testing.B) {
+	ds, res := benchFixture(b)
+	var pixels, piHole int
+	for _, r := range res.TableIII {
+		pixels += r.TrackingPxl
+		piHole += r.OnPiHole
+	}
+	defer b.ReportMetric(float64(pixels), "pixels")
+	defer b.ReportMetric(float64(piHole), "pihole-hits")
+	cls := tracking.NewClassifier()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, run := range ds.Runs {
+			_ = cls.ListStats(run)
+		}
+	}
+}
+
+// BenchmarkTableIV regenerates Table IV (overlay-type distribution).
+func BenchmarkTableIV(b *testing.B) {
+	ds, res := benchFixture(b)
+	defer b.ReportMetric(float64(res.Consent.TableIV[1].MediaLib), "red-medialib")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, run := range ds.Runs {
+			_ = consent.OverlayDistribution(run)
+		}
+	}
+}
+
+// BenchmarkTableV regenerates Table V (privacy-information prevalence).
+func BenchmarkTableV(b *testing.B) {
+	ds, res := benchFixture(b)
+	defer b.ReportMetric(float64(res.Consent.ChannelsWithPrivacy), "privacy-channels")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, run := range ds.Runs {
+			_ = consent.PrivacyPrevalence(run)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates Fig. 5 (cookie-using third-party long tail).
+func BenchmarkFigure5(b *testing.B) {
+	ds, res := benchFixture(b)
+	if len(res.Fig5.Top) > 0 {
+		defer b.ReportMetric(float64(res.Fig5.Top[0].Degree), "top-party-channels")
+	}
+	var events []cookies.SetEvent
+	for _, run := range ds.Runs {
+		events = append(events, cookies.SetEvents(run, res.FirstParties)...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cookies.PartyChannelCounts(events)
+	}
+}
+
+// BenchmarkFigure6 regenerates Fig. 6 (trackers per channel).
+func BenchmarkFigure6(b *testing.B) {
+	ds, res := benchFixture(b)
+	defer b.ReportMetric(res.Fig6.Requests.Mean, "mean-tracking-req")
+	defer b.ReportMetric(res.Fig6.Requests.Max, "max-tracking-req")
+	cls := tracking.NewClassifier()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cls.PerChannel(ds.Runs)
+	}
+}
+
+// BenchmarkFigure7 regenerates Fig. 7 (trackers by channel category).
+func BenchmarkFigure7(b *testing.B) {
+	ds, res := benchFixture(b)
+	if len(res.Fig7) > 0 {
+		defer b.ReportMetric(float64(res.Fig7[0].TrackingRequests), "top-category-req")
+	}
+	cls := tracking.NewClassifier()
+	byChannel := cls.PerChannel(ds.Runs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tracking.PerCategory(byChannel, ds, 10)
+	}
+}
+
+// BenchmarkFigure8 regenerates Fig. 8 (ecosystem graph metrics).
+func BenchmarkFigure8(b *testing.B) {
+	ds, res := benchFixture(b)
+	defer b.ReportMetric(float64(res.Fig8.Nodes), "nodes")
+	defer b.ReportMetric(float64(res.Fig8.Edges), "edges")
+	defer b.ReportMetric(res.Fig8.AvgPathLength, "avg-path-len")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := graphx.FromDataset(ds, res.FirstParties)
+		_ = g.AveragePathLength()
+		_ = g.MeanNeighborDegree()
+	}
+}
+
+// BenchmarkLeakage regenerates the Section V-B personal-data search.
+func BenchmarkLeakage(b *testing.B) {
+	ds, res := benchFixture(b)
+	defer b.ReportMetric(float64(res.Leaks.TechnicalChannels), "tech-channels")
+	defer b.ReportMetric(float64(res.Leaks.TechnicalParties), "tech-parties")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		leaks := tracking.FindLeaks(ds, res.FirstParties, tracking.LGNeedles)
+		_ = tracking.Summarize(leaks, res.FirstParties)
+	}
+}
+
+// BenchmarkCookieSync regenerates the Section V-C3 syncing detection.
+func BenchmarkCookieSync(b *testing.B) {
+	ds, res := benchFixture(b)
+	defer b.ReportMetric(float64(res.Cookies.SyncParties), "sync-parties")
+	var events []cookies.SetEvent
+	for _, run := range ds.Runs {
+		events = append(events, cookies.SetEvents(run, res.FirstParties)...)
+	}
+	lo := time.Date(2023, 8, 1, 0, 0, 0, 0, time.UTC)
+	hi := time.Date(2023, 12, 31, 0, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cookies.DetectSyncing(ds.Runs, events, lo, hi)
+	}
+}
+
+// BenchmarkChildrenCaseStudy regenerates Section V-D5.
+func BenchmarkChildrenCaseStudy(b *testing.B) {
+	ds, res := benchFixture(b)
+	defer b.ReportMetric(float64(len(res.Children.Channels)), "children-channels")
+	defer b.ReportMetric(float64(res.Children.TrackingRequests), "tracking-req")
+	defer b.ReportMetric(res.Children.MWU.P, "mwu-p")
+	cls := tracking.NewClassifier()
+	byChannel := cls.PerChannel(ds.Runs)
+	var child, other []float64
+	for _, name := range ds.ChannelNames() {
+		n := 0.0
+		if cs := byChannel[name]; cs != nil {
+			n = float64(cs.TrackerCount())
+		}
+		if info := ds.ChannelInfo(name); info != nil && info.TargetsChildren() {
+			child = append(child, n)
+		} else {
+			other = append(other, n)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.MannWhitney(child, other); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConsentNotices regenerates the Section VI notice inventory.
+func BenchmarkConsentNotices(b *testing.B) {
+	ds, res := benchFixture(b)
+	defer b.ReportMetric(float64(len(res.Consent.Styles)), "stylings")
+	defer b.ReportMetric(float64(res.Consent.Nudging.DefaultIsAccept), "default-accept")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = consent.NoticeInventory(ds)
+	}
+}
+
+// BenchmarkPolicyPipeline regenerates the Section VII corpus pipeline.
+func BenchmarkPolicyPipeline(b *testing.B) {
+	ds, res := benchFixture(b)
+	defer b.ReportMetric(float64(res.Policies.Corpus.Occurrences), "occurrences")
+	defer b.ReportMetric(float64(len(res.Policies.Corpus.Unique)), "unique")
+	defer b.ReportMetric(float64(len(res.Policies.Corpus.NearDuplicateGroups)), "neardup-groups")
+	defer b.ReportMetric(float64(len(res.Policies.WindowViolations)), "window-violations")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = policy.Collect(ds)
+	}
+}
+
+// BenchmarkDerivedRules regenerates the future-work extension: filter
+// rules derived from observed traffic, and the coverage they add over the
+// Pi-hole base list.
+func BenchmarkDerivedRules(b *testing.B) {
+	ds, res := benchFixture(b)
+	defer b.ReportMetric(float64(len(res.DerivedRules)), "rules")
+	defer b.ReportMetric(res.Extension.CoverageBefore()*100, "coverage-before-pct")
+	defer b.ReportMetric(res.Extension.CoverageAfter()*100, "coverage-after-pct")
+	cls := tracking.NewClassifier()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cls.DeriveFilterRules(ds, res.FirstParties, cls.PiHole)
+	}
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// BenchmarkTransportModes compares the in-process transport against the
+// real loopback path through the CONNECT-capable proxy: identical flows,
+// orders of magnitude apart in cost.
+func BenchmarkTransportModes(b *testing.B) {
+	in := hostnet.New()
+	in.HandleFunc("bench.example.de", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "image/gif")
+		_, _ = w.Write([]byte("GIF89a"))
+	})
+	b.Run("direct", func(b *testing.B) {
+		rec := proxy.NewRecorder(&hostnet.Transport{Net: in}, clock.Real{})
+		client := &http.Client{Transport: rec}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Get("http://bench.example.de/px")
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+	b.Run("loopback-proxy", func(b *testing.B) {
+		upstream, err := hostnet.Serve(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer upstream.Close()
+		rec := proxy.NewRecorder(&proxy.RerouteTransport{Addr: upstream.Addr()}, clock.Real{})
+		srv, err := proxy.NewServer(rec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		client := &http.Client{Transport: &http.Transport{Proxy: http.ProxyURL(srv.URL())}}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Get("http://bench.example.de/px")
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	})
+}
+
+// BenchmarkFirstPartyRule compares the paper's filter-list-corrected
+// first-party identification against the naive first-request rule.
+func BenchmarkFirstPartyRule(b *testing.B) {
+	ds, _ := benchFixture(b)
+	cls := tracking.NewClassifier()
+	corrected := tracking.FirstParties(ds.Runs, cls.EasyList)
+	naive := tracking.NaiveFirstParties(ds.Runs)
+	diff := 0
+	for ch, fp := range corrected {
+		if naive[ch] != fp {
+			diff++
+		}
+	}
+	defer b.ReportMetric(float64(diff), "channels-misclassified-by-naive")
+	b.Run("corrected", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = tracking.FirstParties(ds.Runs, cls.EasyList)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = tracking.NaiveFirstParties(ds.Runs)
+		}
+	})
+}
+
+// BenchmarkIDHeuristic compares the paper's ID heuristic (length band +
+// timestamp exclusion) against the length-only variant, reporting the
+// timestamp false positives the exclusion removes.
+func BenchmarkIDHeuristic(b *testing.B) {
+	ds, res := benchFixture(b)
+	var events []cookies.SetEvent
+	for _, run := range ds.Runs {
+		events = append(events, cookies.SetEvents(run, res.FirstParties)...)
+	}
+	lo := time.Date(2023, 8, 1, 0, 0, 0, 0, time.UTC)
+	hi := time.Date(2023, 12, 31, 0, 0, 0, 0, time.UTC)
+	full, lenOnly := 0, 0
+	seen := map[string]struct{}{}
+	for _, e := range events {
+		if _, dup := seen[e.Value]; dup {
+			continue
+		}
+		seen[e.Value] = struct{}{}
+		if cookies.IsLikelyID(e.Value, lo, hi) {
+			full++
+		}
+		if cookies.IsLikelyIDLenOnly(e.Value) {
+			lenOnly++
+		}
+	}
+	defer b.ReportMetric(float64(full), "ids-full-heuristic")
+	defer b.ReportMetric(float64(lenOnly-full), "timestamp-false-positives")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cookies.PotentialIDs(events, lo, hi)
+	}
+}
+
+// BenchmarkAttribution compares referrer-corrected channel attribution
+// against the naive last-switch rule on a synthetic switch-heavy exchange.
+func BenchmarkAttribution(b *testing.B) {
+	in := hostnet.New()
+	in.HandleFunc("app.chan-a.de", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		_, _ = w.Write([]byte("<html></html>"))
+	})
+	in.HandleFunc("late.tracker.de", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "image/gif")
+		_, _ = w.Write([]byte("GIF89a"))
+	})
+	run := func(b *testing.B, corrected bool) int {
+		misattributed := 0
+		clk := clock.NewVirtual(time.Date(2023, 9, 1, 10, 0, 0, 0, time.UTC))
+		rec := proxy.NewRecorder(&hostnet.Transport{Net: in}, clk)
+		rec.SetRefererCorrection(corrected)
+		client := &http.Client{Transport: rec}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.Reset()
+			rec.SwitchChannel("A", "1")
+			_, _ = client.Get("http://app.chan-a.de/index.html")
+			clk.Advance(30 * time.Second)
+			rec.SwitchChannel("B", "2")
+			clk.Advance(2 * time.Second)
+			req, _ := http.NewRequest(http.MethodGet, "http://late.tracker.de/px", nil)
+			req.Header.Set("Referer", "http://app.chan-a.de/index.html")
+			resp, err := client.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			flows := rec.Flows()
+			if flows[len(flows)-1].Channel != "A" {
+				misattributed++
+			}
+		}
+		return misattributed
+	}
+	b.Run("referer-corrected", func(b *testing.B) {
+		if mis := run(b, true); mis != 0 {
+			b.Fatalf("corrected attribution failed %d times", mis)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		if mis := run(b, false); mis != b.N {
+			b.Fatalf("naive attribution accidentally correct (%d/%d wrong)", mis, b.N)
+		}
+	})
+}

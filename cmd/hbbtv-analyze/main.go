@@ -1,0 +1,84 @@
+// Command hbbtv-analyze runs the measurement study and prints a selected
+// table or figure from the paper's evaluation.
+//
+// Usage:
+//
+//	hbbtv-analyze [-seed N] [-scale F] -t table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|findings|all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hbbtvlab "github.com/hbbtvlab/hbbtvlab"
+	"github.com/hbbtvlab/hbbtvlab/internal/report"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hbbtv-analyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hbbtv-analyze", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "world seed")
+	scale := fs.Float64("scale", 1.0, "world scale (1.0 = paper scale)")
+	target := fs.String("t", "all", "what to print: table1..table5, fig5..fig8, findings, all")
+	in := fs.String("in", "", "analyze a dataset saved by hbbtv-measure -save instead of re-measuring")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var ds *store.Dataset
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		ds, err = store.Load(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		study := hbbtvlab.NewStudy(hbbtvlab.Options{Seed: *seed, Scale: *scale})
+		var err error
+		ds, err = study.ExecuteRuns()
+		if err != nil {
+			return err
+		}
+	}
+	res := hbbtvlab.Analyze(ds)
+
+	w := os.Stdout
+	switch *target {
+	case "table1":
+		return hbbtvlab.RenderTableI(w, res.TableI)
+	case "table2":
+		return hbbtvlab.RenderTableII(w, res)
+	case "table3":
+		return hbbtvlab.RenderTableIII(w, res)
+	case "table4":
+		return hbbtvlab.RenderTableIV(w, res)
+	case "table5":
+		return hbbtvlab.RenderTableV(w, res)
+	case "fig5":
+		fmt.Fprintf(w, "cookie-using third parties: %s\n",
+			report.Distribution(res.Fig5.PartyChannels, 25))
+		fmt.Fprintf(w, "parties on >10 channels: %d; single-channel: %d\n",
+			res.Fig5.PartiesOnMoreThan10, res.Fig5.SingleChannelParties)
+		return nil
+	case "fig6", "fig7", "fig8":
+		return hbbtvlab.RenderFigures(w, res)
+	case "findings":
+		return hbbtvlab.RenderFindings(w, res)
+	case "all":
+		return hbbtvlab.RenderAll(w, res)
+	default:
+		return fmt.Errorf("unknown target %q", *target)
+	}
+}

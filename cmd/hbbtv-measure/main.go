@@ -1,0 +1,103 @@
+// Command hbbtv-measure reproduces the paper's data collection: it builds
+// the synthetic broadcast world, runs the Section IV-B channel-selection
+// funnel, executes the five measurement runs, and writes the captured
+// flows as NDJSON (the study's "push to BigQuery" step).
+//
+// Usage:
+//
+//	hbbtv-measure [-seed N] [-scale F] [-out flows.ndjson] [-run NAME]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hbbtvlab "github.com/hbbtvlab/hbbtvlab"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hbbtv-measure:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hbbtv-measure", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "world seed (deterministic)")
+	scale := fs.Float64("scale", 1.0, "world scale (1.0 = paper scale, 396 channels)")
+	out := fs.String("out", "", "write flows as NDJSON to this file (default: no dump)")
+	save := fs.String("save", "", "write the FULL dataset (gzip JSON) for later hbbtv-analyze -in")
+	har := fs.String("har", "", "write all flows as a HAR 1.2 archive")
+	runName := fs.String("run", "", "execute only this run (General, Red, Green, Blue, Yellow)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	study := hbbtvlab.NewStudy(hbbtvlab.Options{Seed: *seed, Scale: *scale})
+	funnel, err := study.SelectChannels()
+	if err != nil {
+		return err
+	}
+	if err := hbbtvlab.RenderFunnel(os.Stdout, funnel); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	var ds *store.Dataset
+	if *runName != "" {
+		rd, err := study.Run(store.RunName(*runName))
+		if err != nil {
+			return err
+		}
+		ds = &store.Dataset{Runs: []*store.RunData{rd}}
+	} else {
+		ds, err = study.ExecuteRuns()
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, s := range ds.Summaries() {
+		fmt.Printf("%-8s channels=%-4d requests=%-7d https=%5.2f%% cookies=%-4d storage=%-4d screenshots=%-6d logs=%d\n",
+			s.Run, s.Channels, s.HTTPRequests, s.HTTPSShare*100,
+			s.Cookies, s.Storage, s.Screenshots, s.LogEntries)
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ds.ExportFlows(f); err != nil {
+			return err
+		}
+		fmt.Printf("flows written to %s\n", *out)
+	}
+	if *har != "" {
+		f, err := os.Create(*har)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ds.ExportHAR(f); err != nil {
+			return err
+		}
+		fmt.Printf("HAR written to %s\n", *har)
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ds.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("dataset written to %s\n", *save)
+	}
+	return nil
+}

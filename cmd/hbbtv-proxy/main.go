@@ -1,0 +1,107 @@
+// Command hbbtv-proxy exposes the synthetic HbbTV Internet behind a real,
+// long-running recording proxy — the interactive counterpart of the
+// study's mitmproxy box. Point any HTTP client at the proxy and explore
+// the ecosystem by hand:
+//
+//	hbbtv-proxy -scale 0.1 &
+//	curl -x http://127.0.0.1:<proxy-port> http://ard01.ard.de/index.html
+//	curl -x http://127.0.0.1:<proxy-port> http://tvping.com/t?c=probe
+//
+// It also starts the TV's Developer API so the TV can be driven remotely
+// while the proxy records. On SIGINT the tool prints a traffic summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+	"github.com/hbbtvlab/hbbtvlab/internal/etld"
+	"github.com/hbbtvlab/hbbtvlab/internal/hostnet"
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/report"
+	"github.com/hbbtvlab/hbbtvlab/internal/synth"
+	"github.com/hbbtvlab/hbbtvlab/internal/webos"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hbbtv-proxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hbbtv-proxy", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "world seed")
+	scale := fs.Float64("scale", 0.1, "world scale")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Interactive sessions run on the real clock.
+	clk := clock.NewVirtual(time.Now())
+	world := synth.Build(synth.Config{Seed: *seed, Scale: *scale}, clk)
+
+	upstream, err := hostnet.Serve(world.Internet)
+	if err != nil {
+		return err
+	}
+	defer upstream.Close()
+
+	rec := proxy.NewRecorder(&proxy.RerouteTransport{Addr: upstream.Addr()}, clk)
+	srv, err := proxy.NewServer(rec)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	tv := webos.New(webos.Config{Clock: clk, Transport: rec, Seed: *seed, OnSwitch: rec.SwitchChannel})
+	bouquet := dvb.NewReceiver().Scan(world.Universe)
+	api, err := webos.ServeDevAPI(tv, bouquet)
+	if err != nil {
+		return err
+	}
+	defer api.Close()
+
+	fmt.Printf("synthetic HbbTV internet up: %d channels, %d virtual hosts\n",
+		len(world.Channels), len(world.Internet.Hosts()))
+	fmt.Printf("recording proxy:   http://%s   (use as HTTP proxy)\n", srv.Addr())
+	fmt.Printf("TV developer API:  http://%s/api/state\n", api.Addr())
+	fmt.Printf("example:           curl -x http://%s http://%s/index.html\n",
+		srv.Addr(), world.Channels[0].AppHost)
+	fmt.Println("Ctrl-C prints the traffic summary and exits.")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+
+	flows := rec.Flows()
+	fmt.Printf("\n%s flows recorded\n", report.Int(len(flows)))
+	perParty := map[string]int{}
+	for _, f := range flows {
+		perParty[etld.MustRegistrableDomain(f.Host())]++
+	}
+	type kv struct {
+		k string
+		v int
+	}
+	rows := make([]kv, 0, len(perParty))
+	for k, v := range perParty {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].v > rows[b].v })
+	for i, r := range rows {
+		if i >= 15 {
+			fmt.Printf("  ... and %d more parties\n", len(rows)-i)
+			break
+		}
+		fmt.Printf("  %-30s %s\n", r.k, report.Int(r.v))
+	}
+	return nil
+}

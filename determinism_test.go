@@ -1,0 +1,89 @@
+package hbbtvlab
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+// runSmallStudy executes a small study end-to-end and returns its report.
+func runSmallStudy(t *testing.T, seed int64) (*Results, string) {
+	t.Helper()
+	study := NewStudy(Options{Seed: seed, Scale: 0.04, ProbeWatch: 20 * time.Second})
+	ds, err := study.ExecuteRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Analyze(ds)
+	var buf bytes.Buffer
+	if err := RenderAll(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.String()
+}
+
+// TestStudyDeterministic: equal seeds must reproduce the entire study —
+// every flow, every analysis output, byte-identical reports.
+func TestStudyDeterministic(t *testing.T) {
+	res1, report1 := runSmallStudy(t, 321)
+	res2, report2 := runSmallStudy(t, 321)
+	if report1 != report2 {
+		t.Fatalf("reports differ for equal seeds:\n--- first\n%s\n--- second\n%s", report1, report2)
+	}
+	if !reflect.DeepEqual(res1.TableI, res2.TableI) {
+		t.Error("Table I differs")
+	}
+	if !reflect.DeepEqual(res1.Fig5.PartyChannels, res2.Fig5.PartyChannels) {
+		t.Error("Figure 5 differs")
+	}
+}
+
+// TestStudySeedSensitivity: different seeds produce different worlds.
+func TestStudySeedSensitivity(t *testing.T) {
+	_, report1 := runSmallStudy(t, 1)
+	_, report2 := runSmallStudy(t, 2)
+	if report1 == report2 {
+		t.Fatal("different seeds produced identical reports")
+	}
+}
+
+// TestSaveLoadAnalyzeEquivalence: analyzing a persisted-and-reloaded
+// dataset must yield the same results as analyzing the in-memory one.
+func TestSaveLoadAnalyzeEquivalence(t *testing.T) {
+	study := NewStudy(Options{Seed: 55, Scale: 0.04, ProbeWatch: 20 * time.Second})
+	ds, err := study.ExecuteRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := Analyze(ds)
+
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := store.Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded := Analyze(loaded)
+
+	if !reflect.DeepEqual(direct.TableI, reloaded.TableI) {
+		t.Errorf("Table I differs after save/load:\n%+v\n%+v", direct.TableI, reloaded.TableI)
+	}
+	if !reflect.DeepEqual(direct.TableIII, reloaded.TableIII) {
+		t.Error("Table III differs after save/load")
+	}
+	if !reflect.DeepEqual(direct.Consent.TableIV, reloaded.Consent.TableIV) {
+		t.Error("Table IV differs after save/load")
+	}
+	if direct.Policies.Corpus.Occurrences != reloaded.Policies.Corpus.Occurrences ||
+		len(direct.Policies.Corpus.Unique) != len(reloaded.Policies.Corpus.Unique) {
+		t.Error("policy corpus differs after save/load")
+	}
+	if !reflect.DeepEqual(direct.Fig8, reloaded.Fig8) {
+		t.Errorf("Figure 8 differs after save/load:\n%+v\n%+v", direct.Fig8, reloaded.Fig8)
+	}
+}

@@ -1,0 +1,67 @@
+// Quickstart: tune a single HbbTV channel end-to-end and watch it track.
+//
+// This example builds a small synthetic broadcast world, tunes the TV to
+// one channel (which decodes the binary AIT from the signal, loads the
+// announced HbbTV application through the recording proxy, and runs its
+// beacons), then prints the captured traffic and the cookies that ended up
+// in the TV's jar.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	hbbtvlab "github.com/hbbtvlab/hbbtvlab"
+	"github.com/hbbtvlab/hbbtvlab/internal/etld"
+)
+
+func main() {
+	// A 5%-scale world: ~20 channels, full tracker ecosystem.
+	study := hbbtvlab.NewStudy(hbbtvlab.Options{
+		Seed:       42,
+		Scale:      0.05,
+		ProbeWatch: 30 * time.Second,
+	})
+
+	channels, err := study.Selected()
+	if err != nil {
+		panic(err)
+	}
+	svc := channels[0]
+	fmt.Printf("Tuning to %s\n", svc)
+	fmt.Printf("Current show: %s (%s)\n\n", svc.CurrentShow, svc.CurrentGenre)
+
+	fw := study.Framework
+	fw.TV.PowerOn()
+	if err := fw.TV.TuneTo(svc); err != nil {
+		panic(err)
+	}
+	// Watch for two minutes of (virtual) air time.
+	fw.TV.Watch(2 * time.Minute)
+
+	flows := fw.Recorder.Flows()
+	fmt.Printf("Captured %d HTTP(S) requests while watching:\n", len(flows))
+	perParty := map[string]int{}
+	for _, f := range flows {
+		perParty[etld.MustRegistrableDomain(f.Host())]++
+	}
+	for party, n := range perParty {
+		fmt.Printf("  %-28s %d requests\n", party, n)
+	}
+
+	fmt.Printf("\nCookies in the TV's jar:\n")
+	for _, c := range fw.TV.CookieJar().All() {
+		fmt.Printf("  %-34s %s=%s\n", c.Domain, c.Name, c.Value)
+	}
+
+	shot := fw.TV.Screenshot()
+	fmt.Printf("\nScreenshot: channel=%s signal=%v", shot.Channel, shot.HasSignal)
+	if shot.Overlay != nil {
+		fmt.Printf(" overlay=%s", shot.Overlay.Type)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,104 @@
+// Remote control: drive the TV the way the study did — over the webOS
+// Developer API (the PyWebOSTV role), not via direct method calls.
+//
+// The example starts the TV's Luna-style JSON/HTTP control server, then a
+// remote-control client connects, lists channels, switches to an HbbTV
+// channel, watches, presses the red button, and pulls screenshots and
+// logs — while the intercepting proxy records everything the channel does.
+//
+// Run with:
+//
+//	go run ./examples/remote-control
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+	"github.com/hbbtvlab/hbbtvlab/internal/hostnet"
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/synth"
+	"github.com/hbbtvlab/hbbtvlab/internal/webos"
+)
+
+func main() {
+	// Build the world and wire TV -> proxy -> virtual Internet.
+	clk := clock.NewVirtual(time.Date(2023, 9, 14, 9, 0, 0, 0, time.UTC))
+	world := synth.Build(synth.Config{Seed: 4, Scale: 0.03}, clk)
+	rec := proxy.NewRecorder(&hostnet.Transport{Net: world.Internet}, clk)
+	tv := webos.New(webos.Config{
+		Clock: clk, Transport: rec, Seed: 4, OnSwitch: rec.SwitchChannel,
+	})
+	bouquet := dvb.NewReceiver().Scan(world.Universe)
+
+	// Expose the TV over the Developer API and connect the remote client.
+	api, err := webos.ServeDevAPI(tv, bouquet)
+	if err != nil {
+		panic(err)
+	}
+	defer api.Close()
+	remote := webos.NewDevClient(api.Addr())
+	fmt.Printf("developer API listening on %s\n\n", api.Addr())
+
+	channels, err := remote.Channels()
+	if err != nil {
+		panic(err)
+	}
+	var target string
+	hbbtvCount := 0
+	for _, ch := range channels {
+		if ch.HasAIT {
+			hbbtvCount++
+			if target == "" {
+				target = ch.Name
+			}
+		}
+	}
+	fmt.Printf("channel list: %d services, %d with HbbTV\n", len(channels), hbbtvCount)
+
+	must(remote.PowerOn())
+	must(remote.Switch(target))
+	state, err := remote.State()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("tuned to %s (session %s, app running: %v)\n",
+		state.Channel, state.SessionID, state.HasApp)
+
+	must(remote.Watch(60))
+	must(remote.Press(appmodel.KeyRed))
+	must(remote.Watch(30))
+
+	shot, err := remote.Screenshot()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("screenshot at %s: ", shot.Time.Format("15:04:05"))
+	if shot.Overlay != nil {
+		fmt.Printf("overlay %s\n", shot.Overlay.Type)
+	} else {
+		fmt.Println("plain TV")
+	}
+
+	logs, err := remote.Logs()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nTV log (%d entries, last 5):\n", len(logs))
+	for i := len(logs) - 5; i < len(logs); i++ {
+		if i < 0 {
+			continue
+		}
+		fmt.Printf("  %s %-14s %s\n", logs[i].Time.Format("15:04:05"), logs[i].Kind, logs[i].Detail)
+	}
+	fmt.Printf("\nproxy recorded %d flows during the session\n", rec.Len())
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

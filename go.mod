@@ -1,0 +1,3 @@
+module github.com/hbbtvlab/hbbtvlab
+
+go 1.22

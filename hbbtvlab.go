@@ -1,0 +1,132 @@
+// Package hbbtvlab is a faithful, laptop-scale reproduction of the DSN
+// 2025 measurement study "Privacy from 5 PM to 6 AM: Tracking and
+// Transparency Mechanisms in the HbbTV Ecosystem".
+//
+// The public API follows the study's own workflow:
+//
+//	study := hbbtvlab.NewStudy(hbbtvlab.Options{Seed: 1, Scale: 1.0})
+//	funnel, _ := study.SelectChannels()   // Section IV-B filtering funnel
+//	dataset, _ := study.ExecuteRuns()     // the five measurement runs
+//	results := hbbtvlab.Analyze(dataset)  // Sections V, VI, VII
+//
+// Everything below the API is built from scratch on the standard library:
+// a DVB broadcast layer with binary AITs, a webOS-style TV with an HbbTV
+// runtime, a recording mitmproxy substitute, a virtual Internet of
+// broadcaster and tracker services, and the full analysis suite (filter
+// lists, tracking heuristics, ecosystem graph, consent-notice annotation,
+// and the privacy-policy pipeline with policy-vs-traffic contradiction
+// checks).
+package hbbtvlab
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/core"
+	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+	"github.com/hbbtvlab/hbbtvlab/internal/synth"
+)
+
+// Options configures a Study.
+type Options struct {
+	// Seed makes the whole study deterministic.
+	Seed int64
+	// Scale multiplies the world size; 1.0 is paper scale (3,575 received
+	// services, 396 analyzed channels), smaller values build proportional
+	// worlds for fast experimentation.
+	Scale float64
+	// ProbeWatch overrides the exploratory per-channel watch time
+	// (default: the paper's 910 s — virtual time, so it costs nothing).
+	ProbeWatch time.Duration
+	// Runs overrides the measurement-run specs (default: the study's five
+	// runs with their real dates).
+	Runs []core.RunSpec
+}
+
+// Study bundles the synthetic world with the measurement framework.
+type Study struct {
+	opts      Options
+	World     *synth.World
+	Framework *core.Framework
+
+	selected []*dvb.Service
+}
+
+// NewStudy builds the world and wires the measurement framework to it.
+func NewStudy(opts Options) *Study {
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	if opts.ProbeWatch <= 0 {
+		opts.ProbeWatch = core.ExploratoryWatch
+	}
+	if opts.Runs == nil {
+		opts.Runs = core.DefaultRuns()
+	}
+	clk := clock.NewVirtual(time.Date(2023, 8, 21, 9, 0, 0, 0, time.UTC))
+	world := synth.Build(synth.Config{Seed: opts.Seed, Scale: opts.Scale}, clk)
+	fw := core.New(core.Config{
+		Internet:     world.Internet,
+		Seed:         opts.Seed,
+		Clock:        clk,
+		Availability: world.Availability,
+	})
+	return &Study{opts: opts, World: world, Framework: fw}
+}
+
+// SelectChannels runs the Section IV-B funnel: scan the satellites, apply
+// the metadata filters, perform the exploratory measurement, and keep the
+// HbbTV channels.
+func (s *Study) SelectChannels() (*core.FunnelReport, error) {
+	bouquet := dvb.NewReceiver().Scan(s.World.Universe)
+	report, err := core.SelectChannels(bouquet, s.Framework.Probe(s.opts.ProbeWatch))
+	if err != nil {
+		return nil, fmt.Errorf("hbbtvlab: funnel: %w", err)
+	}
+	s.selected = report.Final
+	return report, nil
+}
+
+// Selected returns the funnel's output (running the funnel on demand).
+func (s *Study) Selected() ([]*dvb.Service, error) {
+	if s.selected == nil {
+		if _, err := s.SelectChannels(); err != nil {
+			return nil, err
+		}
+	}
+	return s.selected, nil
+}
+
+// ExecuteRuns performs all configured measurement runs over the selected
+// channels and returns the full dataset.
+func (s *Study) ExecuteRuns() (*store.Dataset, error) {
+	channels, err := s.Selected()
+	if err != nil {
+		return nil, err
+	}
+	ds := &store.Dataset{}
+	for _, spec := range s.opts.Runs {
+		run, err := s.Framework.ExecuteRun(spec, channels)
+		if err != nil {
+			return nil, fmt.Errorf("hbbtvlab: run %s: %w", spec.Name, err)
+		}
+		ds.Runs = append(ds.Runs, run)
+	}
+	return ds, nil
+}
+
+// Run executes a single named run (useful for examples and ablations).
+func (s *Study) Run(name store.RunName) (*store.RunData, error) {
+	channels, err := s.Selected()
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range s.opts.Runs {
+		if spec.Name == name {
+			return s.Framework.ExecuteRun(spec, channels)
+		}
+	}
+	return nil, fmt.Errorf("hbbtvlab: unknown run %q", name)
+}

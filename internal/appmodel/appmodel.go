@@ -1,0 +1,252 @@
+// Package appmodel defines the HbbTV application document model shared by
+// the channel operators (internal/headend serves documents) and the TV
+// (internal/webos parses and interprets them).
+//
+// A Document renders to genuine HTML5-ish markup: subresources become real
+// <img>/<script>/<iframe>/<link> tags and the dynamic behaviour of the app
+// (cookies set from script, localStorage writes, beacon loops, fingerprint
+// collection, colored-button key maps, on-screen overlays) is embedded as a
+// JSON application manifest in a <script type="application/hbbtv+json">
+// block — the moral equivalent of the app's JavaScript. The TV runtime
+// parses the markup back into a Document, so the serve→parse→execute path
+// is honest: everything the analyses later observe travelled through HTTP
+// as bytes.
+package appmodel
+
+// ResourceKind is the markup element a subresource reference renders as.
+type ResourceKind string
+
+// Resource kinds.
+const (
+	ResScript ResourceKind = "script" // <script src=...>
+	ResImage  ResourceKind = "img"    // <img src=...> (tracking pixels!)
+	ResIFrame ResourceKind = "iframe" // <iframe src=...>
+	ResCSS    ResourceKind = "link"   // <link rel=stylesheet href=...>
+	ResXHR    ResourceKind = "xhr"    // fetched from the manifest, not markup
+)
+
+// Resource is a subresource the app loads at startup.
+type Resource struct {
+	Kind ResourceKind `json:"kind"`
+	URL  string       `json:"url"`
+	// Width/Height are rendered as img attributes; tracking pixels are 1x1.
+	Width  int `json:"width,omitempty"`
+	Height int `json:"height,omitempty"`
+}
+
+// CookieSpec is a cookie the app sets from script on its own origin
+// (server-side Set-Cookie headers are emitted by the headend instead).
+type CookieSpec struct {
+	Name   string `json:"name"`
+	Value  string `json:"value"` // may contain template vars, see Expand
+	Path   string `json:"path,omitempty"`
+	MaxAge int    `json:"maxAge,omitempty"` // seconds; 0 = session cookie
+}
+
+// StorageSpec is a localStorage write performed by the app.
+type StorageSpec struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// BeaconSpec is a periodic tracking request ("audience measurement"). The
+// paper's dominant tracker (tvping) sends a request including channel,
+// session, and user ID roughly every second.
+type BeaconSpec struct {
+	URL             string            `json:"url"`
+	IntervalSeconds int               `json:"intervalSeconds"`
+	Params          map[string]string `json:"params,omitempty"` // template vars allowed in values
+	// Burst is the number of requests fired per interval tick (default 1).
+	// The study's outlier channel issued ~60 tracking requests per second.
+	Burst int `json:"burst,omitempty"`
+}
+
+// FingerprintSpec instructs the app to load a fingerprinting script and
+// report collected device properties.
+type FingerprintSpec struct {
+	ScriptURL string   `json:"scriptUrl"`
+	ReportURL string   `json:"reportUrl"`
+	APIs      []string `json:"apis,omitempty"` // e.g. "canvas", "webgl"
+}
+
+// Key identifies a remote-control key the app reacts to.
+type Key string
+
+// Remote-control keys relevant to the measurement runs.
+const (
+	KeyRed    Key = "red"
+	KeyGreen  Key = "green"
+	KeyBlue   Key = "blue"
+	KeyYellow Key = "yellow"
+	KeyUp     Key = "up"
+	KeyDown   Key = "down"
+	KeyLeft   Key = "left"
+	KeyRight  Key = "right"
+	KeyEnter  Key = "enter"
+	KeyBack   Key = "back"
+)
+
+// ColorKeys lists the four colored buttons in the HbbTV standard's order.
+var ColorKeys = []Key{KeyRed, KeyGreen, KeyYellow, KeyBlue}
+
+// ActionKind describes what pressing a key does.
+type ActionKind string
+
+// Action kinds.
+const (
+	ActionNavigate ActionKind = "navigate" // load a new document
+	ActionOverlay  ActionKind = "overlay"  // switch the visible overlay
+	ActionDismiss  ActionKind = "dismiss"  // hide the current overlay
+	ActionConsent  ActionKind = "consent"  // activate the focused consent button
+	ActionFocus    ActionKind = "focus"    // move consent-notice focus
+)
+
+// Action is one entry in a key map.
+type Action struct {
+	Kind ActionKind `json:"kind"`
+	// URL is the navigation target for ActionNavigate.
+	URL string `json:"url,omitempty"`
+	// Overlay is the overlay to show for ActionOverlay.
+	Overlay *OverlaySpec `json:"overlay,omitempty"`
+	// FocusDelta moves the consent focus for ActionFocus (+1/-1).
+	FocusDelta int `json:"focusDelta,omitempty"`
+}
+
+// OverlayType categorizes what is visible on screen — the unit of the
+// screenshot codebook in Section VI (Table IV).
+type OverlayType string
+
+// Overlay types from the annotation codebook.
+const (
+	OverlayNone         OverlayType = "tv_only"      // plain TV program
+	OverlayNoSignal     OverlayType = "no_signal"    // channel has no signal
+	OverlayCTM          OverlayType = "channel_tech" // "channel tech message"
+	OverlayMediaLibrary OverlayType = "media_lib"    // media library / dashboard
+	OverlayPrivacy      OverlayType = "privacy"      // consent notice or policy
+	OverlayOther        OverlayType = "other"        // games, ads, EPG, tickers
+)
+
+// PrivacyKind refines OverlayPrivacy for the second annotation round.
+type PrivacyKind string
+
+// Kinds of privacy-related overlays.
+const (
+	PrivacyConsentNotice PrivacyKind = "consent_notice"
+	PrivacyPolicy        PrivacyKind = "privacy_policy"
+	PrivacyHybrid        PrivacyKind = "hybrid" // split screen: policy + cookie controls
+)
+
+// ButtonRole classifies consent-notice buttons for the interaction-option
+// analysis.
+type ButtonRole string
+
+// Consent-notice button roles observed in the twelve notice stylings.
+const (
+	RoleAcceptAll         ButtonRole = "accept_all"
+	RoleSettings          ButtonRole = "settings"
+	RoleSettingsOrDecline ButtonRole = "settings_or_decline"
+	RoleDecline           ButtonRole = "decline"
+	RolePrivacy           ButtonRole = "privacy"
+	RoleOnlyNecessary     ButtonRole = "only_necessary"
+	RoleConfirm           ButtonRole = "confirm"
+)
+
+// ConsentButton is one button on a consent-notice layer.
+type ConsentButton struct {
+	Label     string     `json:"label"`
+	Role      ButtonRole `json:"role"`
+	Highlight bool       `json:"highlight,omitempty"` // color/shadow emphasis (nudging)
+}
+
+// ConsentCheckbox is a per-category or per-service toggle on a notice layer.
+type ConsentCheckbox struct {
+	Label     string `json:"label"`
+	PreTicked bool   `json:"preTicked,omitempty"` // ECJ Planet49: not GDPR-compliant
+	Immutable bool   `json:"immutable,omitempty"` // "Necessary" category
+	Uncertain bool   `json:"uncertain,omitempty"` // checkbox rendered with '?'
+}
+
+// ConsentLayer is one layer of a consent notice.
+type ConsentLayer struct {
+	Buttons      []ConsentButton   `json:"buttons"`
+	Checkboxes   []ConsentCheckbox `json:"checkboxes,omitempty"`
+	DefaultFocus int               `json:"defaultFocus"` // index into Buttons the cursor starts on
+}
+
+// ConsentSpec describes a consent notice: one of the twelve recurring
+// stylings the paper found.
+type ConsentSpec struct {
+	StyleID    int            `json:"styleId"` // 1..12
+	Brand      string         `json:"brand"`
+	Language   string         `json:"language"` // all observed notices were German
+	Modal      bool           `json:"modal"`
+	FullScreen bool           `json:"fullScreen"`
+	Layers     []ConsentLayer `json:"layers"`
+	// PartnerListLinked marks notices that link to a "list of partners".
+	PartnerListLinked bool `json:"partnerListLinked,omitempty"`
+}
+
+// OverlaySpec describes the on-screen overlay a document presents. It is the
+// ground truth behind screenshots.
+type OverlaySpec struct {
+	Type    OverlayType  `json:"type"`
+	Privacy PrivacyKind  `json:"privacy,omitempty"`
+	Consent *ConsentSpec `json:"consent,omitempty"`
+	// PolicyURL is the policy shown for PrivacyPolicy/Hybrid overlays.
+	PolicyURL string `json:"policyUrl,omitempty"`
+	// PrivacyPointer marks overlays (media libraries, dashboards) showing a
+	// button or text pointing to "Privacy" / "Cookie Settings".
+	PrivacyPointer bool `json:"privacyPointer,omitempty"`
+	// PointerObscured marks pointers hidden in footers or rendered smaller
+	// than surrounding elements.
+	PointerObscured bool `json:"pointerObscured,omitempty"`
+	// Text is free-form overlay text (ads, program announcements); used by
+	// the annotator's OCR stand-in and the location-targeted-ad case.
+	Text string `json:"text,omitempty"`
+	// VisibleFromSec/VisibleToSec bound when (in seconds since app start)
+	// the overlay is on screen; 0/0 means always. Consent notices often
+	// appeared on only some of a channel's screenshots.
+	VisibleFromSec int `json:"visibleFromSec,omitempty"`
+	VisibleToSec   int `json:"visibleToSec,omitempty"`
+}
+
+// VisibleAt reports whether the overlay is on screen at the given elapsed
+// time since application start.
+func (o *OverlaySpec) VisibleAt(elapsedSec int) bool {
+	if o.VisibleFromSec == 0 && o.VisibleToSec == 0 {
+		return true
+	}
+	if elapsedSec < o.VisibleFromSec {
+		return false
+	}
+	return o.VisibleToSec == 0 || elapsedSec < o.VisibleToSec
+}
+
+// AppSpec is the dynamic behaviour manifest of a document.
+type AppSpec struct {
+	Cookies     []CookieSpec     `json:"cookies,omitempty"`
+	Storage     []StorageSpec    `json:"storage,omitempty"`
+	Beacons     []BeaconSpec     `json:"beacons,omitempty"`
+	Fingerprint *FingerprintSpec `json:"fingerprint,omitempty"`
+	KeyMap      map[Key]Action   `json:"keyMap,omitempty"`
+	Overlay     *OverlaySpec     `json:"overlay,omitempty"`
+	// Notice is a consent notice shown ON TOP of the base overlay until
+	// the viewer decides (or its visibility window closes). Dismissing it
+	// reveals Overlay again.
+	Notice *OverlaySpec `json:"notice,omitempty"`
+	// XHR lists URLs the app fetches from script at startup. RenderHTML
+	// folds ResXHR resources into this manifest field (they have no markup
+	// representation), and ParseHTML restores them as resources.
+	XHR []string `json:"xhr,omitempty"`
+	// LeakTechnical / LeakBehavioral name collector URLs that receive
+	// device information resp. viewing behaviour with each report.
+	LeakTechnical  []string `json:"leakTechnical,omitempty"`
+	LeakBehavioral []string `json:"leakBehavioral,omitempty"`
+}
+
+// Document is a full HbbTV application page.
+type Document struct {
+	Title     string     `json:"title"`
+	Resources []Resource `json:"resources,omitempty"`
+	App       *AppSpec   `json:"app,omitempty"`
+}

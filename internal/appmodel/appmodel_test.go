@@ -1,0 +1,210 @@
+package appmodel
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleDocument() *Document {
+	return &Document{
+		Title: "RTL HbbTV",
+		Resources: []Resource{
+			{Kind: ResCSS, URL: "http://cdn.rtl-hbbtv.de/app.css"},
+			{Kind: ResScript, URL: "http://cdn.rtl-hbbtv.de/app.js"},
+			{Kind: ResImage, URL: "http://tvping.com/px?c=rtl", Width: 1, Height: 1},
+			{Kind: ResIFrame, URL: "http://ads.smartclip.net/frame"},
+		},
+		App: &AppSpec{
+			Cookies: []CookieSpec{{Name: "zapid", Value: "{session}", MaxAge: 3600}},
+			Storage: []StorageSpec{{Key: "hbbtv.seen", Value: "1"}},
+			Beacons: []BeaconSpec{{
+				URL:             "http://tvping.com/t",
+				IntervalSeconds: 1,
+				Params:          map[string]string{"chan": "{channel}", "uid": "{user}"},
+			}},
+			Fingerprint: &FingerprintSpec{
+				ScriptURL: "http://fp.rtl-hbbtv.de/fp2.js",
+				ReportURL: "http://fp.rtl-hbbtv.de/collect",
+				APIs:      []string{"canvas", "webgl"},
+			},
+			KeyMap: map[Key]Action{
+				KeyRed: {Kind: ActionNavigate, URL: "http://hbbtv.rtl.de/mediathek"},
+			},
+			Overlay: &OverlaySpec{Type: OverlayNone},
+		},
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	want := sampleDocument()
+	markup, err := want.RenderHTML()
+	if err != nil {
+		t.Fatalf("RenderHTML: %v", err)
+	}
+	got, err := ParseHTML(markup)
+	if err != nil {
+		t.Fatalf("ParseHTML: %v", err)
+	}
+	if got.Title != want.Title {
+		t.Errorf("title = %q, want %q", got.Title, want.Title)
+	}
+	if !reflect.DeepEqual(got.Resources, want.Resources) {
+		t.Errorf("resources = %+v\nwant %+v", got.Resources, want.Resources)
+	}
+	if !reflect.DeepEqual(got.App, want.App) {
+		t.Errorf("app = %+v\nwant %+v", got.App, want.App)
+	}
+}
+
+func TestRenderContainsRealMarkup(t *testing.T) {
+	markup, err := sampleDocument().RenderHTML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(markup)
+	for _, frag := range []string{
+		`<img src="http://tvping.com/px?c=rtl" width="1" height="1"`,
+		`<script src="http://cdn.rtl-hbbtv.de/app.js">`,
+		`<iframe src="http://ads.smartclip.net/frame">`,
+		`<link rel="stylesheet" href="http://cdn.rtl-hbbtv.de/app.css">`,
+		`application/hbbtv+json`,
+	} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("markup missing %q\n%s", frag, s)
+		}
+	}
+}
+
+func TestParseHTMLToleratesForeignMarkup(t *testing.T) {
+	markup := `<!DOCTYPE html><html><head><title>Hand &amp; Written</title>
+	<script src='http://a.de/x.js'></script></head>
+	<body><p>Program info</p>
+	<img src=http://px.example.com/i width=1 height=1>
+	<!-- comment --><br>
+	</body></html>`
+	doc, err := ParseHTML([]byte(markup))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Title != "Hand & Written" {
+		t.Errorf("title = %q", doc.Title)
+	}
+	if len(doc.Resources) != 2 {
+		t.Fatalf("resources = %+v", doc.Resources)
+	}
+	if doc.Resources[0].URL != "http://a.de/x.js" || doc.Resources[0].Kind != ResScript {
+		t.Errorf("resource[0] = %+v", doc.Resources[0])
+	}
+	if doc.Resources[1].URL != "http://px.example.com/i" || doc.Resources[1].Kind != ResImage {
+		t.Errorf("resource[1] = %+v", doc.Resources[1])
+	}
+	if doc.App != nil {
+		t.Errorf("app = %+v, want nil", doc.App)
+	}
+}
+
+func TestParseHTMLBadManifest(t *testing.T) {
+	markup := `<html><head><script type="application/hbbtv+json">{not json</script></head></html>`
+	if _, err := ParseHTML([]byte(markup)); err == nil {
+		t.Fatal("ParseHTML accepted invalid manifest JSON")
+	}
+}
+
+func TestConsentSpecRoundTrip(t *testing.T) {
+	doc := &Document{
+		Title: "ProSieben",
+		App: &AppSpec{
+			Overlay: &OverlaySpec{
+				Type:    OverlayPrivacy,
+				Privacy: PrivacyConsentNotice,
+				Consent: &ConsentSpec{
+					StyleID:  2,
+					Brand:    "ProSiebenSat.1",
+					Language: "de",
+					Layers: []ConsentLayer{{
+						Buttons: []ConsentButton{
+							{Label: "Alle akzeptieren", Role: RoleAcceptAll, Highlight: true},
+							{Label: "Einstellungen oder Ablehnen", Role: RoleSettingsOrDecline},
+						},
+						DefaultFocus: 0,
+					}},
+				},
+			},
+		},
+	}
+	markup, err := doc.RenderHTML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseHTML(markup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.App.Overlay, doc.App.Overlay) {
+		t.Errorf("overlay = %+v\nwant %+v", got.App.Overlay, doc.App.Overlay)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	v := Vars{
+		Channel:   "Super RTL",
+		SessionID: "s-123",
+		UserID:    "u-987",
+		Model:     "43UK6300LLB",
+		UnixTime:  1692615600,
+	}
+	tests := []struct{ in, want string }{
+		{"uid={user}&chan={channel}", "uid=u-987&chan=Super RTL"},
+		{"{session}", "s-123"},
+		{"model={model}&t={unixtime}", "model=43UK6300LLB&t=1692615600"},
+		{"no vars here", "no vars here"},
+		{"{unknown}", "{unknown}"},
+	}
+	for _, tt := range tests {
+		if got := v.Expand(tt.in); got != tt.want {
+			t.Errorf("Expand(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+// Property: any title round-trips through render/parse (escaping works).
+func TestTitleEscapingProperty(t *testing.T) {
+	f := func(title string) bool {
+		// NUL and control chars are not expected in titles and confuse
+		// string comparison after HTML escaping; skip them.
+		for _, r := range title {
+			if r < 0x20 || r == 0x7F {
+				return true
+			}
+		}
+		d := &Document{Title: title}
+		markup, err := d.RenderHTML()
+		if err != nil {
+			return false
+		}
+		got, err := ParseHTML(markup)
+		return err == nil && got.Title == title
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: resource URLs with query strings and ampersands survive.
+func TestResourceURLProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		url := "http://t.example.com/px?c=" + string(rune('a'+a%26)) + "&u=" + string(rune('a'+b%26))
+		d := &Document{Resources: []Resource{{Kind: ResImage, URL: url, Width: 1, Height: 1}}}
+		markup, err := d.RenderHTML()
+		if err != nil {
+			return false
+		}
+		got, err := ParseHTML(markup)
+		return err == nil && len(got.Resources) == 1 && got.Resources[0].URL == url
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+package appmodel
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Vars is the set of runtime variables the TV substitutes into template
+// strings in cookie values and beacon parameters. Templates use {name}
+// syntax, e.g. "uid={user}&chan={channel}".
+//
+// These are the values the paper found leaking: the watched channel,
+// the current show and its genre, a session and user identifier, and
+// device properties (manufacturer, model, OS, language, local time).
+type Vars struct {
+	Channel      string
+	ChannelID    string
+	Show         string
+	Genre        string
+	SessionID    string
+	UserID       string
+	Manufacturer string
+	Model        string
+	OS           string
+	Language     string
+	LocalTime    string
+	UnixTime     int64
+}
+
+// Expand substitutes {var} references in s. Unknown references are left
+// verbatim so that malformed templates remain observable in traffic.
+func (v Vars) Expand(s string) string {
+	if !strings.Contains(s, "{") {
+		return s
+	}
+	r := strings.NewReplacer(
+		"{channel}", v.Channel,
+		"{channelId}", v.ChannelID,
+		"{show}", v.Show,
+		"{genre}", v.Genre,
+		"{session}", v.SessionID,
+		"{user}", v.UserID,
+		"{manufacturer}", v.Manufacturer,
+		"{model}", v.Model,
+		"{os}", v.OS,
+		"{language}", v.Language,
+		"{localtime}", v.LocalTime,
+		"{unixtime}", strconv.FormatInt(v.UnixTime, 10),
+	)
+	return r.Replace(s)
+}

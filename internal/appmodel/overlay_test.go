@@ -1,0 +1,47 @@
+package appmodel
+
+import "testing"
+
+func TestOverlayVisibleAt(t *testing.T) {
+	always := &OverlaySpec{Type: OverlayMediaLibrary}
+	for _, sec := range []int{0, 1, 10000} {
+		if !always.VisibleAt(sec) {
+			t.Errorf("always-visible overlay hidden at %d", sec)
+		}
+	}
+
+	windowed := &OverlaySpec{Type: OverlayPrivacy, VisibleFromSec: 15, VisibleToSec: 140}
+	tests := []struct {
+		sec  int
+		want bool
+	}{
+		{0, false}, {14, false}, {15, true}, {139, true}, {140, false}, {1000, false},
+	}
+	for _, tt := range tests {
+		if got := windowed.VisibleAt(tt.sec); got != tt.want {
+			t.Errorf("VisibleAt(%d) = %v, want %v", tt.sec, got, tt.want)
+		}
+	}
+
+	openEnded := &OverlaySpec{Type: OverlayOther, VisibleFromSec: 30}
+	if openEnded.VisibleAt(29) || !openEnded.VisibleAt(30) || !openEnded.VisibleAt(99999) {
+		t.Error("open-ended window broken")
+	}
+
+	untilOnly := &OverlaySpec{Type: OverlayOther, VisibleToSec: 60}
+	if !untilOnly.VisibleAt(0) || !untilOnly.VisibleAt(59) || untilOnly.VisibleAt(60) {
+		t.Error("until-only window broken")
+	}
+}
+
+func TestColorKeysOrder(t *testing.T) {
+	want := []Key{KeyRed, KeyGreen, KeyYellow, KeyBlue}
+	if len(ColorKeys) != len(want) {
+		t.Fatalf("ColorKeys = %v", ColorKeys)
+	}
+	for i := range want {
+		if ColorKeys[i] != want[i] {
+			t.Fatalf("ColorKeys = %v, want %v", ColorKeys, want)
+		}
+	}
+}

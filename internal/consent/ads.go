@@ -1,0 +1,67 @@
+package consent
+
+import (
+	"strings"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+// This file implements the "Other Observations" finding of Section VI:
+// manual inspection of overlays revealed a location-targeted ad — a
+// sleeping-aid spot overlaid with text naming pharmacies in the city where
+// the measurement setup stood. The detector scans overlay text for a
+// location mention co-occurring with ad vocabulary.
+
+// adMarkers identify advertising overlay text.
+var adMarkers = []string{
+	"jetzt in", "erhältlich", "apotheke", "kaufen", "angebot",
+	"available at", "now in", "pharmacies",
+}
+
+// LocationTargetedAd is one detected geo-targeted advertisement.
+type LocationTargetedAd struct {
+	Run     store.RunName
+	Channel string
+	Text    string
+}
+
+// FindLocationTargetedAds scans all screenshots for overlay text that
+// names the measurement location alongside advertising vocabulary.
+func FindLocationTargetedAds(ds *store.Dataset, city string) []LocationTargetedAd {
+	if city == "" {
+		return nil
+	}
+	cityLow := strings.ToLower(city)
+	var out []LocationTargetedAd
+	seen := make(map[[2]string]struct{})
+	for _, run := range ds.Runs {
+		for _, s := range run.Screenshots {
+			if s.Overlay == nil || s.Overlay.Text == "" {
+				continue
+			}
+			low := strings.ToLower(s.Overlay.Text)
+			if !strings.Contains(low, cityLow) {
+				continue
+			}
+			isAd := false
+			for _, m := range adMarkers {
+				if strings.Contains(low, m) {
+					isAd = true
+					break
+				}
+			}
+			if !isAd {
+				continue
+			}
+			key := [2]string{string(run.Name), s.Channel}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out = append(out, LocationTargetedAd{
+				Run: run.Name, Channel: s.Channel, Text: s.Overlay.Text,
+			})
+		}
+	}
+	return out
+}

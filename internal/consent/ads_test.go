@@ -1,0 +1,52 @@
+package consent
+
+import (
+	"testing"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+	"github.com/hbbtvlab/hbbtvlab/internal/webos"
+)
+
+func TestFindLocationTargetedAds(t *testing.T) {
+	run := &store.RunData{
+		Name: store.RunGreen,
+		Screenshots: []webos.Screenshot{
+			shot("Teleshop", &appmodel.OverlaySpec{
+				Type: appmodel.OverlayOther,
+				Text: "Schlaf-gut Melatonin – jetzt in Apotheken in Gelsenkirchen erhältlich!",
+			}, true),
+			// Same channel/run seen twice: deduplicated.
+			shot("Teleshop", &appmodel.OverlaySpec{
+				Type: appmodel.OverlayOther,
+				Text: "Schlaf-gut Melatonin – jetzt in Apotheken in Gelsenkirchen erhältlich!",
+			}, true),
+			// City mention without ad vocabulary: not an ad.
+			shot("News24", &appmodel.OverlaySpec{
+				Type: appmodel.OverlayOther,
+				Text: "Nachrichten aus Gelsenkirchen",
+			}, true),
+			// Ad vocabulary without the city: not location-targeted.
+			shot("Shop1", &appmodel.OverlaySpec{
+				Type: appmodel.OverlayOther,
+				Text: "Jetzt kaufen und sparen!",
+			}, true),
+			shot("Plain", nil, true),
+		},
+	}
+	ds := &store.Dataset{Runs: []*store.RunData{run}}
+
+	ads := FindLocationTargetedAds(ds, "Gelsenkirchen")
+	if len(ads) != 1 {
+		t.Fatalf("ads = %+v, want exactly 1", ads)
+	}
+	if ads[0].Channel != "Teleshop" || ads[0].Run != store.RunGreen {
+		t.Errorf("ad = %+v", ads[0])
+	}
+	if got := FindLocationTargetedAds(ds, ""); got != nil {
+		t.Error("empty city should find nothing")
+	}
+	if got := FindLocationTargetedAds(ds, "München"); len(got) != 0 {
+		t.Errorf("wrong city matched: %+v", got)
+	}
+}

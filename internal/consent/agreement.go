@@ -1,0 +1,102 @@
+package consent
+
+import (
+	"math/rand"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+	"github.com/hbbtvlab/hbbtvlab/internal/stats"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+// This file models the paper's annotation methodology: two authors coded a
+// subset of screenshots, measured their agreement, discussed edge cases,
+// and refined the codebook until agreement was acceptable. AgreementStudy
+// reproduces that process with a second, imperfect annotator whose
+// confusion model captures the genuinely hard cases (small consent notices
+// read as "other" overlays, media libraries vs dashboards), before and
+// after codebook refinement.
+
+// AnnotatorNoise configures the second annotator's confusion model.
+type AnnotatorNoise struct {
+	// MissNoticeProb is the chance a privacy overlay is coded as Other
+	// (small banners are easy to miss among tickers and ads).
+	MissNoticeProb float64
+	// ConfuseOtherProb is the chance an Other overlay is coded as a media
+	// library (games and dashboards look alike).
+	ConfuseOtherProb float64
+	// MissSignalProb is the chance a no-signal screen is coded as TV-only.
+	MissSignalProb float64
+}
+
+// Before/after codebook refinement noise levels, chosen so agreement moves
+// from "substantial" to "almost perfect" — the paper's iterate-until-
+// consensus process.
+var (
+	NoiseInitial = AnnotatorNoise{MissNoticeProb: 0.35, ConfuseOtherProb: 0.4, MissSignalProb: 0.15}
+	NoiseRefined = AnnotatorNoise{MissNoticeProb: 0.05, ConfuseOtherProb: 0.08, MissSignalProb: 0.02}
+)
+
+// SecondAnnotator codes screenshots with the given confusion model. The
+// primary annotation (AnnotateShot) plays the role of the codebook's
+// ground truth.
+func SecondAnnotator(run *store.RunData, noise AnnotatorNoise, seed int64) []appmodel.OverlayType {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]appmodel.OverlayType, 0, len(run.Screenshots))
+	for _, s := range run.Screenshots {
+		code := AnnotateShot(run.Name, s).Code
+		switch code {
+		case appmodel.OverlayPrivacy:
+			if rng.Float64() < noise.MissNoticeProb {
+				code = appmodel.OverlayOther
+			}
+		case appmodel.OverlayOther:
+			if rng.Float64() < noise.ConfuseOtherProb {
+				code = appmodel.OverlayMediaLibrary
+			}
+		case appmodel.OverlayNoSignal:
+			if rng.Float64() < noise.MissSignalProb {
+				code = appmodel.OverlayNone
+			}
+		}
+		out = append(out, code)
+	}
+	return out
+}
+
+// AgreementResult is the outcome of one coding round.
+type AgreementResult struct {
+	Samples        int
+	Kappa          float64
+	Interpretation string
+}
+
+// AgreementStudy codes a run twice (primary codebook + noisy second
+// annotator) and returns Cohen's kappa for the initial and refined
+// codebook rounds.
+func AgreementStudy(run *store.RunData, seed int64) (initial, refined AgreementResult, err error) {
+	primary := make([]string, 0, len(run.Screenshots))
+	for _, a := range Annotate(run) {
+		primary = append(primary, string(a.Code))
+	}
+	round := func(noise AnnotatorNoise, roundSeed int64) (AgreementResult, error) {
+		second := SecondAnnotator(run, noise, roundSeed)
+		labels := make([]string, len(second))
+		for i, c := range second {
+			labels[i] = string(c)
+		}
+		k, err := stats.CohensKappa(primary, labels)
+		if err != nil {
+			return AgreementResult{}, err
+		}
+		return AgreementResult{
+			Samples:        len(labels),
+			Kappa:          k,
+			Interpretation: stats.KappaInterpretation(k),
+		}, nil
+	}
+	if initial, err = round(NoiseInitial, seed); err != nil {
+		return
+	}
+	refined, err = round(NoiseRefined, seed+1)
+	return
+}

@@ -1,0 +1,102 @@
+package consent
+
+import (
+	"testing"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+	"github.com/hbbtvlab/hbbtvlab/internal/stats"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+// agreementRun builds a run with enough overlay diversity for kappa to be
+// meaningful.
+func agreementRun() *store.RunData {
+	run := &store.RunData{Name: store.RunBlue}
+	add := func(n int, ov *appmodel.OverlaySpec, signal bool) {
+		for i := 0; i < n; i++ {
+			run.Screenshots = append(run.Screenshots, shot("C", ov, signal))
+		}
+	}
+	add(120, nil, true) // tv only
+	add(15, nil, false) // no signal
+	add(25, &appmodel.OverlaySpec{Type: appmodel.OverlayMediaLibrary}, true)
+	add(20, noticeOverlay(1, "X", 0, true, false), true)
+	add(20, &appmodel.OverlaySpec{Type: appmodel.OverlayOther, Text: "Gewinnspiel"}, true)
+	return run
+}
+
+func TestAgreementStudyImprovesWithRefinement(t *testing.T) {
+	run := agreementRun()
+	initial, refined, err := AgreementStudy(run, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if initial.Samples != len(run.Screenshots) || refined.Samples != initial.Samples {
+		t.Errorf("samples = %d / %d", initial.Samples, refined.Samples)
+	}
+	if refined.Kappa <= initial.Kappa {
+		t.Errorf("refinement did not improve agreement: %.3f -> %.3f",
+			initial.Kappa, refined.Kappa)
+	}
+	if refined.Kappa < 0.81 {
+		t.Errorf("refined kappa %.3f below 'almost perfect'", refined.Kappa)
+	}
+	if initial.Interpretation == refined.Interpretation {
+		t.Logf("note: both rounds rated %q (initial %.2f, refined %.2f)",
+			initial.Interpretation, initial.Kappa, refined.Kappa)
+	}
+}
+
+func TestSecondAnnotatorDeterministic(t *testing.T) {
+	run := agreementRun()
+	a := SecondAnnotator(run, NoiseInitial, 42)
+	b := SecondAnnotator(run, NoiseInitial, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("second annotator is not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestCohensKappaKnownValues(t *testing.T) {
+	// Perfect agreement.
+	a := []string{"x", "y", "x", "z"}
+	if k, err := stats.CohensKappa(a, a); err != nil || k != 1 {
+		t.Errorf("perfect kappa = %v, %v", k, err)
+	}
+	// Worked example: po = 0.6, pe = 0.5 -> kappa = 0.2.
+	r1 := []string{"yes", "yes", "yes", "yes", "yes", "no", "no", "no", "no", "no"}
+	r2 := []string{"yes", "yes", "yes", "no", "no", "no", "no", "no", "yes", "yes"}
+	k, err := stats.CohensKappa(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 0.199 || k > 0.201 {
+		t.Errorf("kappa = %v, want 0.2", k)
+	}
+	if _, err := stats.CohensKappa([]string{"a"}, []string{"a", "b"}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := stats.CohensKappa(nil, nil); err == nil {
+		t.Error("empty sequences accepted")
+	}
+}
+
+func TestKappaInterpretationBands(t *testing.T) {
+	tests := []struct {
+		k    float64
+		want string
+	}{
+		{0.9, "almost perfect"},
+		{0.7, "substantial"},
+		{0.5, "moderate"},
+		{0.3, "fair"},
+		{0.1, "slight"},
+		{-0.2, "poor"},
+	}
+	for _, tt := range tests {
+		if got := stats.KappaInterpretation(tt.k); got != tt.want {
+			t.Errorf("KappaInterpretation(%v) = %q, want %q", tt.k, got, tt.want)
+		}
+	}
+}

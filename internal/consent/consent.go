@@ -1,0 +1,311 @@
+// Package consent implements the Section VI analyses: codebook-based
+// annotation of screenshots (Table IV's overlay-type distribution), the
+// prevalence of privacy-related information (Table V), the inventory of
+// recurring consent-notice stylings, their interaction options, and the
+// nudging/dark-pattern findings (default focus on "Accept", pre-ticked
+// checkboxes, options hidden on deeper layers).
+//
+// The study annotated 41,617 screenshots manually with Label Studio; here
+// the annotator applies the same two-round codebook mechanically to the
+// structured overlay state the screenshots carry.
+package consent
+
+import (
+	"sort"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+	"github.com/hbbtvlab/hbbtvlab/internal/webos"
+)
+
+// Annotation is the coded result for one screenshot — round one assigns
+// the overlay type, round two refines privacy overlays and pointers.
+type Annotation struct {
+	Run     store.RunName
+	Channel string
+	Code    appmodel.OverlayType
+	// Privacy is set for Code == OverlayPrivacy.
+	Privacy appmodel.PrivacyKind
+	// Style/Brand identify the consent notice styling, when one is shown.
+	StyleID int
+	Brand   string
+	// Pointer marks non-privacy overlays showing a button or text pointing
+	// to privacy information; Obscured marks hidden/small pointers.
+	Pointer  bool
+	Obscured bool
+}
+
+// AnnotateShot codes a single screenshot.
+func AnnotateShot(run store.RunName, s webos.Screenshot) Annotation {
+	a := Annotation{Run: run, Channel: s.Channel, Code: appmodel.OverlayNone}
+	if s.Overlay == nil {
+		if !s.HasSignal {
+			a.Code = appmodel.OverlayNoSignal
+		}
+		return a
+	}
+	a.Code = s.Overlay.Type
+	switch a.Code {
+	case appmodel.OverlayPrivacy:
+		a.Privacy = s.Overlay.Privacy
+		if c := s.Overlay.Consent; c != nil {
+			a.StyleID = c.StyleID
+			a.Brand = c.Brand
+		}
+	default:
+		a.Pointer = s.Overlay.PrivacyPointer
+		a.Obscured = s.Overlay.PointerObscured
+	}
+	return a
+}
+
+// Annotate codes every screenshot of a run.
+func Annotate(run *store.RunData) []Annotation {
+	out := make([]Annotation, 0, len(run.Screenshots))
+	for _, s := range run.Screenshots {
+		out = append(out, AnnotateShot(run.Name, s))
+	}
+	return out
+}
+
+// OverlayRow is one row of Table IV: the distribution of overlay types on
+// the screenshots of a run.
+type OverlayRow struct {
+	Run      store.RunName
+	NoSignal int
+	CTM      int
+	TVOnly   int
+	MediaLib int
+	Privacy  int
+	Other    int
+}
+
+// Total returns the row sum.
+func (r OverlayRow) Total() int {
+	return r.NoSignal + r.CTM + r.TVOnly + r.MediaLib + r.Privacy + r.Other
+}
+
+// OverlayDistribution computes Table IV's row for a run.
+func OverlayDistribution(run *store.RunData) OverlayRow {
+	row := OverlayRow{Run: run.Name}
+	for _, a := range Annotate(run) {
+		switch a.Code {
+		case appmodel.OverlayNoSignal:
+			row.NoSignal++
+		case appmodel.OverlayCTM:
+			row.CTM++
+		case appmodel.OverlayNone:
+			row.TVOnly++
+		case appmodel.OverlayMediaLibrary:
+			row.MediaLib++
+		case appmodel.OverlayPrivacy:
+			row.Privacy++
+		default:
+			row.Other++
+		}
+	}
+	return row
+}
+
+// PrevalenceRow is one row of Table V: privacy-related information on
+// screenshots and channels of a run.
+type PrevalenceRow struct {
+	Run             store.RunName
+	Screenshots     int
+	PrivacyShots    int
+	ShotShare       float64
+	Channels        int
+	PrivacyChannels int
+	ChannelShare    float64
+}
+
+// PrivacyPrevalence computes Table V's row for a run.
+func PrivacyPrevalence(run *store.RunData) PrevalenceRow {
+	row := PrevalenceRow{
+		Run:         run.Name,
+		Screenshots: len(run.Screenshots),
+		Channels:    len(run.Channels),
+	}
+	privChannels := make(map[string]struct{})
+	for _, a := range Annotate(run) {
+		if a.Code == appmodel.OverlayPrivacy {
+			row.PrivacyShots++
+			privChannels[a.Channel] = struct{}{}
+		}
+	}
+	row.PrivacyChannels = len(privChannels)
+	if row.Screenshots > 0 {
+		row.ShotShare = float64(row.PrivacyShots) / float64(row.Screenshots)
+	}
+	if row.Channels > 0 {
+		row.ChannelShare = float64(row.PrivacyChannels) / float64(row.Channels)
+	}
+	return row
+}
+
+// ChannelsWithPrivacyInfo counts channels that displayed a consent notice
+// or privacy policy on at least one screenshot across all runs (the paper
+// found 121, 31.03%).
+func ChannelsWithPrivacyInfo(ds *store.Dataset) int {
+	seen := make(map[string]struct{})
+	for _, run := range ds.Runs {
+		for _, a := range Annotate(run) {
+			if a.Code == appmodel.OverlayPrivacy {
+				seen[a.Channel] = struct{}{}
+			}
+		}
+	}
+	return len(seen)
+}
+
+// PointerStats summarizes buttons/texts pointing to privacy information.
+type PointerStats struct {
+	// Channels that showed a pointer at least once (paper: 290, 74.36%).
+	Channels int
+	// Obscured counts channels whose pointers were hidden in footers or
+	// rendered smaller than surrounding elements.
+	Obscured int
+}
+
+// Pointers computes pointer statistics across all runs.
+func Pointers(ds *store.Dataset) PointerStats {
+	withPointer := make(map[string]struct{})
+	obscured := make(map[string]struct{})
+	for _, run := range ds.Runs {
+		for _, a := range Annotate(run) {
+			if a.Pointer {
+				withPointer[a.Channel] = struct{}{}
+				if a.Obscured {
+					obscured[a.Channel] = struct{}{}
+				}
+			}
+		}
+	}
+	return PointerStats{Channels: len(withPointer), Obscured: len(obscured)}
+}
+
+// StyleSummary describes one recurring consent-notice styling.
+type StyleSummary struct {
+	StyleID    int
+	Brand      string
+	Modal      bool
+	FullScreen bool
+	Layers     int
+	// FirstLayerRoles are the interaction options on layer 1.
+	FirstLayerRoles []appmodel.ButtonRole
+	// DefaultRole is the role of the button the cursor is parked on.
+	DefaultRole appmodel.ButtonRole
+	// DefaultHighlighted reports whether the default button is visually
+	// emphasized (color/shadow) — the nudging combination.
+	DefaultHighlighted bool
+	// PreTicked counts pre-ticked checkboxes across layers (ECJ Planet49:
+	// pre-ticked boxes are not valid consent).
+	PreTicked int
+	// CategorySelection reports a category choice on the FIRST layer
+	// (only RTL Zwei, type 8, offered this).
+	CategorySelection bool
+	// Channels that showed this styling.
+	Channels []string
+}
+
+// NoticeInventory reconstructs the styling inventory from the dataset's
+// screenshots plus the full notice specs found in run data. Because a
+// screenshot shows only the visible layer, the inventory merges every
+// observation of a style across runs.
+func NoticeInventory(ds *store.Dataset) []StyleSummary {
+	byStyle := make(map[int]*StyleSummary)
+	chanSets := make(map[int]map[string]struct{})
+	for _, run := range ds.Runs {
+		for _, shot := range run.Screenshots {
+			ov := shot.Overlay
+			if ov == nil || ov.Consent == nil || len(ov.Consent.Layers) == 0 {
+				continue
+			}
+			c := ov.Consent
+			s := byStyle[c.StyleID]
+			if s == nil {
+				s = &StyleSummary{StyleID: c.StyleID, Brand: c.Brand}
+				byStyle[c.StyleID] = s
+				chanSets[c.StyleID] = make(map[string]struct{})
+			}
+			s.Modal = s.Modal || c.Modal
+			s.FullScreen = s.FullScreen || c.FullScreen
+			chanSets[c.StyleID][shot.Channel] = struct{}{}
+			// Screenshot shows the visible layer; merge info.
+			layer := c.Layers[0]
+			if s.Layers == 0 {
+				s.Layers = 1
+			}
+			if len(s.FirstLayerRoles) == 0 {
+				for _, b := range layer.Buttons {
+					s.FirstLayerRoles = append(s.FirstLayerRoles, b.Role)
+				}
+				if layer.DefaultFocus >= 0 && layer.DefaultFocus < len(layer.Buttons) {
+					s.DefaultRole = layer.Buttons[layer.DefaultFocus].Role
+					s.DefaultHighlighted = layer.Buttons[layer.DefaultFocus].Highlight
+				}
+				if len(layer.Checkboxes) > 0 {
+					s.CategorySelection = true
+				}
+			}
+			for _, cb := range layer.Checkboxes {
+				if cb.PreTicked {
+					s.PreTicked++
+				}
+			}
+		}
+	}
+	out := make([]StyleSummary, 0, len(byStyle))
+	for id, s := range byStyle {
+		for ch := range chanSets[id] {
+			s.Channels = append(s.Channels, ch)
+		}
+		sort.Strings(s.Channels)
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].StyleID < out[b].StyleID })
+	return out
+}
+
+// NudgeFindings summarizes the dark-pattern analysis across stylings.
+type NudgeFindings struct {
+	Styles int
+	// DefaultIsAccept counts styles whose cursor parks on "Accept all".
+	DefaultIsAccept int
+	// DefaultHighlighted counts styles that also visually emphasize it.
+	DefaultHighlighted int
+	// WithPreTicked counts styles containing pre-ticked checkboxes.
+	WithPreTicked int
+	// DeclineOnFirstLayer counts styles offering an explicit decline (or
+	// only-necessary) option on layer 1.
+	DeclineOnFirstLayer int
+	// Modal counts full-blocking notices.
+	Modal int
+}
+
+// AnalyzeNudging rolls styling summaries up into the dark-pattern
+// findings.
+func AnalyzeNudging(styles []StyleSummary) NudgeFindings {
+	f := NudgeFindings{Styles: len(styles)}
+	for _, s := range styles {
+		if s.DefaultRole == appmodel.RoleAcceptAll {
+			f.DefaultIsAccept++
+			if s.DefaultHighlighted {
+				f.DefaultHighlighted++
+			}
+		}
+		if s.PreTicked > 0 {
+			f.WithPreTicked++
+		}
+		for _, r := range s.FirstLayerRoles {
+			if r == appmodel.RoleDecline || r == appmodel.RoleOnlyNecessary {
+				f.DeclineOnFirstLayer++
+				break
+			}
+		}
+		if s.Modal {
+			f.Modal++
+		}
+	}
+	return f
+}

@@ -1,0 +1,180 @@
+package consent
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+	"github.com/hbbtvlab/hbbtvlab/internal/webos"
+)
+
+var shotTime = time.Date(2023, 9, 27, 14, 0, 0, 0, time.UTC)
+
+func shot(channel string, overlay *appmodel.OverlaySpec, signal bool) webos.Screenshot {
+	return webos.Screenshot{
+		Time: shotTime, Channel: channel, ChannelID: "sid-1",
+		HasSignal: signal, Overlay: overlay,
+	}
+}
+
+func noticeOverlay(style int, brand string, defaultFocus int, highlight bool, modal bool) *appmodel.OverlaySpec {
+	return &appmodel.OverlaySpec{
+		Type:    appmodel.OverlayPrivacy,
+		Privacy: appmodel.PrivacyConsentNotice,
+		Consent: &appmodel.ConsentSpec{
+			StyleID: style, Brand: brand, Language: "de", Modal: modal,
+			Layers: []appmodel.ConsentLayer{{
+				Buttons: []appmodel.ConsentButton{
+					{Label: "Alle akzeptieren", Role: appmodel.RoleAcceptAll, Highlight: highlight},
+					{Label: "Einstellungen", Role: appmodel.RoleSettings},
+				},
+				DefaultFocus: defaultFocus,
+			}},
+		},
+	}
+}
+
+func testRun() *store.RunData {
+	return &store.RunData{
+		Name: store.RunBlue,
+		Channels: []store.ChannelInfo{
+			{Name: "RTL"}, {Name: "ZDF"}, {Name: "MTV"}, {Name: "Ghost"},
+		},
+		Screenshots: []webos.Screenshot{
+			shot("RTL", nil, true),    // tv only
+			shot("Ghost", nil, false), // no signal
+			shot("ZDF", &appmodel.OverlaySpec{Type: appmodel.OverlayCTM, Text: "No CI module"}, true),
+			shot("RTL", &appmodel.OverlaySpec{Type: appmodel.OverlayMediaLibrary, PrivacyPointer: true, PointerObscured: true}, true),
+			shot("RTL", noticeOverlay(1, "RTL Germany", 0, true, false), true),
+			shot("MTV", &appmodel.OverlaySpec{Type: appmodel.OverlayPrivacy, Privacy: appmodel.PrivacyPolicy, PolicyURL: "http://mtv.de/p"}, true),
+			shot("ZDF", &appmodel.OverlaySpec{Type: appmodel.OverlayOther, Text: "Gewinnspiel"}, true),
+		},
+	}
+}
+
+func TestAnnotateShotCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		s    webos.Screenshot
+		want appmodel.OverlayType
+	}{
+		{"tv only", shot("A", nil, true), appmodel.OverlayNone},
+		{"no signal", shot("A", nil, false), appmodel.OverlayNoSignal},
+		{"media lib", shot("A", &appmodel.OverlaySpec{Type: appmodel.OverlayMediaLibrary}, true), appmodel.OverlayMediaLibrary},
+		{"notice", shot("A", noticeOverlay(3, "P7S1", 0, true, true), true), appmodel.OverlayPrivacy},
+	}
+	for _, tt := range tests {
+		if got := AnnotateShot(store.RunRed, tt.s); got.Code != tt.want {
+			t.Errorf("%s: code = %v, want %v", tt.name, got.Code, tt.want)
+		}
+	}
+}
+
+func TestAnnotationDetails(t *testing.T) {
+	a := AnnotateShot(store.RunRed, shot("A", noticeOverlay(7, "Bibel TV", 0, false, false), true))
+	if a.Privacy != appmodel.PrivacyConsentNotice || a.StyleID != 7 || a.Brand != "Bibel TV" {
+		t.Errorf("annotation = %+v", a)
+	}
+	p := AnnotateShot(store.RunRed, shot("A", &appmodel.OverlaySpec{
+		Type: appmodel.OverlayMediaLibrary, PrivacyPointer: true, PointerObscured: true,
+	}, true))
+	if !p.Pointer || !p.Obscured {
+		t.Errorf("pointer annotation = %+v", p)
+	}
+}
+
+func TestOverlayDistribution(t *testing.T) {
+	row := OverlayDistribution(testRun())
+	if row.TVOnly != 1 || row.NoSignal != 1 || row.CTM != 1 ||
+		row.MediaLib != 1 || row.Privacy != 2 || row.Other != 1 {
+		t.Errorf("row = %+v", row)
+	}
+	if row.Total() != 7 {
+		t.Errorf("total = %d", row.Total())
+	}
+}
+
+func TestPrivacyPrevalence(t *testing.T) {
+	row := PrivacyPrevalence(testRun())
+	if row.Screenshots != 7 || row.PrivacyShots != 2 {
+		t.Errorf("shots = %+v", row)
+	}
+	if row.Channels != 4 || row.PrivacyChannels != 2 {
+		t.Errorf("channels = %+v", row)
+	}
+	if row.ChannelShare != 0.5 {
+		t.Errorf("share = %v", row.ChannelShare)
+	}
+}
+
+func TestChannelsWithPrivacyInfo(t *testing.T) {
+	ds := &store.Dataset{Runs: []*store.RunData{testRun()}}
+	if got := ChannelsWithPrivacyInfo(ds); got != 2 {
+		t.Errorf("channels with privacy info = %d, want 2", got)
+	}
+}
+
+func TestPointers(t *testing.T) {
+	ds := &store.Dataset{Runs: []*store.RunData{testRun()}}
+	ps := Pointers(ds)
+	if ps.Channels != 1 || ps.Obscured != 1 {
+		t.Errorf("pointers = %+v", ps)
+	}
+}
+
+func TestNoticeInventory(t *testing.T) {
+	run := testRun()
+	// A second styling on another channel.
+	run.Screenshots = append(run.Screenshots,
+		shot("ZDF", noticeOverlay(10, "ZDF", 0, true, true), true))
+	ds := &store.Dataset{Runs: []*store.RunData{run}}
+	styles := NoticeInventory(ds)
+	if len(styles) != 2 {
+		t.Fatalf("styles = %+v", styles)
+	}
+	if styles[0].StyleID != 1 || styles[0].Brand != "RTL Germany" {
+		t.Errorf("style[0] = %+v", styles[0])
+	}
+	if styles[0].DefaultRole != appmodel.RoleAcceptAll || !styles[0].DefaultHighlighted {
+		t.Errorf("style[0] nudging = %+v", styles[0])
+	}
+	if !styles[1].Modal {
+		t.Errorf("ZDF style should be modal: %+v", styles[1])
+	}
+	if len(styles[0].Channels) != 1 || styles[0].Channels[0] != "RTL" {
+		t.Errorf("style[0] channels = %v", styles[0].Channels)
+	}
+}
+
+func TestAnalyzeNudging(t *testing.T) {
+	styles := []StyleSummary{
+		{StyleID: 1, DefaultRole: appmodel.RoleAcceptAll, DefaultHighlighted: true,
+			FirstLayerRoles: []appmodel.ButtonRole{appmodel.RoleAcceptAll, appmodel.RoleSettings}},
+		{StyleID: 8, DefaultRole: appmodel.RoleAcceptAll, PreTicked: 2, CategorySelection: true,
+			FirstLayerRoles: []appmodel.ButtonRole{appmodel.RoleAcceptAll, appmodel.RoleOnlyNecessary}},
+		{StyleID: 10, DefaultRole: appmodel.RoleAcceptAll, Modal: true,
+			FirstLayerRoles: []appmodel.ButtonRole{appmodel.RoleAcceptAll, appmodel.RoleDecline}},
+	}
+	f := AnalyzeNudging(styles)
+	if f.Styles != 3 || f.DefaultIsAccept != 3 {
+		t.Errorf("findings = %+v", f)
+	}
+	if f.DefaultHighlighted != 1 || f.WithPreTicked != 1 || f.Modal != 1 {
+		t.Errorf("findings = %+v", f)
+	}
+	if f.DeclineOnFirstLayer != 2 {
+		t.Errorf("decline on first layer = %d, want 2", f.DeclineOnFirstLayer)
+	}
+}
+
+func TestEmptyRunRows(t *testing.T) {
+	empty := &store.RunData{Name: store.RunGreen}
+	if OverlayDistribution(empty).Total() != 0 {
+		t.Error("empty run should have empty distribution")
+	}
+	row := PrivacyPrevalence(empty)
+	if row.ShotShare != 0 || row.ChannelShare != 0 {
+		t.Errorf("empty prevalence = %+v", row)
+	}
+}

@@ -1,0 +1,414 @@
+// Package cookies implements the cookie analyses of Section V-C: general
+// cookie usage, Cookiepedia-style purpose classification, the identifier
+// heuristic (10-25 characters, not a Unix timestamp in the measurement
+// window), third-party cookie usage per measurement run (Table II), the
+// long-tail distribution of cookie-using third parties (Fig. 5), and
+// cookie-syncing detection (two parties exchanging an identifier through a
+// redirect or parameter).
+package cookies
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/etld"
+	"github.com/hbbtvlab/hbbtvlab/internal/stats"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+// Purpose is a cookie purpose category, following Cookiepedia's taxonomy.
+type Purpose string
+
+// Cookie purposes.
+const (
+	PurposeNecessary     Purpose = "Strictly Necessary"
+	PurposeFunctionality Purpose = "Functionality"
+	PurposePerformance   Purpose = "Performance"
+	PurposeTargeting     Purpose = "Targeting/Advertising"
+	PurposeUnknown       Purpose = "Unknown"
+)
+
+// purposeDB is the Cookiepedia substitute: a name-pattern database built
+// from widely-used Web cookie names. HbbTV-specific cookie names are not
+// in it — which is why classification coverage in the HbbTV ecosystem
+// (20.5%) falls far short of the Web (57%).
+var purposeDB = map[string]Purpose{
+	// Google Analytics / Tag Manager.
+	"_ga": PurposePerformance, "_gid": PurposePerformance,
+	"_gat": PurposePerformance, "_gcl_au": PurposeTargeting,
+	"_utma": PurposePerformance, "_utmb": PurposePerformance,
+	"_utmz": PurposePerformance,
+	// Ad ecosystem.
+	"ide": PurposeTargeting, "dsid": PurposeTargeting,
+	"test_cookie": PurposeTargeting, "uuid2": PurposeTargeting,
+	"anj": PurposeTargeting, "tuuid": PurposeTargeting,
+	"criteo_id": PurposeTargeting, "cto_bundle": PurposeTargeting,
+	"tluid": PurposeTargeting, "adsrv": PurposeTargeting,
+	"adform_uid": PurposeTargeting,
+	// AT Internet (xiti).
+	"xtuid": PurposePerformance, "xtvrn": PurposePerformance,
+	"atuserid": PurposePerformance,
+	// Webtrekk / etracker / INFOnline.
+	"wt3_eid": PurposePerformance, "wt3_sid": PurposePerformance,
+	"et_coid": PurposePerformance, "ioma.sid": PurposePerformance,
+	"i00": PurposePerformance,
+	// CMP / consent state.
+	"euconsent-v2": PurposeNecessary, "consentuuid": PurposeNecessary,
+	"cmpconsent": PurposeNecessary, "consent": PurposeNecessary,
+	"oil_data": PurposeNecessary,
+	// Generic session/LB names.
+	"phpsessid": PurposeNecessary, "jsessionid": PurposeNecessary,
+	"session": PurposeNecessary, "lb": PurposeNecessary,
+	"awselb": PurposeNecessary,
+	// Preferences.
+	"lang": PurposeFunctionality, "language": PurposeFunctionality,
+	"tz": PurposeFunctionality, "volume": PurposeFunctionality,
+}
+
+// ClassifyPurpose looks a cookie name up in the purpose database. The
+// second return reports whether the name was known (classification
+// coverage). Site-scoped variants of known names ("uuid2_<site>") resolve
+// to their base name, as Cookiepedia's fuzzy matching does.
+func ClassifyPurpose(name string) (Purpose, bool) {
+	low := strings.ToLower(name)
+	if p, ok := purposeDB[low]; ok {
+		return p, true
+	}
+	if i := strings.IndexByte(low, '_'); i > 0 {
+		if p, ok := purposeDB[low[:i]]; ok {
+			return p, true
+		}
+	}
+	return PurposeUnknown, false
+}
+
+// IsLikelyID implements the adapted Acar et al. heuristic the paper uses:
+// a cookie value is a potential identifier when it is 10-25 characters
+// long and is not a valid Unix timestamp inside the measurement period.
+func IsLikelyID(value string, windowStart, windowEnd time.Time) bool {
+	if len(value) < 10 || len(value) > 25 {
+		return false
+	}
+	if ts, err := strconv.ParseInt(value, 10, 64); err == nil {
+		t := time.Unix(ts, 0)
+		if !t.Before(windowStart) && !t.After(windowEnd) {
+			return false
+		}
+		// Millisecond timestamps are also common.
+		tm := time.Unix(0, ts*int64(time.Millisecond))
+		if !tm.Before(windowStart) && !tm.After(windowEnd) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsLikelyIDLenOnly is the heuristic without the timestamp exclusion —
+// the ablation variant (BenchmarkIDHeuristic) showing why the paper added
+// the exclusion.
+func IsLikelyIDLenOnly(value string) bool {
+	return len(value) >= 10 && len(value) <= 25
+}
+
+// SetEvent is one observed Set-Cookie, attributed to a channel and party.
+type SetEvent struct {
+	Run     store.RunName
+	Channel string
+	// Party is the eTLD+1 of the setting host.
+	Party string
+	Host  string
+	Name  string
+	Value string
+	// ThirdParty is true when Party differs from the channel's first party.
+	ThirdParty bool
+}
+
+// SetEvents extracts every Set-Cookie observation from a run's flows,
+// classifying each as first- or third-party relative to the channel's
+// identified first party. Unattributed flows are skipped.
+func SetEvents(run *store.RunData, firstParty map[string]string) []SetEvent {
+	var out []SetEvent
+	for _, f := range run.Flows {
+		if f.Channel == "" {
+			continue
+		}
+		cs := f.SetCookies()
+		if len(cs) == 0 {
+			continue
+		}
+		party := etld.MustRegistrableDomain(f.Host())
+		fp := firstParty[f.Channel]
+		for _, c := range cs {
+			out = append(out, SetEvent{
+				Run:        run.Name,
+				Channel:    f.Channel,
+				Party:      party,
+				Host:       f.Host(),
+				Name:       c.Name,
+				Value:      c.Value,
+				ThirdParty: fp != "" && party != fp,
+			})
+		}
+	}
+	return out
+}
+
+// DistinctCookies counts distinct (party, name) cookies among events.
+func DistinctCookies(events []SetEvent) int {
+	seen := make(map[[2]string]struct{})
+	for _, e := range events {
+		seen[[2]string{e.Party, e.Name}] = struct{}{}
+	}
+	return len(seen)
+}
+
+// FirstThirdCounts returns the number of distinct first-party and
+// third-party (channel, party, name) cookie observations, matching Table
+// I's convention where a cookie can be first-party on one channel and
+// third-party on another.
+func FirstThirdCounts(events []SetEvent) (first, third int) {
+	fp := make(map[[2]string]struct{})
+	tp := make(map[[2]string]struct{})
+	for _, e := range events {
+		key := [2]string{e.Party, e.Name}
+		if e.ThirdParty {
+			tp[key] = struct{}{}
+		} else {
+			fp[key] = struct{}{}
+		}
+	}
+	return len(fp), len(tp)
+}
+
+// ThirdPartyUsage summarizes third-party cookie-setting for one run —
+// one row of Table II.
+type ThirdPartyUsage struct {
+	Run       store.RunName
+	Parties   int // distinct third parties that set cookies
+	Cookies   int // distinct third-party (party, name, channel) cookies
+	PerParty  stats.Desc
+	PerChan   stats.Desc
+	ByChannel map[string]int
+}
+
+// AnalyzeThirdParty computes Table II's row for the given events.
+func AnalyzeThirdParty(run store.RunName, events []SetEvent) ThirdPartyUsage {
+	parties := make(map[string]map[[2]string]struct{}) // party -> set of (channel,name)
+	byChannel := make(map[string]map[[2]string]struct{})
+	cookieCount := 0
+	seen := make(map[[3]string]struct{})
+	for _, e := range events {
+		if !e.ThirdParty || e.Run != run {
+			continue
+		}
+		key := [3]string{e.Channel, e.Party, e.Name}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		cookieCount++
+		if parties[e.Party] == nil {
+			parties[e.Party] = make(map[[2]string]struct{})
+		}
+		parties[e.Party][[2]string{e.Channel, e.Name}] = struct{}{}
+		if byChannel[e.Channel] == nil {
+			byChannel[e.Channel] = make(map[[2]string]struct{})
+		}
+		byChannel[e.Channel][[2]string{e.Party, e.Name}] = struct{}{}
+	}
+	u := ThirdPartyUsage{
+		Run:       run,
+		Parties:   len(parties),
+		Cookies:   cookieCount,
+		ByChannel: make(map[string]int, len(byChannel)),
+	}
+	var perParty []float64
+	for _, set := range parties {
+		perParty = append(perParty, float64(len(set)))
+	}
+	var perChan []float64
+	for ch, set := range byChannel {
+		perChan = append(perChan, float64(len(set)))
+		u.ByChannel[ch] = len(set)
+	}
+	u.PerParty = stats.Describe(perParty)
+	u.PerChan = stats.Describe(perChan)
+	return u
+}
+
+// PartyChannelCounts returns, per third party, the number of distinct
+// channels it set cookies on — the Fig. 5 long-tail distribution.
+func PartyChannelCounts(events []SetEvent) map[string]int {
+	chans := make(map[string]map[string]struct{})
+	for _, e := range events {
+		if !e.ThirdParty {
+			continue
+		}
+		if chans[e.Party] == nil {
+			chans[e.Party] = make(map[string]struct{})
+		}
+		chans[e.Party][e.Channel] = struct{}{}
+	}
+	out := make(map[string]int, len(chans))
+	for p, set := range chans {
+		out[p] = len(set)
+	}
+	return out
+}
+
+// PurposeDistribution counts distinct cookies per purpose category for one
+// run — the supplementary-material table behind the finding that color-
+// button runs show more classifiable (and more "Targeting") cookies.
+type PurposeDistribution struct {
+	Run store.RunName
+	// ByPurpose counts distinct (party, name) cookies per category.
+	ByPurpose map[Purpose]int
+	// Classified / Total give the coverage ratio.
+	Classified int
+	Total      int
+}
+
+// CoverageShare returns the classified fraction.
+func (d PurposeDistribution) CoverageShare() float64 {
+	if d.Total == 0 {
+		return 0
+	}
+	return float64(d.Classified) / float64(d.Total)
+}
+
+// AnalyzePurposes computes the per-run purpose distribution from events.
+func AnalyzePurposes(run store.RunName, events []SetEvent) PurposeDistribution {
+	d := PurposeDistribution{Run: run, ByPurpose: make(map[Purpose]int)}
+	seen := make(map[[2]string]struct{})
+	for _, e := range events {
+		if e.Run != run {
+			continue
+		}
+		key := [2]string{e.Party, e.Name}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		d.Total++
+		if p, known := ClassifyPurpose(e.Name); known {
+			d.Classified++
+			d.ByPurpose[p]++
+		} else {
+			d.ByPurpose[PurposeUnknown]++
+		}
+	}
+	return d
+}
+
+// SyncEvent is one detected cookie-sync: an identifier minted by FromParty
+// observed in a request to ToParty.
+type SyncEvent struct {
+	FromParty string
+	ToParty   string
+	Value     string
+	Channel   string
+	Run       store.RunName
+}
+
+// DetectSyncing finds identifier cookie values that were transmitted to a
+// different party in a URL or request body — the paper's two-step syncing
+// definition. windowStart/windowEnd bound the timestamp exclusion.
+func DetectSyncing(runs []*store.RunData, events []SetEvent, windowStart, windowEnd time.Time) []SyncEvent {
+	// Index potential-ID values by minting party.
+	idOwners := make(map[string][]string) // value -> parties that set it
+	for _, e := range events {
+		if !IsLikelyID(e.Value, windowStart, windowEnd) {
+			continue
+		}
+		found := false
+		for _, p := range idOwners[e.Value] {
+			if p == e.Party {
+				found = true
+				break
+			}
+		}
+		if !found {
+			idOwners[e.Value] = append(idOwners[e.Value], e.Party)
+		}
+	}
+	var out []SyncEvent
+	seen := make(map[[3]string]struct{})
+	for _, run := range runs {
+		for _, f := range run.Flows {
+			haystack := f.URL.RawQuery
+			if len(f.RequestBody) > 0 {
+				haystack += "&" + string(f.RequestBody)
+			}
+			if haystack == "" {
+				continue
+			}
+			target := ""
+			// Identifiers travel as URL/body parameter values; match whole
+			// tokens against the minted-ID index rather than scanning every
+			// known value as a substring.
+			forEachToken(haystack, func(token string) {
+				owners, ok := idOwners[token]
+				if !ok {
+					return
+				}
+				if target == "" {
+					target = etld.MustRegistrableDomain(f.Host())
+				}
+				for _, owner := range owners {
+					if owner == target {
+						continue
+					}
+					key := [3]string{owner, target, token}
+					if _, dup := seen[key]; dup {
+						continue
+					}
+					seen[key] = struct{}{}
+					out = append(out, SyncEvent{
+						FromParty: owner,
+						ToParty:   target,
+						Value:     token,
+						Channel:   f.Channel,
+						Run:       run.Name,
+					})
+				}
+			})
+		}
+	}
+	return out
+}
+
+// forEachToken calls fn for every maximal alphanumeric run in s — the
+// token shape identifiers take inside query strings and JSON bodies.
+func forEachToken(s string, fn func(token string)) {
+	start := -1
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		isWord := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-'
+		if isWord {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			fn(s[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		fn(s[start:])
+	}
+}
+
+// PotentialIDs counts distinct cookie values among events that pass the ID
+// heuristic (the paper identified 14,236 such values).
+func PotentialIDs(events []SetEvent, windowStart, windowEnd time.Time) int {
+	seen := make(map[string]struct{})
+	for _, e := range events {
+		if IsLikelyID(e.Value, windowStart, windowEnd) {
+			seen[e.Value] = struct{}{}
+		}
+	}
+	return len(seen)
+}

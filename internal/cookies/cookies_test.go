@@ -1,0 +1,274 @@
+package cookies
+
+import (
+	"net/http"
+	"net/url"
+	"strconv"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+var (
+	winStart = time.Date(2023, 8, 1, 0, 0, 0, 0, time.UTC)
+	winEnd   = time.Date(2023, 12, 31, 0, 0, 0, 0, time.UTC)
+)
+
+func TestClassifyPurpose(t *testing.T) {
+	tests := []struct {
+		name  string
+		want  Purpose
+		known bool
+	}{
+		{"_ga", PurposePerformance, true},
+		{"IDE", PurposeTargeting, true},
+		{"xtuid", PurposePerformance, true},
+		{"consent", PurposeNecessary, true},
+		{"lang", PurposeFunctionality, true},
+		{"zapid", PurposeUnknown, false},       // HbbTV-specific, unknown
+		{"hbbtv_track", PurposeUnknown, false}, //
+	}
+	for _, tt := range tests {
+		got, known := ClassifyPurpose(tt.name)
+		if got != tt.want || known != tt.known {
+			t.Errorf("ClassifyPurpose(%q) = (%v, %v), want (%v, %v)",
+				tt.name, got, known, tt.want, tt.known)
+		}
+	}
+}
+
+func TestIsLikelyID(t *testing.T) {
+	tests := []struct {
+		value string
+		want  bool
+	}{
+		{"ab12cd34ef", true},                  // 10 chars
+		{"0123456789abcdef0123456", true},     // 23 chars
+		{"short", false},                      // too short
+		{"0123456789abcdef0123456789", false}, // 26 chars, too long
+		{"1692615600", false},                 // Unix ts in window (Aug 2023)
+		{"1692615600123", false},              // ms ts in window
+		{"1262304000", true},                  // 2010 ts, outside window
+		{"9999999999", true},                  // 2286, outside window
+	}
+	for _, tt := range tests {
+		if got := IsLikelyID(tt.value, winStart, winEnd); got != tt.want {
+			t.Errorf("IsLikelyID(%q) = %v, want %v", tt.value, got, tt.want)
+		}
+	}
+}
+
+func TestIDLenOnlyAblation(t *testing.T) {
+	// The timestamp that the full heuristic excludes is accepted by the
+	// length-only variant — the false-positive class.
+	ts := "1692615600"
+	if !IsLikelyIDLenOnly(ts) {
+		t.Error("length-only heuristic should accept the timestamp")
+	}
+	if IsLikelyID(ts, winStart, winEnd) {
+		t.Error("full heuristic must reject the in-window timestamp")
+	}
+}
+
+func flowWithCookie(rawURL, channel, name, value string) *proxy.Flow {
+	u, _ := url.Parse(rawURL)
+	h := http.Header{}
+	h.Add("Set-Cookie", (&http.Cookie{Name: name, Value: value, Path: "/"}).String())
+	return &proxy.Flow{
+		Time:            winStart,
+		Method:          http.MethodGet,
+		URL:             u,
+		StatusCode:      200,
+		Channel:         channel,
+		RequestHeaders:  http.Header{},
+		ResponseHeaders: h,
+	}
+}
+
+func plainFlow(rawURL, channel string) *proxy.Flow {
+	u, _ := url.Parse(rawURL)
+	return &proxy.Flow{
+		Time: winStart, Method: http.MethodGet, URL: u, StatusCode: 200,
+		Channel: channel, RequestHeaders: http.Header{}, ResponseHeaders: http.Header{},
+	}
+}
+
+func testRun() *store.RunData {
+	return &store.RunData{
+		Name: store.RunRed,
+		Flows: []*proxy.Flow{
+			flowWithCookie("http://hbbtv.ard.de/app", "Das Erste", "fpid", "aaaaaaaaaa11"),
+			flowWithCookie("http://xiti.com/px", "Das Erste", "xtuid", "bbbbbbbbbb22"),
+			flowWithCookie("http://xiti.com/px", "ZDF", "xtuid", "cccccccccc33"),
+			flowWithCookie("http://tvping.com/t", "ZDF", "tvp", "dddddddddd44"),
+			plainFlow("http://cdn.ard.de/app.js", "Das Erste"),
+			flowWithCookie("http://orphan.de/x", "", "ghost", "eeeeeeeeee55"), // unattributed
+		},
+	}
+}
+
+var testFirstParty = map[string]string{"Das Erste": "ard.de", "ZDF": "zdf.de"}
+
+func TestSetEvents(t *testing.T) {
+	events := SetEvents(testRun(), testFirstParty)
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4 (unattributed skipped)", len(events))
+	}
+	if events[0].Party != "ard.de" || events[0].ThirdParty {
+		t.Errorf("ard cookie = %+v, want first-party", events[0])
+	}
+	if !events[1].ThirdParty || events[1].Party != "xiti.com" {
+		t.Errorf("xiti cookie = %+v, want third-party", events[1])
+	}
+}
+
+func TestFirstThirdCounts(t *testing.T) {
+	events := SetEvents(testRun(), testFirstParty)
+	first, third := FirstThirdCounts(events)
+	if first != 1 {
+		t.Errorf("first = %d, want 1", first)
+	}
+	if third != 2 { // xiti.com/xtuid and tvping.com/tvp
+		t.Errorf("third = %d, want 2", third)
+	}
+	if got := DistinctCookies(events); got != 3 {
+		t.Errorf("distinct = %d, want 3", got)
+	}
+}
+
+func TestAnalyzeThirdParty(t *testing.T) {
+	events := SetEvents(testRun(), testFirstParty)
+	u := AnalyzeThirdParty(store.RunRed, events)
+	if u.Parties != 2 {
+		t.Errorf("parties = %d, want 2", u.Parties)
+	}
+	if u.Cookies != 3 { // xiti on 2 channels + tvping on 1
+		t.Errorf("cookies = %d, want 3", u.Cookies)
+	}
+	if u.PerParty.Mean != 1.5 {
+		t.Errorf("per-party mean = %v, want 1.5", u.PerParty.Mean)
+	}
+	if got := u.ByChannel["ZDF"]; got != 2 {
+		t.Errorf("ZDF third-party cookies = %d, want 2", got)
+	}
+}
+
+func TestPartyChannelCounts(t *testing.T) {
+	events := SetEvents(testRun(), testFirstParty)
+	counts := PartyChannelCounts(events)
+	if counts["xiti.com"] != 2 || counts["tvping.com"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if _, ok := counts["ard.de"]; ok {
+		t.Error("first party counted as cookie-using third party")
+	}
+}
+
+func TestDetectSyncing(t *testing.T) {
+	run := testRun()
+	// Add a sync: xiti's ID for Das Erste is forwarded to partner.de.
+	syncURL, _ := url.Parse("http://partner.de/match?puid=bbbbbbbbbb22&src=xiti.com")
+	run.Flows = append(run.Flows, &proxy.Flow{
+		Time: winStart, Method: http.MethodGet, URL: syncURL, StatusCode: 200,
+		Channel: "Das Erste", RequestHeaders: http.Header{}, ResponseHeaders: http.Header{},
+	})
+	events := SetEvents(run, testFirstParty)
+	syncs := DetectSyncing([]*store.RunData{run}, events, winStart, winEnd)
+	if len(syncs) != 1 {
+		t.Fatalf("syncs = %+v, want 1", syncs)
+	}
+	s := syncs[0]
+	if s.FromParty != "xiti.com" || s.ToParty != "partner.de" || s.Value != "bbbbbbbbbb22" {
+		t.Errorf("sync = %+v", s)
+	}
+}
+
+func TestDetectSyncingIgnoresSameParty(t *testing.T) {
+	run := testRun()
+	// The ID travelling back to its own minting party is not syncing.
+	selfURL, _ := url.Parse("http://xiti.com/hit?uid=bbbbbbbbbb22")
+	run.Flows = append(run.Flows, &proxy.Flow{
+		Time: winStart, Method: http.MethodGet, URL: selfURL, StatusCode: 200,
+		Channel: "Das Erste", RequestHeaders: http.Header{}, ResponseHeaders: http.Header{},
+	})
+	events := SetEvents(run, testFirstParty)
+	if syncs := DetectSyncing([]*store.RunData{run}, events, winStart, winEnd); len(syncs) != 0 {
+		t.Errorf("self-send flagged as sync: %+v", syncs)
+	}
+}
+
+func TestDetectSyncingInPOSTBody(t *testing.T) {
+	run := testRun()
+	bodyURL, _ := url.Parse("http://dmp.example.com/ingest")
+	run.Flows = append(run.Flows, &proxy.Flow{
+		Time: winStart, Method: http.MethodPost, URL: bodyURL, StatusCode: 200,
+		Channel: "ZDF", RequestHeaders: http.Header{}, ResponseHeaders: http.Header{},
+		RequestBody: []byte(`{"partner_uid":"dddddddddd44"}`),
+	})
+	events := SetEvents(run, testFirstParty)
+	syncs := DetectSyncing([]*store.RunData{run}, events, winStart, winEnd)
+	if len(syncs) != 1 || syncs[0].FromParty != "tvping.com" {
+		t.Errorf("POST-body sync = %+v", syncs)
+	}
+}
+
+func TestPotentialIDs(t *testing.T) {
+	run := testRun()
+	// Add a timestamp cookie that must NOT count.
+	run.Flows = append(run.Flows,
+		flowWithCookie("http://cmp.de/c", "ZDF", "ctime", strconv.FormatInt(winStart.Add(time.Hour).Unix(), 10)))
+	events := SetEvents(run, testFirstParty)
+	if got := PotentialIDs(events, winStart, winEnd); got != 4 {
+		t.Errorf("PotentialIDs = %d, want 4", got)
+	}
+}
+
+// Property: values under 10 or over 25 chars are never IDs.
+func TestIDLengthBandProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		ln := int(n) % 40
+		v := make([]byte, ln)
+		for i := range v {
+			v[i] = 'x'
+		}
+		got := IsLikelyID(string(v), winStart, winEnd)
+		want := ln >= 10 && ln <= 25
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzePurposes(t *testing.T) {
+	run := testRun()
+	// Add a classifiable targeting cookie and a consent cookie.
+	run.Flows = append(run.Flows,
+		flowWithCookie("http://ads.net/px", "ZDF", "uuid2", "ffffffffff99"),
+		flowWithCookie("http://hbbtv.ard.de/app", "Das Erste", "consent", "all-1692615600"),
+	)
+	events := SetEvents(run, testFirstParty)
+	d := AnalyzePurposes(store.RunRed, events)
+	if d.Total != 5 {
+		t.Fatalf("total = %d, want 5 distinct cookies", d.Total)
+	}
+	// xtuid (performance), uuid2 (targeting), consent (necessary) classify;
+	// fpid and tvp do not.
+	if d.Classified != 3 {
+		t.Errorf("classified = %d, want 3 (%v)", d.Classified, d.ByPurpose)
+	}
+	if d.ByPurpose[PurposeTargeting] != 1 || d.ByPurpose[PurposePerformance] != 1 ||
+		d.ByPurpose[PurposeNecessary] != 1 || d.ByPurpose[PurposeUnknown] != 2 {
+		t.Errorf("distribution = %v", d.ByPurpose)
+	}
+	if got := d.CoverageShare(); got != 0.6 {
+		t.Errorf("coverage = %v", got)
+	}
+	empty := AnalyzePurposes(store.RunGreen, events)
+	if empty.Total != 0 || empty.CoverageShare() != 0 {
+		t.Errorf("other-run distribution not empty: %+v", empty)
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+	"github.com/hbbtvlab/hbbtvlab/internal/hostnet"
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+	"github.com/hbbtvlab/hbbtvlab/internal/webos"
+)
+
+// RunSpec configures one measurement run.
+type RunSpec struct {
+	Name store.RunName
+	// Date is the run's start instant (Table I lists the real dates).
+	Date time.Time
+	// Button is the colored button pressed ("" for the General run).
+	Button appmodel.Key
+	// Watch is the per-channel watch time (900 s General, 1000 s colors).
+	Watch time.Duration
+	// ShotEvery is the screenshot cadence after the initial 10 s shot.
+	ShotEvery time.Duration
+}
+
+// DefaultRuns reproduces the study's five measurement runs with their
+// Table I dates. The color runs' cadence yields ~27 screenshots per
+// channel, the General run's 16.
+func DefaultRuns() []RunSpec {
+	color := func(name store.RunName, date time.Time, key appmodel.Key) RunSpec {
+		return RunSpec{
+			Name: name, Date: date, Button: key,
+			Watch: 1000 * time.Second, ShotEvery: 38 * time.Second,
+		}
+	}
+	return []RunSpec{
+		{Name: store.RunGeneral,
+			Date:  time.Date(2023, 8, 21, 9, 0, 0, 0, time.UTC),
+			Watch: 900 * time.Second, ShotEvery: 60 * time.Second},
+		color(store.RunRed, time.Date(2023, 9, 14, 9, 0, 0, 0, time.UTC), appmodel.KeyRed),
+		color(store.RunGreen, time.Date(2023, 9, 22, 9, 0, 0, 0, time.UTC), appmodel.KeyGreen),
+		color(store.RunBlue, time.Date(2023, 9, 27, 9, 0, 0, 0, time.UTC), appmodel.KeyBlue),
+		color(store.RunYellow, time.Date(2023, 10, 12, 9, 0, 0, 0, time.UTC), appmodel.KeyYellow),
+	}
+}
+
+// Framework wires the TV, proxy, and virtual clock into the measurement
+// loop of Section IV-C.
+type Framework struct {
+	Clock    *clock.Virtual
+	Recorder *proxy.Recorder
+	TV       *webos.TV
+
+	rng *rand.Rand
+	// interaction is the fixed 10-press sequence used in all color runs,
+	// generated once with at least one ENTER.
+	interaction []appmodel.Key
+	// Availability optionally restricts which channels are on air per run
+	// (some channels only broadcast during parts of the day).
+	Availability map[store.RunName]map[string]bool
+}
+
+// Config configures a Framework.
+type Config struct {
+	// Internet is the virtual network the TV talks to.
+	Internet *hostnet.Internet
+	// Seed drives channel-order randomization, the interaction sequence,
+	// and TV identifier generation.
+	Seed int64
+	// Start positions the virtual clock before the first run.
+	Start time.Time
+	// Clock, when non-nil, is shared with the world (so that e.g. tracker
+	// timestamp cookies advance with the measurement timeline).
+	Clock *clock.Virtual
+	// Availability restricts per-run channel availability (nil = all).
+	Availability map[store.RunName]map[string]bool
+}
+
+// New builds a Framework: virtual clock, recording proxy over an
+// in-process transport, and the TV wired to both.
+func New(cfg Config) *Framework {
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2023, 8, 21, 9, 0, 0, 0, time.UTC)
+	}
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.NewVirtual(cfg.Start)
+	}
+	rec := proxy.NewRecorder(&hostnet.Transport{Net: cfg.Internet}, clk)
+	tv := webos.New(webos.Config{
+		Clock:     clk,
+		Transport: rec,
+		Seed:      cfg.Seed,
+		OnSwitch:  rec.SwitchChannel,
+	})
+	f := &Framework{
+		Clock:        clk,
+		Recorder:     rec,
+		TV:           tv,
+		rng:          rand.New(rand.NewSource(cfg.Seed ^ 0x5bd1e995)),
+		Availability: cfg.Availability,
+	}
+	f.interaction = fixedInteraction(f.rng)
+	return f
+}
+
+// fixedInteraction generates the study's fixed sequence of 10 random
+// cursor/ENTER presses with ENTER guaranteed at least once.
+func fixedInteraction(rng *rand.Rand) []appmodel.Key {
+	pool := []appmodel.Key{
+		appmodel.KeyUp, appmodel.KeyDown, appmodel.KeyLeft,
+		appmodel.KeyRight, appmodel.KeyEnter,
+	}
+	seq := make([]appmodel.Key, 10)
+	hasEnter := false
+	for i := range seq {
+		seq[i] = pool[rng.Intn(len(pool))]
+		if seq[i] == appmodel.KeyEnter {
+			hasEnter = true
+		}
+	}
+	if !hasEnter {
+		seq[rng.Intn(len(seq))] = appmodel.KeyEnter
+	}
+	return seq
+}
+
+// InteractionSequence returns a copy of the fixed 10-press sequence.
+func (f *Framework) InteractionSequence() []appmodel.Key {
+	out := make([]appmodel.Key, len(f.interaction))
+	copy(out, f.interaction)
+	return out
+}
+
+// Probe implements the exploratory measurement: tune, watch, and report
+// whether any traffic appeared. The recorder is reset afterwards so probe
+// traffic never leaks into run data.
+func (f *Framework) Probe(watch time.Duration) ProbeFunc {
+	return func(svc *dvb.Service) (bool, error) {
+		f.Recorder.Reset()
+		f.TV.PowerOn()
+		if err := f.TV.TuneTo(svc); err != nil {
+			return false, fmt.Errorf("core: probe %s: %w", svc.Name, err)
+		}
+		f.TV.Watch(watch)
+		saw := f.Recorder.Len() > 0
+		f.TV.PowerOff()
+		f.TV.WipeBrowserState()
+		f.Recorder.Reset()
+		return saw, nil
+	}
+}
+
+// ExecuteRun performs one measurement run over the given channels,
+// following the Section IV-C procedure: start proxy, power the TV on,
+// visit every (available) channel in randomized order, collect, wipe,
+// power off.
+func (f *Framework) ExecuteRun(spec RunSpec, channels []*dvb.Service) (*store.RunData, error) {
+	f.Clock.Set(spec.Date)
+	f.Recorder.Reset()
+	f.TV.WipeBrowserState()
+	f.TV.PowerOn()
+
+	avail := f.Availability[spec.Name]
+	order := f.rng.Perm(len(channels))
+	run := &store.RunData{Name: spec.Name, Date: spec.Date}
+
+	for _, idx := range order {
+		svc := channels[idx]
+		if avail != nil && !avail[svc.Name] {
+			continue // channel not broadcasting during this run
+		}
+		if err := f.visitChannel(spec, svc, run); err != nil {
+			return nil, err
+		}
+	}
+
+	// Collection: flows, cookie jar, localStorage, logs — then wipe and
+	// power off, as after every run of the study.
+	run.Flows = f.Recorder.Flows()
+	run.Cookies = f.TV.CookieJar().All()
+	run.Storage = f.TV.Storage().All()
+	run.Logs = f.TV.Logs()
+	f.TV.WipeBrowserState()
+	f.TV.PowerOff()
+	return run, nil
+}
+
+// visitChannel is one iteration of the remote-control script.
+func (f *Framework) visitChannel(spec RunSpec, svc *dvb.Service, run *store.RunData) error {
+	if err := f.TV.TuneTo(svc); err != nil {
+		return fmt.Errorf("core: run %s: tune %s: %w", spec.Name, svc.Name, err)
+	}
+	run.Channels = append(run.Channels, store.ChannelInfo{
+		Name:       svc.Name,
+		ID:         fmt.Sprintf("sid-%d", svc.ServiceID),
+		Satellite:  svc.Transponder.Satellite.Name,
+		Language:   svc.Language,
+		Categories: append([]dvb.ServiceCategory(nil), svc.Categories...),
+		Show:       svc.CurrentShow,
+		Genre:      svc.CurrentGenre,
+	})
+
+	elapsed := time.Duration(0)
+	watchAndShoot := func(d time.Duration) {
+		// Watch in screenshot-cadence slices.
+		for d > 0 {
+			step := spec.ShotEvery
+			if step > d {
+				step = d
+			}
+			f.TV.Watch(step)
+			elapsed += step
+			run.Screenshots = append(run.Screenshots, f.TV.Screenshot())
+			d -= step
+		}
+	}
+
+	// Initial 10 s, then the first screenshot.
+	f.TV.Watch(10 * time.Second)
+	elapsed += 10 * time.Second
+	run.Screenshots = append(run.Screenshots, f.TV.Screenshot())
+
+	if spec.Button != "" {
+		f.TV.Press(spec.Button)
+		f.TV.Watch(10 * time.Second)
+		elapsed += 10 * time.Second
+		run.Screenshots = append(run.Screenshots, f.TV.Screenshot())
+		for _, key := range f.interaction {
+			f.TV.Press(key)
+			f.TV.Watch(2 * time.Second)
+			elapsed += 2 * time.Second
+		}
+		run.Screenshots = append(run.Screenshots, f.TV.Screenshot())
+	}
+	if rest := spec.Watch - elapsed; rest > 0 {
+		watchAndShoot(rest)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Package core implements the paper's measurement framework (Section IV):
+// the multi-step channel-selection funnel, the five measurement runs
+// (General plus one per colored button), and the remote-control script
+// driving the TV while the intercepting proxy records traffic.
+package core
+
+import (
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+)
+
+// FunnelReport documents the channel-selection funnel of Section IV-B.
+type FunnelReport struct {
+	Received     int // services received from the satellites
+	TVChannels   int // step 1: not radio
+	Radio        int
+	FreeToAir    int // step 2: no CI module required
+	AfterVisible int // step 3: visible, non-empty name
+	NoTraffic    int // step 5: no HTTP(S) traffic in the exploratory run
+	IPTV         int // step 6: delivered over the Internet only
+	Final        []*dvb.Service
+}
+
+// FinalCount returns the number of channels selected for analysis.
+func (r *FunnelReport) FinalCount() int { return len(r.Final) }
+
+// ProbeFunc reports whether a candidate channel produced HTTP(S) traffic
+// during the exploratory measurement.
+type ProbeFunc func(svc *dvb.Service) (sawTraffic bool, err error)
+
+// SelectChannels applies the funnel to a scanned bouquet. Steps 1-3 use
+// broadcast metadata; step 5 runs the exploratory measurement through
+// probe; step 6 removes IPTV channels.
+func SelectChannels(b *dvb.Bouquet, probe ProbeFunc) (*FunnelReport, error) {
+	r := &FunnelReport{Received: len(b.Services)}
+	var candidates []*dvb.Service
+	for _, svc := range b.Services {
+		// Step 1: radio channels out.
+		if svc.Radio {
+			r.Radio++
+			continue
+		}
+		r.TVChannels++
+		// Step 2: encrypted channels out ("No CI module").
+		if svc.Encrypted {
+			continue
+		}
+		r.FreeToAir++
+		// Step 3: invisible or empty-name entries out.
+		if svc.Invisible || svc.Name == "" {
+			continue
+		}
+		r.AfterVisible++
+		candidates = append(candidates, svc)
+	}
+	// Step 4/5: exploratory measurement — watch each candidate and keep
+	// only channels that initiate HTTP(S) traffic.
+	for _, svc := range candidates {
+		saw, err := probe(svc)
+		if err != nil {
+			return nil, err
+		}
+		if !saw {
+			r.NoTraffic++
+			continue
+		}
+		// Step 6: IPTV channels are beyond the study's scope.
+		if svc.IPTV {
+			r.IPTV++
+			continue
+		}
+		r.Final = append(r.Final, svc)
+	}
+	return r, nil
+}
+
+// ExploratoryWatch is the paper's minimum per-channel watch time: previous
+// work found channels may take up to 900 s before initiating connections.
+const ExploratoryWatch = 910 * time.Second

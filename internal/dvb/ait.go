@@ -1,0 +1,256 @@
+package dvb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file implements encoding and decoding of Application Information
+// Table (AIT) sections following the structure of ETSI TS 102 809 §5.3.
+// The AIT is how a broadcast signal tells an HbbTV terminal which
+// application to load: each application entry carries a transport protocol
+// descriptor (with the HTTP URL base) and a simple application location
+// descriptor (with the initial path). The terminal concatenates both to
+// obtain the entry-point URL.
+
+// Application control codes (TS 102 809 table 3).
+const (
+	ControlAutostart = 0x01 // started when the channel is selected
+	ControlPresent   = 0x02 // startable on user action (colored button)
+)
+
+// Descriptor tags used in the application descriptor loop.
+const (
+	tagTransportProtocol = 0x02
+	tagSimpleAppLocation = 0x15
+)
+
+// Protocol IDs for the transport protocol descriptor.
+const protocolHTTP = 0x0003
+
+// aitTableID is the MPEG table_id assigned to AIT sections.
+const aitTableID = 0x74
+
+// hbbTVAppType is the application_type for HbbTV (TS 102 796).
+const hbbTVAppType = 0x0010
+
+// Application is a single entry in an AIT application loop.
+type Application struct {
+	OrganizationID uint32
+	ApplicationID  uint16
+	Control        byte   // ControlAutostart or ControlPresent
+	URLBase        string // e.g. "https://hbbtv.example.de/"
+	InitialPath    string // e.g. "index.html?chan=7"
+}
+
+// EntryURL returns the full entry-point URL the terminal loads.
+func (a Application) EntryURL() string { return a.URLBase + a.InitialPath }
+
+// AIT is the decoded Application Information Table of a service.
+type AIT struct {
+	Version      byte // 5-bit version_number
+	Applications []Application
+}
+
+// Autostart returns the first AUTOSTART application, or nil. HbbTV terminals
+// launch this application (the "red button" app in its hidden state) when
+// the user selects the channel.
+func (t *AIT) Autostart() *Application {
+	for i := range t.Applications {
+		if t.Applications[i].Control == ControlAutostart {
+			return &t.Applications[i]
+		}
+	}
+	return nil
+}
+
+// Errors returned by DecodeAIT.
+var (
+	ErrNotAIT     = errors.New("dvb: section is not an AIT (wrong table_id)")
+	ErrBadCRC     = errors.New("dvb: AIT section CRC mismatch")
+	ErrTruncated  = errors.New("dvb: AIT section truncated")
+	ErrBadAppLoop = errors.New("dvb: malformed application loop")
+)
+
+// EncodeAIT serializes an AIT into a binary section with valid section
+// syntax and MPEG CRC-32.
+func EncodeAIT(t *AIT) ([]byte, error) {
+	appLoop, err := encodeAppLoop(t.Applications)
+	if err != nil {
+		return nil, err
+	}
+	// Body after section_length: app_type(2) + version byte(1) +
+	// section_number(1) + last_section_number(1) + common_desc_len(2) +
+	// app_loop_len(2) + loop + CRC(4).
+	bodyLen := 2 + 1 + 1 + 1 + 2 + 2 + len(appLoop) + 4
+	if bodyLen > 0xFFF {
+		return nil, fmt.Errorf("dvb: AIT too large (%d bytes)", bodyLen)
+	}
+	buf := make([]byte, 0, 3+bodyLen)
+	buf = append(buf, aitTableID)
+	// section_syntax_indicator=1, reserved bits set.
+	buf = append(buf, 0xB0|byte(bodyLen>>8), byte(bodyLen))
+	buf = binary.BigEndian.AppendUint16(buf, hbbTVAppType)
+	// reserved(2)=11, version(5), current_next(1)=1.
+	buf = append(buf, 0xC0|((t.Version&0x1F)<<1)|0x01)
+	buf = append(buf, 0x00, 0x00) // section_number, last_section_number
+	buf = append(buf, 0xF0, 0x00) // common_descriptors_length = 0
+	buf = append(buf, 0xF0|byte(len(appLoop)>>8), byte(len(appLoop)))
+	buf = append(buf, appLoop...)
+	crc := CRC32MPEG(buf)
+	buf = binary.BigEndian.AppendUint32(buf, crc)
+	return buf, nil
+}
+
+func encodeAppLoop(apps []Application) ([]byte, error) {
+	var loop []byte
+	for _, a := range apps {
+		desc, err := encodeDescriptors(a)
+		if err != nil {
+			return nil, err
+		}
+		entry := make([]byte, 0, 9+len(desc))
+		entry = binary.BigEndian.AppendUint32(entry, a.OrganizationID)
+		entry = binary.BigEndian.AppendUint16(entry, a.ApplicationID)
+		entry = append(entry, a.Control)
+		if len(desc) > 0xFFF {
+			return nil, fmt.Errorf("dvb: descriptor loop too large for app %d", a.ApplicationID)
+		}
+		entry = append(entry, 0xF0|byte(len(desc)>>8), byte(len(desc)))
+		entry = append(entry, desc...)
+		loop = append(loop, entry...)
+	}
+	if len(loop) > 0xFFF {
+		return nil, fmt.Errorf("dvb: application loop too large (%d bytes)", len(loop))
+	}
+	return loop, nil
+}
+
+func encodeDescriptors(a Application) ([]byte, error) {
+	if len(a.URLBase) > 0xFF-5 {
+		return nil, fmt.Errorf("dvb: URL base too long (%d bytes)", len(a.URLBase))
+	}
+	if len(a.InitialPath) > 0xFF {
+		return nil, fmt.Errorf("dvb: initial path too long (%d bytes)", len(a.InitialPath))
+	}
+	var d []byte
+	// transport_protocol_descriptor: protocol_id(2) + label(1) +
+	// url_base_length(1) + url_base + url_extension_count(1).
+	tpLen := 2 + 1 + 1 + len(a.URLBase) + 1
+	d = append(d, tagTransportProtocol, byte(tpLen))
+	d = binary.BigEndian.AppendUint16(d, protocolHTTP)
+	d = append(d, 0x01) // transport_protocol_label
+	d = append(d, byte(len(a.URLBase)))
+	d = append(d, a.URLBase...)
+	d = append(d, 0x00) // url_extension_count
+	// simple_application_location_descriptor: initial_path bytes.
+	d = append(d, tagSimpleAppLocation, byte(len(a.InitialPath)))
+	d = append(d, a.InitialPath...)
+	return d, nil
+}
+
+// DecodeAIT parses a binary AIT section, validating the table id, section
+// length, and CRC-32.
+func DecodeAIT(section []byte) (*AIT, error) {
+	if len(section) < 3 {
+		return nil, ErrTruncated
+	}
+	if section[0] != aitTableID {
+		return nil, ErrNotAIT
+	}
+	secLen := int(section[1]&0x0F)<<8 | int(section[2])
+	if len(section) != 3+secLen {
+		return nil, fmt.Errorf("%w: header says %d bytes, have %d", ErrTruncated, 3+secLen, len(section))
+	}
+	if secLen < 13 { // minimum body incl. CRC
+		return nil, ErrTruncated
+	}
+	wantCRC := binary.BigEndian.Uint32(section[len(section)-4:])
+	if CRC32MPEG(section[:len(section)-4]) != wantCRC {
+		return nil, ErrBadCRC
+	}
+	body := section[3 : len(section)-4]
+	// body: app_type(2) ver(1) sec(1) last(1) commonLen(2) [common]
+	// appLoopLen(2) loop
+	if binary.BigEndian.Uint16(body[0:2]) != hbbTVAppType {
+		return nil, fmt.Errorf("dvb: unexpected application_type %#04x", binary.BigEndian.Uint16(body[0:2]))
+	}
+	t := &AIT{Version: (body[2] >> 1) & 0x1F}
+	commonLen := int(body[5]&0x0F)<<8 | int(body[6])
+	idx := 7 + commonLen
+	if idx+2 > len(body) {
+		return nil, ErrTruncated
+	}
+	loopLen := int(body[idx]&0x0F)<<8 | int(body[idx+1])
+	idx += 2
+	if idx+loopLen > len(body) {
+		return nil, ErrTruncated
+	}
+	loop := body[idx : idx+loopLen]
+	for len(loop) > 0 {
+		if len(loop) < 9 {
+			return nil, ErrBadAppLoop
+		}
+		app := Application{
+			OrganizationID: binary.BigEndian.Uint32(loop[0:4]),
+			ApplicationID:  binary.BigEndian.Uint16(loop[4:6]),
+			Control:        loop[6],
+		}
+		descLen := int(loop[7]&0x0F)<<8 | int(loop[8])
+		loop = loop[9:]
+		if descLen > len(loop) {
+			return nil, ErrBadAppLoop
+		}
+		if err := decodeDescriptors(loop[:descLen], &app); err != nil {
+			return nil, err
+		}
+		loop = loop[descLen:]
+		t.Applications = append(t.Applications, app)
+	}
+	return t, nil
+}
+
+func decodeDescriptors(d []byte, app *Application) error {
+	for len(d) > 0 {
+		if len(d) < 2 {
+			return ErrBadAppLoop
+		}
+		tag, dlen := d[0], int(d[1])
+		d = d[2:]
+		if dlen > len(d) {
+			return ErrBadAppLoop
+		}
+		payload := d[:dlen]
+		d = d[dlen:]
+		switch tag {
+		case tagTransportProtocol:
+			if len(payload) < 4 {
+				return ErrBadAppLoop
+			}
+			if binary.BigEndian.Uint16(payload[0:2]) != protocolHTTP {
+				continue // unknown transport; skip
+			}
+			urlLen := int(payload[3])
+			if 4+urlLen > len(payload) {
+				return ErrBadAppLoop
+			}
+			app.URLBase = string(payload[4 : 4+urlLen])
+		case tagSimpleAppLocation:
+			app.InitialPath = string(payload)
+		default:
+			// Unknown descriptors are legal and skipped.
+		}
+	}
+	return nil
+}
+
+// MustEncodeAIT is EncodeAIT for statically-known-good tables (used by the
+// world generator); it panics on error, which can only mean a program bug.
+func MustEncodeAIT(t *AIT) []byte {
+	b, err := EncodeAIT(t)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

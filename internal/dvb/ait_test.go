@@ -1,0 +1,173 @@
+package dvb
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func sampleAIT() *AIT {
+	return &AIT{
+		Version: 3,
+		Applications: []Application{
+			{
+				OrganizationID: 0x17,
+				ApplicationID:  10,
+				Control:        ControlAutostart,
+				URLBase:        "http://hbbtv.ard.de/",
+				InitialPath:    "red/index.html?sid=28106",
+			},
+			{
+				OrganizationID: 0x17,
+				ApplicationID:  11,
+				Control:        ControlPresent,
+				URLBase:        "http://hbbtv.ard.de/",
+				InitialPath:    "mediathek/",
+			},
+		},
+	}
+}
+
+func TestAITRoundTrip(t *testing.T) {
+	want := sampleAIT()
+	section, err := EncodeAIT(want)
+	if err != nil {
+		t.Fatalf("EncodeAIT: %v", err)
+	}
+	got, err := DecodeAIT(section)
+	if err != nil {
+		t.Fatalf("DecodeAIT: %v", err)
+	}
+	if got.Version != want.Version {
+		t.Errorf("version = %d, want %d", got.Version, want.Version)
+	}
+	if len(got.Applications) != len(want.Applications) {
+		t.Fatalf("got %d applications, want %d", len(got.Applications), len(want.Applications))
+	}
+	for i := range want.Applications {
+		if got.Applications[i] != want.Applications[i] {
+			t.Errorf("app[%d] = %+v, want %+v", i, got.Applications[i], want.Applications[i])
+		}
+	}
+}
+
+func TestAITAutostart(t *testing.T) {
+	a := sampleAIT()
+	as := a.Autostart()
+	if as == nil || as.ApplicationID != 10 {
+		t.Fatalf("Autostart() = %+v, want app 10", as)
+	}
+	if as.EntryURL() != "http://hbbtv.ard.de/red/index.html?sid=28106" {
+		t.Errorf("EntryURL() = %q", as.EntryURL())
+	}
+	noAuto := &AIT{Applications: []Application{{Control: ControlPresent}}}
+	if noAuto.Autostart() != nil {
+		t.Error("Autostart() should be nil when no AUTOSTART app exists")
+	}
+}
+
+func TestDecodeAITRejectsWrongTableID(t *testing.T) {
+	section := MustEncodeAIT(sampleAIT())
+	section[0] = 0x42
+	if _, err := DecodeAIT(section); !errors.Is(err, ErrNotAIT) {
+		t.Fatalf("err = %v, want ErrNotAIT", err)
+	}
+}
+
+func TestDecodeAITRejectsBadCRC(t *testing.T) {
+	section := MustEncodeAIT(sampleAIT())
+	section[len(section)-1] ^= 0xFF
+	if _, err := DecodeAIT(section); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("err = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestDecodeAITRejectsCorruptedBody(t *testing.T) {
+	section := MustEncodeAIT(sampleAIT())
+	// Flip a byte inside the URL; CRC must catch it.
+	section[20] ^= 0x01
+	if _, err := DecodeAIT(section); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("err = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestDecodeAITRejectsTruncation(t *testing.T) {
+	section := MustEncodeAIT(sampleAIT())
+	for _, n := range []int{0, 1, 2, len(section) / 2, len(section) - 1} {
+		if _, err := DecodeAIT(section[:n]); err == nil {
+			t.Errorf("DecodeAIT accepted %d-byte truncation", n)
+		}
+	}
+}
+
+func TestEncodeAITRejectsOversizedURL(t *testing.T) {
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'a'
+	}
+	bad := &AIT{Applications: []Application{{URLBase: string(long)}}}
+	if _, err := EncodeAIT(bad); err == nil {
+		t.Fatal("EncodeAIT accepted a 300-byte URL base")
+	}
+}
+
+func TestCRC32MPEGKnownVector(t *testing.T) {
+	// Known-answer vector for the MPEG-2 CRC: CRC of "123456789" with
+	// poly 0x04C11DB7, init 0xFFFFFFFF, no reflection, no final xor.
+	if got := CRC32MPEG([]byte("123456789")); got != 0x0376E6E7 {
+		t.Fatalf("CRC32MPEG(123456789) = %#08x, want 0x0376E6E7", got)
+	}
+}
+
+func TestCRC32MPEGEmpty(t *testing.T) {
+	if got := CRC32MPEG(nil); got != 0xFFFFFFFF {
+		t.Fatalf("CRC32MPEG(nil) = %#08x, want 0xFFFFFFFF", got)
+	}
+}
+
+// Property: round trip preserves arbitrary URL bases and paths.
+func TestAITRoundTripProperty(t *testing.T) {
+	f := func(orgID uint32, appID uint16, base, path string) bool {
+		if len(base) > 200 || len(path) > 200 {
+			return true // out of the valid envelope; covered by error tests
+		}
+		in := &AIT{Applications: []Application{{
+			OrganizationID: orgID,
+			ApplicationID:  appID,
+			Control:        ControlAutostart,
+			URLBase:        base,
+			InitialPath:    path,
+		}}}
+		sec, err := EncodeAIT(in)
+		if err != nil {
+			return false
+		}
+		out, err := DecodeAIT(sec)
+		if err != nil || len(out.Applications) != 1 {
+			return false
+		}
+		return out.Applications[0] == in.Applications[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every encoded section carries a valid CRC over its prefix.
+func TestAITSectionCRCProperty(t *testing.T) {
+	f := func(ver uint8, path string) bool {
+		if len(path) > 200 {
+			return true
+		}
+		in := &AIT{Version: ver & 0x1F, Applications: []Application{{
+			Control: ControlAutostart, URLBase: "http://x.de/", InitialPath: path,
+		}}}
+		sec := MustEncodeAIT(in)
+		want := uint32(sec[len(sec)-4])<<24 | uint32(sec[len(sec)-3])<<16 |
+			uint32(sec[len(sec)-2])<<8 | uint32(sec[len(sec)-1])
+		return CRC32MPEG(sec[:len(sec)-4]) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,32 @@
+package dvb
+
+// MPEG-2 transport stream sections carry a CRC-32 computed with the
+// polynomial 0x04C11DB7, initial value 0xFFFFFFFF, no input/output
+// reflection and no final XOR (ISO/IEC 13818-1 Annex A). This differs from
+// hash/crc32's reflected IEEE implementation, so we implement it directly.
+
+var crcTable [256]uint32
+
+func init() {
+	const poly = 0x04C11DB7
+	for i := 0; i < 256; i++ {
+		c := uint32(i) << 24
+		for j := 0; j < 8; j++ {
+			if c&0x80000000 != 0 {
+				c = (c << 1) ^ poly
+			} else {
+				c <<= 1
+			}
+		}
+		crcTable[i] = c
+	}
+}
+
+// CRC32MPEG returns the MPEG-2 section CRC of data.
+func CRC32MPEG(data []byte) uint32 {
+	crc := uint32(0xFFFFFFFF)
+	for _, b := range data {
+		crc = (crc << 8) ^ crcTable[byte(crc>>24)^b]
+	}
+	return crc
+}

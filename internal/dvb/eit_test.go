@@ -1,0 +1,134 @@
+package dvb
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleEIT() *EIT {
+	return &EIT{
+		ServiceID: 28106,
+		Events: []Event{
+			{
+				EventID:  100,
+				Start:    time.Date(2023, 8, 21, 20, 15, 0, 0, time.UTC),
+				Duration: 90 * time.Minute,
+				Title:    "Tatort",
+				Genre:    "Krimi",
+				Language: "deu",
+			},
+			{
+				EventID:  101,
+				Start:    time.Date(2023, 8, 21, 21, 45, 0, 0, time.UTC),
+				Duration: 45*time.Minute + 30*time.Second,
+				Title:    "Tagesthemen",
+				Genre:    "Nachrichten",
+				Language: "deu",
+			},
+		},
+	}
+}
+
+func TestEITRoundTrip(t *testing.T) {
+	want := sampleEIT()
+	section, err := EncodeEIT(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEIT(section)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ServiceID != want.ServiceID {
+		t.Errorf("service id = %d", got.ServiceID)
+	}
+	if len(got.Events) != 2 {
+		t.Fatalf("events = %d", len(got.Events))
+	}
+	for i := range want.Events {
+		w, g := want.Events[i], got.Events[i]
+		if g.EventID != w.EventID || g.Title != w.Title || g.Genre != w.Genre || g.Language != w.Language {
+			t.Errorf("event %d = %+v, want %+v", i, g, w)
+		}
+		if !g.Start.Equal(w.Start) {
+			t.Errorf("event %d start = %v, want %v", i, g.Start, w.Start)
+		}
+		if g.Duration != w.Duration {
+			t.Errorf("event %d duration = %v, want %v", i, g.Duration, w.Duration)
+		}
+	}
+	if p := got.Present(); p == nil || p.Title != "Tatort" {
+		t.Errorf("Present() = %+v", p)
+	}
+}
+
+func TestEITRejectsCorruption(t *testing.T) {
+	section := MustEncodeEIT(sampleEIT())
+	bad := append([]byte(nil), section...)
+	bad[0] = 0x42
+	if _, err := DecodeEIT(bad); !errors.Is(err, ErrNotEIT) {
+		t.Errorf("wrong table id: err = %v", err)
+	}
+	bad = append([]byte(nil), section...)
+	bad[20] ^= 0xFF
+	if _, err := DecodeEIT(bad); !errors.Is(err, ErrBadCRC) {
+		t.Errorf("corrupt body: err = %v", err)
+	}
+	for _, n := range []int{0, 2, 10, len(section) - 1} {
+		if _, err := DecodeEIT(section[:n]); err == nil {
+			t.Errorf("truncation at %d accepted", n)
+		}
+	}
+}
+
+func TestEmptyEIT(t *testing.T) {
+	e := &EIT{ServiceID: 5}
+	got, err := DecodeEIT(MustEncodeEIT(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Present() != nil {
+		t.Error("empty table has a present event")
+	}
+}
+
+func TestMJDRoundTripProperty(t *testing.T) {
+	f := func(dayOffset uint16, hh, mm, ss uint8) bool {
+		start := time.Date(2023, 1, 1, int(hh)%24, int(mm)%60, int(ss)%60, 0, time.UTC).
+			AddDate(0, 0, int(dayOffset)%3650)
+		buf := appendMJDUTC(nil, start)
+		got, err := decodeMJDUTC(buf)
+		return err == nil && got.Equal(start)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBCDDurationRoundTripProperty(t *testing.T) {
+	f := func(secs uint32) bool {
+		d := time.Duration(secs%86400) * time.Second
+		buf := appendBCDDuration(nil, d)
+		return decodeBCDDuration(buf) == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeEITValidation(t *testing.T) {
+	long := make([]byte, 250)
+	for i := range long {
+		long[i] = 'x'
+	}
+	bad := &EIT{Events: []Event{{Title: string(long)}}}
+	if _, err := EncodeEIT(bad); err == nil {
+		t.Error("oversized title accepted")
+	}
+	badLang := &EIT{Events: []Event{{Title: "x", Language: "toolong"}}}
+	if _, err := EncodeEIT(badLang); err == nil {
+		t.Error("invalid language code accepted")
+	}
+}

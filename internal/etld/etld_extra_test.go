@@ -1,0 +1,34 @@
+package etld
+
+import "testing"
+
+func TestPublicSuffixEmptyAndDot(t *testing.T) {
+	if s, ok := Default.PublicSuffix(""); s != "" || ok {
+		t.Errorf("PublicSuffix(\"\") = %q, %v", s, ok)
+	}
+	if s, _ := Default.PublicSuffix("trailing.dot.de."); s != "de" {
+		t.Errorf("trailing dot suffix = %q", s)
+	}
+}
+
+func TestMustRegistrableDomainNormalizes(t *testing.T) {
+	if got := MustRegistrableDomain("  WWW.Example.DE  "); got != "example.de" {
+		t.Errorf("normalized = %q", got)
+	}
+	if got := MustRegistrableDomain("[2001:db8::1]:443"); got != "2001:db8::1" {
+		t.Errorf("ipv6 = %q", got)
+	}
+}
+
+func TestMultiLabelSuffixes(t *testing.T) {
+	tests := []struct{ host, want string }{
+		{"shop.example.com.tr", "example.com.tr"},
+		{"a.b.site.co.at", "site.co.at"},
+		{"x.gov.uk", "x.gov.uk"},
+	}
+	for _, tt := range tests {
+		if got := MustRegistrableDomain(tt.host); got != tt.want {
+			t.Errorf("MustRegistrableDomain(%q) = %q, want %q", tt.host, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package filterlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDomainAnchorRule(t *testing.T) {
+	l := MustParse("t", "||tracker.com^\n")
+	tests := []struct {
+		url  string
+		want bool
+	}{
+		{"http://tracker.com/px", true},
+		{"https://cdn.tracker.com/a/b?c=1", true},
+		{"http://tracker.com", true},
+		{"http://nottracker.com/px", false},
+		{"http://tracker.com.evil.de/px", false},
+		{"http://example.com/tracker.com", false},
+	}
+	for _, tt := range tests {
+		if got := l.MatchURL(tt.url); got != tt.want {
+			t.Errorf("MatchURL(%q) = %v, want %v", tt.url, got, tt.want)
+		}
+	}
+}
+
+func TestDomainRuleWithPath(t *testing.T) {
+	l := MustParse("t", "||stats.example.de/pixel/\n")
+	if !l.MatchURL("http://stats.example.de/pixel/1.gif") {
+		t.Error("path-anchored rule missed")
+	}
+	if l.MatchURL("http://stats.example.de/other/1.gif") {
+		t.Error("path-anchored rule over-matched")
+	}
+}
+
+func TestGenericSubstringRule(t *testing.T) {
+	l := MustParse("t", "/adserver/*\n")
+	if !l.MatchURL("http://site.de/adserver/banner.js") {
+		t.Error("substring rule missed")
+	}
+	if l.MatchURL("http://site.de/content/page.html") {
+		t.Error("substring rule over-matched")
+	}
+}
+
+func TestStartAnchorRule(t *testing.T) {
+	l := MustParse("t", "|http://ads.\n")
+	if !l.MatchURL("http://ads.example.com/x") {
+		t.Error("anchor rule missed")
+	}
+	if l.MatchURL("http://example.com/http://ads.") {
+		t.Error("anchor rule matched mid-URL")
+	}
+}
+
+func TestExceptionRule(t *testing.T) {
+	l := MustParse("t", "||tracker.com^\n@@||tracker.com/allowed/\n")
+	if l.MatchURL("http://tracker.com/allowed/px") {
+		t.Error("exception not honored")
+	}
+	if !l.MatchURL("http://tracker.com/px") {
+		t.Error("block rule lost")
+	}
+}
+
+func TestOptionsStrippedAndElementHidingSkipped(t *testing.T) {
+	l := MustParse("t", "||opt.com^$image,third-party\nexample.com##.ad-banner\n! comment\n[Adblock Plus 2.0]\n")
+	if !l.MatchURL("http://opt.com/x.gif") {
+		t.Error("rule with options missed")
+	}
+	if l.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (hiding/comments skipped)", l.Len())
+	}
+}
+
+func TestSeparatorSemantics(t *testing.T) {
+	// '^' must match a separator or end, but not a normal char.
+	l := MustParse("t", "||a.com/p^\n")
+	if !l.MatchURL("http://a.com/p?x=1") {
+		t.Error("separator should match '?'")
+	}
+	if !l.MatchURL("http://a.com/p") {
+		t.Error("separator should match end of input")
+	}
+	if l.MatchURL("http://a.com/pixel") {
+		t.Error("separator must not match 'i'")
+	}
+}
+
+func TestHostsList(t *testing.T) {
+	l := MustParseHosts("h", "# comment\n0.0.0.0 bad.com\n127.0.0.1 worse.de\nbare.org\n0.0.0.0 localhost\n")
+	if l.Len() != 3 {
+		t.Errorf("Len = %d, want 3", l.Len())
+	}
+	for _, u := range []string{"http://bad.com/x", "https://sub.bad.com/", "http://worse.de/", "http://bare.org/a"} {
+		if !l.MatchURL(u) {
+			t.Errorf("hosts list missed %q", u)
+		}
+	}
+	if l.MatchURL("http://good.com/") {
+		t.Error("hosts list over-matched")
+	}
+	if l.MatchURL("http://localhost/") {
+		t.Error("localhost must never be blocked")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	l := MustParse("t", "||a.com^\n")
+	if err := l.Append("||b.com^\n"); err != nil {
+		t.Fatal(err)
+	}
+	if !l.MatchURL("http://b.com/") || !l.MatchURL("http://a.com/") {
+		t.Error("appended rules not active")
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestSnapshotsParse(t *testing.T) {
+	for _, l := range []*List{EasyList(), EasyPrivacy(), PiHole(), PerflystSmartTV(), KamranSmartTV()} {
+		if l.Len() == 0 {
+			t.Errorf("snapshot %s is empty", l.Name())
+		}
+	}
+}
+
+func TestSnapshotsKnownMemberships(t *testing.T) {
+	el, ep, ph := EasyList(), EasyPrivacy(), PiHole()
+	// Web trackers are covered.
+	if !el.MatchURL("http://ad.doubleclick.net/adj/x") {
+		t.Error("EasyList misses doubleclick")
+	}
+	if !ep.MatchURL("http://www.google-analytics.com/collect?v=1") {
+		t.Error("EasyPrivacy misses google-analytics")
+	}
+	if !ep.MatchURL("http://logs1.xiti.com/hit.xiti") {
+		t.Error("EasyPrivacy misses xiti")
+	}
+	if !ph.MatchURL("http://smartclip.net/ad") {
+		t.Error("Pi-hole misses smartclip")
+	}
+	// The HbbTV-specific measurement host is NOT on the Web lists — the
+	// paper's central filter-list finding.
+	for _, l := range []*List{el, ep, ph} {
+		if l.MatchURL("http://tvping.com/t?c=1") {
+			t.Errorf("%s unexpectedly covers the HbbTV tracker", l.Name())
+		}
+	}
+}
+
+func TestMatchReturnsRule(t *testing.T) {
+	l := MustParse("t", "||r.com^\n")
+	raw, ok := l.Match("http://r.com/x")
+	if !ok || raw != "||r.com^" {
+		t.Errorf("Match = %q, %v", raw, ok)
+	}
+}
+
+func TestMatchInvalidURL(t *testing.T) {
+	l := MustParse("t", "||r.com^\n")
+	if l.MatchURL("::::not a url") {
+		t.Error("invalid URL matched")
+	}
+	if l.MatchURL("/relative/only") {
+		t.Error("hostless URL matched")
+	}
+}
+
+// Property: wildcard matcher agrees with a naive containment check for
+// patterns without special characters.
+func TestWildcardPlainProperty(t *testing.T) {
+	alphabet := []string{"px", "track", "ad", "content", "x1"}
+	f := func(pi, si, sj uint8) bool {
+		pat := alphabet[int(pi)%len(alphabet)]
+		s := alphabet[int(si)%len(alphabet)] + "/" + alphabet[int(sj)%len(alphabet)]
+		got := wildcardMatch("*"+pat+"*", s)
+		want := contains(s, pat)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,145 @@
+package filterlist
+
+// Embedded snapshots of the filter lists the study evaluated. Each snapshot
+// is a representative subset of the real list focused on the domains that
+// can occur in the synthetic European broadcast ecosystem: the well-known
+// Web advertising/analytics services. HbbTV-specific trackers (the
+// tvping-style audience measurement hosts) are deliberately absent from the
+// Web lists — that absence is the paper's headline filter-list finding.
+
+// easyListText mirrors EasyList's ad-serving rules (version 202303230338
+// in the study).
+const easyListText = `! Title: EasyList (snapshot subset)
+||doubleclick.net^
+||googlesyndication.com^
+||googleadservices.com^
+||adservice.google.com^
+||adnxs.com^
+||adform.net^
+||criteo.com^
+||criteo.net^
+||rubiconproject.com^
+||pubmatic.com^
+||openx.net^
+||taboola.com^
+||outbrain.com^
+||smartadserver.com^
+||adition.com^
+||yieldlab.net^
+||smartclip.net^
+||ad.71i.de^
+||adalliance.de^
+||emetriq.de^
+/adserver/*
+/adbanner.
+&ad_type=
+`
+
+// easyPrivacyText mirrors EasyPrivacy's tracking rules (version
+// 202407221302 in the study).
+const easyPrivacyText = `! Title: EasyPrivacy (snapshot subset)
+||google-analytics.com^
+||googletagmanager.com^
+||scorecardresearch.com^
+||chartbeat.com^
+||hotjar.com^
+||mouseflow.com^
+||xiti.com^
+||at-internet.com^
+||webtrekk.net^
+||etracker.com^
+||ioam.de^
+||infonline.de^
+/collect?*&tid=
+/tracking/pixel.
+`
+
+// piHoleText mirrors the StevenBlack unified hosts list used as the
+// standard Pi-hole block list (version 3.14.21 in the study).
+const piHoleText = `# StevenBlack unified hosts (snapshot subset)
+0.0.0.0 doubleclick.net
+0.0.0.0 googlesyndication.com
+0.0.0.0 googleadservices.com
+0.0.0.0 google-analytics.com
+0.0.0.0 googletagmanager.com
+0.0.0.0 adnxs.com
+0.0.0.0 adform.net
+0.0.0.0 criteo.com
+0.0.0.0 rubiconproject.com
+0.0.0.0 pubmatic.com
+0.0.0.0 openx.net
+0.0.0.0 taboola.com
+0.0.0.0 outbrain.com
+0.0.0.0 smartadserver.com
+0.0.0.0 adition.com
+0.0.0.0 yieldlab.net
+0.0.0.0 smartclip.net
+0.0.0.0 scorecardresearch.com
+0.0.0.0 chartbeat.com
+0.0.0.0 hotjar.com
+0.0.0.0 xiti.com
+0.0.0.0 webtrekk.net
+0.0.0.0 etracker.com
+0.0.0.0 ioam.de
+0.0.0.0 infonline.de
+0.0.0.0 emetriq.de
+0.0.0.0 adalliance.de
+0.0.0.0 sensic.net
+0.0.0.0 nuggad.net
+`
+
+// perflystText mirrors Perflyst's PiHoleBlocklist for smart TVs: platform
+// telemetry plus a few HbbTV measurement hosts, but missing most of the
+// broadcast ecosystem.
+const perflystText = `# Perflyst PiHoleBlocklist SmartTV (snapshot subset)
+0.0.0.0 lgtvsdp.com
+0.0.0.0 lgsmartad.com
+0.0.0.0 smartshare.lgtvsdp.com
+0.0.0.0 samsungcloudsolution.com
+0.0.0.0 samsungads.com
+0.0.0.0 samsungacr.com
+0.0.0.0 ads.samsung.com
+0.0.0.0 tizenads.com
+0.0.0.0 sensic.net
+0.0.0.0 ioam.de
+0.0.0.0 infonline.de
+0.0.0.0 webtrekk.net
+0.0.0.0 xiti.com
+0.0.0.0 google-analytics.com
+0.0.0.0 doubleclick.net
+0.0.0.0 smartadserver.com
+0.0.0.0 adition.com
+0.0.0.0 yieldlab.net
+0.0.0.0 nuggad.net
+0.0.0.0 emetriq.de
+`
+
+// kamranText mirrors hkamran80's smart-tv blocklist: the narrowest of the
+// three, centered on TV-platform telemetry.
+const kamranText = `# hkamran80 smart-tv (snapshot subset)
+0.0.0.0 lgtvsdp.com
+0.0.0.0 lgsmartad.com
+0.0.0.0 samsungcloudsolution.com
+0.0.0.0 samsungads.com
+0.0.0.0 samsungacr.com
+0.0.0.0 tizenads.com
+0.0.0.0 doubleclick.net
+0.0.0.0 google-analytics.com
+0.0.0.0 scorecardresearch.com
+0.0.0.0 sensic.net
+`
+
+// EasyList returns a fresh copy of the embedded EasyList snapshot.
+func EasyList() *List { return MustParse("EasyList", easyListText) }
+
+// EasyPrivacy returns a fresh copy of the embedded EasyPrivacy snapshot.
+func EasyPrivacy() *List { return MustParse("EasyPrivacy", easyPrivacyText) }
+
+// PiHole returns a fresh copy of the embedded Pi-hole (StevenBlack) list.
+func PiHole() *List { return MustParseHosts("Pi-hole", piHoleText) }
+
+// PerflystSmartTV returns a fresh copy of Perflyst's PiHoleBlocklist.
+func PerflystSmartTV() *List { return MustParseHosts("Perflyst", perflystText) }
+
+// KamranSmartTV returns a fresh copy of hkamran80's smart-tv list.
+func KamranSmartTV() *List { return MustParseHosts("Kamran", kamranText) }

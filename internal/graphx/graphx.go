@@ -1,0 +1,276 @@
+// Package graphx is the study's NetworkX substitute: an undirected graph
+// with the metrics Section V-E reports for the HbbTV ecosystem graph
+// (Fig. 8) — component structure, degrees, average path length, and mean
+// neighbor degree ("average connectivity").
+package graphx
+
+import (
+	"math"
+	"sort"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/etld"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+// NodeKind distinguishes the two node types of the ecosystem graph.
+type NodeKind int
+
+// Node kinds.
+const (
+	NodeChannel NodeKind = iota + 1
+	NodeDomain
+)
+
+// Graph is a simple undirected graph with typed nodes.
+type Graph struct {
+	adj   map[string]map[string]struct{}
+	kinds map[string]NodeKind
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		adj:   make(map[string]map[string]struct{}),
+		kinds: make(map[string]NodeKind),
+	}
+}
+
+// AddNode inserts a node (idempotent; the first kind wins).
+func (g *Graph) AddNode(id string, kind NodeKind) {
+	if _, ok := g.adj[id]; !ok {
+		g.adj[id] = make(map[string]struct{})
+		g.kinds[id] = kind
+	}
+}
+
+// AddEdge inserts an undirected edge, creating missing endpoints as domain
+// nodes. Self loops and duplicate edges are ignored.
+func (g *Graph) AddEdge(a, b string) {
+	if a == b {
+		return
+	}
+	g.AddNode(a, NodeDomain)
+	g.AddNode(b, NodeDomain)
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+}
+
+// Kind returns a node's kind (0 when absent).
+func (g *Graph) Kind(id string) NodeKind { return g.kinds[id] }
+
+// NodeCount returns the number of nodes.
+func (g *Graph) NodeCount() int { return len(g.adj) }
+
+// EdgeCount returns the number of undirected edges.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, nb := range g.adj {
+		total += len(nb)
+	}
+	return total / 2
+}
+
+// Degree returns a node's degree.
+func (g *Graph) Degree(id string) int { return len(g.adj[id]) }
+
+// Degrees returns every node's degree.
+func (g *Graph) Degrees() map[string]int {
+	out := make(map[string]int, len(g.adj))
+	for id, nb := range g.adj {
+		out[id] = len(nb)
+	}
+	return out
+}
+
+// NodeDegree pairs a node with its degree for rankings.
+type NodeDegree struct {
+	Node   string
+	Degree int
+}
+
+// TopByDegree returns the n highest-degree nodes, ties broken by name.
+func (g *Graph) TopByDegree(n int) []NodeDegree {
+	all := make([]NodeDegree, 0, len(g.adj))
+	for id, nb := range g.adj {
+		all = append(all, NodeDegree{Node: id, Degree: len(nb)})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Degree != all[b].Degree {
+			return all[a].Degree > all[b].Degree
+		}
+		return all[a].Node < all[b].Node
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	return all[:n]
+}
+
+// CountDegreeAtLeast counts nodes with degree >= k.
+func (g *Graph) CountDegreeAtLeast(k int) int {
+	n := 0
+	for _, nb := range g.adj {
+		if len(nb) >= k {
+			n++
+		}
+	}
+	return n
+}
+
+// Components returns the connected components, largest first.
+func (g *Graph) Components() [][]string {
+	seen := make(map[string]bool, len(g.adj))
+	var comps [][]string
+	for id := range g.adj {
+		if seen[id] {
+			continue
+		}
+		var comp []string
+		queue := []string{id}
+		seen[id] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			comp = append(comp, cur)
+			for nb := range g.adj[cur] {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		sort.Strings(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(a, b int) bool { return len(comps[a]) > len(comps[b]) })
+	return comps
+}
+
+// AveragePathLength returns the mean shortest-path length over all
+// connected node pairs (BFS from every node).
+func (g *Graph) AveragePathLength() float64 {
+	var totalDist, pairs int64
+	for src := range g.adj {
+		dist := g.bfs(src)
+		for dst, d := range dist {
+			if dst != src {
+				totalDist += int64(d)
+				pairs++
+			}
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(totalDist) / float64(pairs)
+}
+
+func (g *Graph) bfs(src string) map[string]int {
+	dist := map[string]int{src: 0}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for nb := range g.adj[cur] {
+			if _, ok := dist[nb]; !ok {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// sortedNodes returns node ids in lexical order, making float summations
+// deterministic regardless of map iteration order.
+func (g *Graph) sortedNodes() []string {
+	out := make([]string, 0, len(g.adj))
+	for id := range g.adj {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MeanNeighborDegree returns the mean over nodes of the average degree of
+// their neighbors — the "average connectivity of a node" statistic; in a
+// hub-dominated graph this far exceeds the average degree.
+func (g *Graph) MeanNeighborDegree() float64 {
+	var sum float64
+	var n int
+	for _, id := range g.sortedNodes() {
+		nb := g.adj[id]
+		if len(nb) == 0 {
+			continue
+		}
+		var dsum int
+		for v := range nb {
+			dsum += len(g.adj[v])
+		}
+		sum += float64(dsum) / float64(len(nb))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// DegreeStats returns the mean and (population) standard deviation of node
+// degrees.
+func (g *Graph) DegreeStats() (mean, sd float64) {
+	n := len(g.adj)
+	if n == 0 {
+		return 0, 0
+	}
+	nodes := g.sortedNodes()
+	var sum float64
+	for _, id := range nodes {
+		sum += float64(len(g.adj[id]))
+	}
+	mean = sum / float64(n)
+	var ss float64
+	for _, id := range nodes {
+		d := float64(len(g.adj[id])) - mean
+		ss += d * d
+	}
+	sd = math.Sqrt(ss / float64(n))
+	return mean, sd
+}
+
+// FromDataset builds the ecosystem graph per Section V-E: each channel node
+// is connected to its identified first party, and every third party
+// observed on that channel is connected to the channel's first-party node.
+func FromDataset(ds *store.Dataset, firstParty map[string]string) *Graph {
+	g := New()
+	thirdParties := make(map[string]map[string]struct{}) // channel -> parties
+	for _, run := range ds.Runs {
+		for _, f := range run.Flows {
+			if f.Channel == "" {
+				continue
+			}
+			p := etld.MustRegistrableDomain(f.Host())
+			if thirdParties[f.Channel] == nil {
+				thirdParties[f.Channel] = make(map[string]struct{})
+			}
+			thirdParties[f.Channel][p] = struct{}{}
+		}
+	}
+	for channel, parties := range thirdParties {
+		fp := firstParty[channel]
+		if fp == "" {
+			continue
+		}
+		g.AddNode("ch:"+channel, NodeChannel)
+		g.AddNode(fp, NodeDomain)
+		g.AddEdge("ch:"+channel, fp)
+		for p := range parties {
+			if p == fp {
+				continue
+			}
+			g.AddNode(p, NodeDomain)
+			g.AddEdge(fp, p)
+		}
+	}
+	return g
+}

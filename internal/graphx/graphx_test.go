@@ -1,0 +1,150 @@
+package graphx
+
+import (
+	"math"
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+func buildPath(nodes ...string) *Graph {
+	g := New()
+	for i := 0; i+1 < len(nodes); i++ {
+		g.AddEdge(nodes[i], nodes[i+1])
+	}
+	return g
+}
+
+func TestBasicCounts(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("a", "b") // duplicate ignored
+	g.AddEdge("c", "c") // self loop ignored
+	if g.NodeCount() != 3 || g.EdgeCount() != 2 {
+		t.Errorf("counts = %d nodes, %d edges", g.NodeCount(), g.EdgeCount())
+	}
+	if g.Degree("b") != 2 || g.Degree("a") != 1 {
+		t.Errorf("degrees = %v", g.Degrees())
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "b")
+	g.AddEdge("c", "d")
+	g.AddEdge("d", "e")
+	g.AddNode("lonely", NodeDomain)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d", len(comps))
+	}
+	if len(comps[0]) != 3 { // largest first
+		t.Errorf("largest component = %v", comps[0])
+	}
+}
+
+func TestAveragePathLength(t *testing.T) {
+	// Path a-b-c: pairs (a,b)=1 (b,c)=1 (a,c)=2 → mean 4/3.
+	g := buildPath("a", "b", "c")
+	if got := g.AveragePathLength(); math.Abs(got-4.0/3) > 1e-9 {
+		t.Errorf("APL = %v, want 1.333", got)
+	}
+	if New().AveragePathLength() != 0 {
+		t.Error("empty graph APL should be 0")
+	}
+}
+
+func TestMeanNeighborDegreeHub(t *testing.T) {
+	// Star with hub and 10 spokes: each spoke's neighbor degree is 10,
+	// the hub's is 1 → mean = (10*10 + 1)/11.
+	g := New()
+	for i := 0; i < 10; i++ {
+		g.AddEdge("hub", string(rune('a'+i)))
+	}
+	want := (10.0*10 + 1) / 11
+	if got := g.MeanNeighborDegree(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MND = %v, want %v", got, want)
+	}
+}
+
+func TestTopByDegreeAndThresholds(t *testing.T) {
+	g := New()
+	for i := 0; i < 5; i++ {
+		g.AddEdge("hub", string(rune('a'+i)))
+	}
+	g.AddEdge("a", "b")
+	top := g.TopByDegree(2)
+	if top[0].Node != "hub" || top[0].Degree != 5 {
+		t.Errorf("top = %+v", top)
+	}
+	if got := g.CountDegreeAtLeast(2); got != 3 { // hub, a, b
+		t.Errorf("CountDegreeAtLeast(2) = %d", got)
+	}
+	if got := g.TopByDegree(100); len(got) != g.NodeCount() {
+		t.Errorf("TopByDegree(100) = %d entries", len(got))
+	}
+}
+
+func TestDegreeStats(t *testing.T) {
+	g := buildPath("a", "b", "c") // degrees 1,2,1
+	mean, sd := g.DegreeStats()
+	if math.Abs(mean-4.0/3) > 1e-9 {
+		t.Errorf("mean = %v", mean)
+	}
+	if sd <= 0 {
+		t.Errorf("sd = %v", sd)
+	}
+	if m, s := New().DegreeStats(); m != 0 || s != 0 {
+		t.Error("empty graph stats should be 0")
+	}
+}
+
+func TestFromDataset(t *testing.T) {
+	mk := func(rawURL, channel string) *proxy.Flow {
+		u, _ := url.Parse(rawURL)
+		return &proxy.Flow{
+			Time: time.Now(), Method: "GET", URL: u, StatusCode: 200, Channel: channel,
+			RequestHeaders: http.Header{}, ResponseHeaders: http.Header{},
+		}
+	}
+	ds := &store.Dataset{Runs: []*store.RunData{{
+		Name: store.RunGeneral,
+		Flows: []*proxy.Flow{
+			mk("http://hbbtv.ard.de/i", "Das Erste"),
+			mk("http://tvping.com/t", "Das Erste"),
+			mk("http://hbbtv.ard.de/i", "Tagesschau24"), // same FP, different channel
+			mk("http://xiti.com/px", "Tagesschau24"),
+			mk("http://unattributed.de/x", ""),
+		},
+	}}}
+	fp := map[string]string{"Das Erste": "ard.de", "Tagesschau24": "ard.de"}
+	g := FromDataset(ds, fp)
+
+	// Nodes: 2 channels + ard.de + tvping.com + xiti.com = 5.
+	if g.NodeCount() != 5 {
+		t.Fatalf("nodes = %d, want 5", g.NodeCount())
+	}
+	// Edges: ch1-ard, ch2-ard, ard-tvping, ard-xiti = 4.
+	if g.EdgeCount() != 4 {
+		t.Errorf("edges = %d, want 4", g.EdgeCount())
+	}
+	if g.Kind("ch:Das Erste") != NodeChannel || g.Kind("ard.de") != NodeDomain {
+		t.Error("node kinds wrong")
+	}
+	if g.Degree("ard.de") != 4 {
+		t.Errorf("ard.de degree = %d, want 4", g.Degree("ard.de"))
+	}
+	if len(g.Components()) != 1 {
+		t.Error("ecosystem should be one component")
+	}
+	// Third parties hang off the first party, not the channels: the
+	// channel nodes keep degree 1 (as in the paper's construction).
+	if g.Degree("ch:Das Erste") != 1 {
+		t.Errorf("channel degree = %d, want 1", g.Degree("ch:Das Erste"))
+	}
+}

@@ -1,0 +1,101 @@
+package headend
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+	"github.com/hbbtvlab/hbbtvlab/internal/hostnet"
+)
+
+// ChannelSite is one broadcaster's HbbTV application server: the host the
+// AIT entry URL points at, serving the app's documents, static assets, and
+// the privacy policies the study collected from traffic.
+type ChannelSite struct {
+	// Host is the application server host, e.g. "hbbtv.ard.de".
+	Host string
+	// Pages maps URL paths ("/index.html") to application documents.
+	Pages map[string]*appmodel.Document
+	// Policies maps URL paths ("/privacy.html") to privacy-policy HTML.
+	Policies map[string]string
+	// Assets maps URL paths to static bodies with a content type.
+	Assets map[string]Asset
+	// ServerCookies are Set-Cookie headers the entry document's response
+	// carries (first-party, server-set cookies such as load-balancer or
+	// audience-measurement IDs). Values may use appmodel template syntax
+	// but are served verbatim; the interesting IDs are minted here.
+	ServerCookies []http.Cookie
+}
+
+// Asset is a static response body.
+type Asset struct {
+	ContentType string
+	Body        []byte
+}
+
+// appServer is the running handler for a ChannelSite.
+type appServer struct {
+	site     ChannelSite
+	rendered map[string][]byte
+}
+
+// NewAppServer renders the site's documents once and returns its handler.
+func NewAppServer(site ChannelSite) (http.Handler, error) {
+	s := &appServer{site: site, rendered: make(map[string][]byte, len(site.Pages))}
+	for path, doc := range site.Pages {
+		markup, err := doc.RenderHTML()
+		if err != nil {
+			return nil, fmt.Errorf("headend: render %s%s: %w", site.Host, path, err)
+		}
+		s.rendered[path] = markup
+	}
+	return s, nil
+}
+
+// MustInstallSite registers a site on the virtual Internet, panicking on
+// render errors (world-construction bugs).
+func MustInstallSite(in *hostnet.Internet, site ChannelSite) {
+	h, err := NewAppServer(site)
+	if err != nil {
+		panic(err)
+	}
+	in.Handle(site.Host, h)
+}
+
+func (s *appServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	if markup, ok := s.rendered[path]; ok {
+		for i := range s.site.ServerCookies {
+			c := s.site.ServerCookies[i]
+			http.SetCookie(w, &c)
+		}
+		w.Header().Set("Content-Type", "application/vnd.hbbtv.xhtml+xml")
+		_, _ = w.Write(markup)
+		return
+	}
+	if policy, ok := s.site.Policies[path]; ok {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(policy))
+		return
+	}
+	if asset, ok := s.site.Assets[path]; ok {
+		w.Header().Set("Content-Type", asset.ContentType)
+		_, _ = w.Write(asset.Body)
+		return
+	}
+	switch {
+	case strings.HasSuffix(path, ".css"):
+		w.Header().Set("Content-Type", "text/css")
+		fmt.Fprintf(w, "/* %s stylesheet */ body{margin:0}", s.site.Host)
+	case strings.HasSuffix(path, ".js"):
+		w.Header().Set("Content-Type", "application/javascript")
+		fmt.Fprintf(w, "/* %s app code */", s.site.Host)
+	case strings.HasSuffix(path, ".png"), strings.HasSuffix(path, ".jpg"):
+		w.Header().Set("Content-Type", "image/png")
+		big := make([]byte, 4096) // genuine content image, not a pixel
+		_, _ = w.Write(big)
+	default:
+		http.NotFound(w, r)
+	}
+}

@@ -1,0 +1,12 @@
+package headend
+
+import (
+	"net/http"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/webos"
+)
+
+// newTestJar returns the TV's cookie jar implementation for client-side
+// test use.
+func newTestJar(clk clock.Clock) http.CookieJar { return webos.NewJar(clk) }

@@ -1,0 +1,150 @@
+package policy
+
+import (
+	"regexp"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+// This file implements the policy-vs-traffic contradiction checks of
+// Section VII-C, chief among them the paper's titular case: a children's
+// channel group whose policy limits ad personalization and profiling to
+// "5 pm to 6 am", while tracking requests were observed outside that
+// window.
+
+// AdWindow is a declared time window during which profiling/ad
+// personalization is permitted. The window may span midnight
+// (StartHour > EndHour), as 17:00–06:00 does.
+type AdWindow struct {
+	StartHour int
+	EndHour   int
+}
+
+// Contains reports whether t's local hour falls inside the window.
+func (w AdWindow) Contains(t time.Time) bool {
+	h := t.Hour()
+	if w.StartHour == w.EndHour {
+		return true // degenerate 24h window
+	}
+	if w.StartHour < w.EndHour {
+		return h >= w.StartHour && h < w.EndHour
+	}
+	return h >= w.StartHour || h < w.EndHour
+}
+
+var (
+	windowDE = regexp.MustCompile(`(?i)von\s+(\d{1,2})(?::00)?\s*uhr\s+bis\s+(\d{1,2})(?::00)?\s*uhr`)
+	windowEN = regexp.MustCompile(`(?i)from\s+(\d{1,2})\s*(am|pm)\s+(?:to|until)\s+(\d{1,2})\s*(am|pm)`)
+)
+
+// ParseAdWindow extracts a declared time window from policy text, handling
+// German 24h phrasing ("von 17 Uhr bis 6 Uhr") and English am/pm phrasing
+// ("from 5 pm to 6 am").
+func ParseAdWindow(text string) (AdWindow, bool) {
+	if m := windowDE.FindStringSubmatch(text); m != nil {
+		return AdWindow{StartHour: atoiHour(m[1]), EndHour: atoiHour(m[2])}, true
+	}
+	if m := windowEN.FindStringSubmatch(text); m != nil {
+		return AdWindow{
+			StartHour: meridiem(atoiHour(m[1]), m[2]),
+			EndHour:   meridiem(atoiHour(m[3]), m[4]),
+		}, true
+	}
+	return AdWindow{}, false
+}
+
+func atoiHour(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		n = n*10 + int(s[i]-'0')
+	}
+	return n % 24
+}
+
+func meridiem(h int, suffix string) int {
+	if suffix == "pm" || suffix == "PM" || suffix == "Pm" {
+		if h < 12 {
+			h += 12
+		}
+	} else if h == 12 {
+		h = 0
+	}
+	return h % 24
+}
+
+// WindowViolation is one tracking request observed outside the declared
+// window on a covered channel.
+type WindowViolation struct {
+	Run     store.RunName
+	Channel string
+	Host    string
+	Time    time.Time
+}
+
+// CheckAdWindow finds tracking requests on the given channels outside the
+// declared window. isTracking decides what counts as a tracking request
+// (the caller typically passes the tracking.Classifier's predicate).
+func CheckAdWindow(ds *store.Dataset, channels []string, w AdWindow, isTracking func(*proxy.Flow) bool) []WindowViolation {
+	covered := make(map[string]struct{}, len(channels))
+	for _, c := range channels {
+		covered[c] = struct{}{}
+	}
+	var out []WindowViolation
+	for _, run := range ds.Runs {
+		for _, f := range run.Flows {
+			if f.Channel == "" {
+				continue
+			}
+			if _, ok := covered[f.Channel]; !ok {
+				continue
+			}
+			if w.Contains(f.Time) {
+				continue
+			}
+			if !isTracking(f) {
+				continue
+			}
+			out = append(out, WindowViolation{
+				Run: run.Name, Channel: f.Channel, Host: f.Host(), Time: f.Time,
+			})
+		}
+	}
+	return out
+}
+
+// Contradiction is a detected mismatch between a policy's declarations and
+// observed behavior or legal requirements.
+type Contradiction string
+
+// Contradiction kinds.
+const (
+	// ContradictionAdWindow: tracking outside the declared profiling window.
+	ContradictionAdWindow Contradiction = "tracking_outside_declared_window"
+	// ContradictionOptOut: targeted advertising framed as opt-out, which
+	// requires opt-in consent under the GDPR.
+	ContradictionOptOut Contradiction = "opt_out_for_targeted_ads"
+	// ContradictionUndisclosed3P: third-party tracking observed without a
+	// third-party sharing declaration.
+	ContradictionUndisclosed3P Contradiction = "undisclosed_third_party_sharing"
+)
+
+// CheckStatic evaluates the per-policy contradictions that need no traffic:
+// opt-out framing combined with advertising purposes.
+func CheckStatic(practices map[Practice]bool) []Contradiction {
+	var out []Contradiction
+	if practices[PracticeOptOutFraming] && practices[PracticeAdvertising] {
+		out = append(out, ContradictionOptOut)
+	}
+	return out
+}
+
+// CheckThirdPartyDisclosure flags policies that do not declare third-party
+// sharing although the channel's traffic contains third-party trackers.
+func CheckThirdPartyDisclosure(practices map[Practice]bool, observedThirdPartyTrackers bool) []Contradiction {
+	if observedThirdPartyTrackers && !practices[PracticeThirdPartySharing] {
+		return []Contradiction{ContradictionUndisclosed3P}
+	}
+	return nil
+}

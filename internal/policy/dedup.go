@@ -1,0 +1,115 @@
+package policy
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"math/bits"
+	"strings"
+)
+
+// SHA1Hex returns the SHA-1 digest of text, used for exact deduplication
+// of collected policies (2,656 collected → 57 distinct in the study).
+func SHA1Hex(text string) string {
+	sum := sha1.Sum([]byte(text))
+	return hex.EncodeToString(sum[:])
+}
+
+// SimHash computes a 64-bit SimHash over word 3-shingles — the
+// near-duplicate fingerprint (Manku et al.) the study used to find the 11
+// groups of nearly identical German policies differing only in channel
+// names.
+func SimHash(text string) uint64 {
+	words := strings.Fields(strings.ToLower(text))
+	if len(words) == 0 {
+		return 0
+	}
+	for len(words) < 3 {
+		words = append(words, "_")
+	}
+	var counts [64]int
+	for i := 0; i+3 <= len(words); i++ {
+		h := fnv64(strings.Join(words[i:i+3], " "))
+		for b := 0; b < 64; b++ {
+			if h&(1<<uint(b)) != 0 {
+				counts[b]++
+			} else {
+				counts[b]--
+			}
+		}
+	}
+	var out uint64
+	for b := 0; b < 64; b++ {
+		if counts[b] > 0 {
+			out |= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+func fnv64(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// HammingDistance counts differing bits between two SimHashes.
+func HammingDistance(a, b uint64) int {
+	return bits.OnesCount64(a ^ b)
+}
+
+// SimilarityThreshold is the maximum Hamming distance at which two
+// policies count as near-duplicates.
+const SimilarityThreshold = 6
+
+// GroupNearDuplicates clusters documents by SimHash proximity using
+// single-linkage over the threshold. It returns groups of indices into
+// the input; singleton groups are included.
+func GroupNearDuplicates(hashes []uint64) [][]int {
+	n := len(hashes)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if HammingDistance(hashes[i], hashes[j]) <= SimilarityThreshold {
+				union(i, j)
+			}
+		}
+	}
+	groupsByRoot := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		groupsByRoot[r] = append(groupsByRoot[r], i)
+	}
+	out := make([][]int, 0, len(groupsByRoot))
+	for _, g := range groupsByRoot {
+		out = append(out, g)
+	}
+	// Stable order: by first member.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j][0] < out[i][0] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package policy
+
+import "strings"
+
+// GDPRArticle identifies a GDPR provision the dictionary detects.
+type GDPRArticle string
+
+// The data-subject rights (and related provisions) the paper reports
+// coverage for.
+const (
+	Art6Basis      GDPRArticle = "Art. 6 (legal basis)"
+	Art13Info      GDPRArticle = "Art. 13 (information duties)"
+	Art15Access    GDPRArticle = "Art. 15 (right of access)"
+	Art16Rectify   GDPRArticle = "Art. 16 (rectification)"
+	Art17Erasure   GDPRArticle = "Art. 17 (erasure)"
+	Art18Restrict  GDPRArticle = "Art. 18 (restriction)"
+	Art20Portable  GDPRArticle = "Art. 20 (portability)"
+	Art21Object    GDPRArticle = "Art. 21 (objection)"
+	Art77Complaint GDPRArticle = "Art. 77 (complaint)"
+)
+
+// RightsArticles lists the articles in the paper's reporting order.
+var RightsArticles = []GDPRArticle{
+	Art15Access, Art16Rectify, Art17Erasure, Art18Restrict,
+	Art20Portable, Art21Object, Art77Complaint,
+}
+
+// gdprDictionary holds the bilingual GDPR phrases (Degeling et al.'s
+// multilingual dictionary, German and English entries).
+var gdprDictionary = map[GDPRArticle][]string{
+	Art6Basis: {
+		"art. 6", "artikel 6", "rechtsgrundlage", "legal basis", "article 6",
+	},
+	Art13Info: {
+		"art. 13", "artikel 13", "informationspflicht", "article 13",
+	},
+	Art15Access: {
+		"art. 15", "artikel 15", "auskunftsrecht", "recht auf auskunft",
+		"right of access", "article 15",
+	},
+	Art16Rectify: {
+		"art. 16", "artikel 16", "berichtigung", "rectification", "article 16",
+	},
+	Art17Erasure: {
+		"art. 17", "artikel 17", "löschung", "recht auf vergessenwerden",
+		"erasure", "right to be forgotten", "article 17",
+	},
+	Art18Restrict: {
+		"art. 18", "artikel 18", "einschränkung der verarbeitung",
+		"restriction of processing", "article 18",
+	},
+	Art20Portable: {
+		"art. 20", "artikel 20", "datenübertragbarkeit", "data portability",
+		"article 20",
+	},
+	Art21Object: {
+		"art. 21", "artikel 21", "widerspruchsrecht", "recht auf widerspruch",
+		"right to object", "article 21",
+	},
+	Art77Complaint: {
+		"art. 77", "artikel 77", "beschwerderecht", "aufsichtsbehörde",
+		"supervisory authority", "lodge a complaint", "article 77",
+	},
+}
+
+// DetectGDPRArticles returns the GDPR provisions a policy text references.
+func DetectGDPRArticles(text string) map[GDPRArticle]bool {
+	low := strings.ToLower(text)
+	out := make(map[GDPRArticle]bool)
+	for art, phrases := range gdprDictionary {
+		for _, ph := range phrases {
+			if strings.Contains(low, ph) {
+				out[art] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RightsCoverage counts, per data-subject right, how many of the given
+// texts declare it.
+func RightsCoverage(texts []string) map[GDPRArticle]int {
+	out := make(map[GDPRArticle]int, len(RightsArticles))
+	for _, text := range texts {
+		arts := DetectGDPRArticles(text)
+		for _, a := range RightsArticles {
+			if arts[a] {
+				out[a]++
+			}
+		}
+	}
+	return out
+}

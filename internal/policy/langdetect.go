@@ -1,0 +1,101 @@
+package policy
+
+import "strings"
+
+// Language is a detected document language.
+type Language string
+
+// Detected languages.
+const (
+	LangGerman    Language = "de"
+	LangEnglish   Language = "en"
+	LangBilingual Language = "de/en"
+	LangUnknown   Language = "unknown"
+)
+
+// Stopword inventories for majority voting. Words shared by both languages
+// are deliberately excluded.
+var (
+	germanStops = []string{
+		"der", "die", "das", "und", "nicht", "sie", "wir", "ihre",
+		"eine", "einen", "werden", "wird", "sind", "haben", "dieser",
+		"können", "über", "für", "bei", "nach", "durch", "wenn",
+		"daten", "zwecke", "sowie", "bzw", "gemäß", "auf",
+	}
+	englishStops = []string{
+		"the", "and", "not", "you", "your", "our", "are", "have",
+		"will", "that", "this", "with", "for", "can", "about",
+		"when", "data", "purposes", "such", "according", "may",
+	}
+)
+
+// DetectLanguage performs majority voting over text chunks: each chunk
+// votes for the language with more stopword hits; the document language is
+// the majority, or bilingual when both languages carry substantial votes.
+func DetectLanguage(text string) Language {
+	chunks := chunkText(text, 400)
+	if len(chunks) == 0 {
+		return LangUnknown
+	}
+	var deVotes, enVotes int
+	for _, c := range chunks {
+		de, en := stopHits(c, germanStops), stopHits(c, englishStops)
+		switch {
+		case de > en:
+			deVotes++
+		case en > de:
+			enVotes++
+		}
+	}
+	total := deVotes + enVotes
+	if total == 0 {
+		return LangUnknown
+	}
+	deShare := float64(deVotes) / float64(total)
+	switch {
+	case deShare >= 0.8:
+		return LangGerman
+	case deShare <= 0.2:
+		return LangEnglish
+	default:
+		return LangBilingual
+	}
+}
+
+func chunkText(text string, size int) []string {
+	var chunks []string
+	words := strings.Fields(strings.ToLower(text))
+	var cur []string
+	curLen := 0
+	for _, w := range words {
+		cur = append(cur, w)
+		curLen += len(w) + 1
+		if curLen >= size {
+			chunks = append(chunks, strings.Join(cur, " "))
+			cur, curLen = nil, 0
+		}
+	}
+	if len(cur) > 0 {
+		chunks = append(chunks, strings.Join(cur, " "))
+	}
+	return chunks
+}
+
+func stopHits(chunk string, stops []string) int {
+	n := 0
+	words := strings.FieldsFunc(chunk, func(r rune) bool {
+		return !((r >= 'a' && r <= 'z') || (r >= 'ä' && r <= 'ü') || r == 'ß')
+	})
+	set := make(map[string]struct{}, len(words))
+	counts := make(map[string]int, len(words))
+	for _, w := range words {
+		set[w] = struct{}{}
+		counts[w]++
+	}
+	for _, s := range stops {
+		if _, ok := set[s]; ok {
+			n += counts[s]
+		}
+	}
+	return n
+}

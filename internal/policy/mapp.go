@@ -1,0 +1,151 @@
+package policy
+
+import "strings"
+
+// This file implements the MAPP-taxonomy annotation (Arora et al.'s
+// bilingual extension of OPP-115 with GDPR concepts). The trained BERT
+// models are replaced by bilingual phrase dictionaries per category,
+// attribute, and value — the pipeline shape (existence/absence of each
+// practice per policy) is identical.
+
+// Practice identifies a data practice from the taxonomy.
+type Practice string
+
+// Taxonomy categories and selected attributes/values the analysis reports.
+const (
+	// Categories.
+	PracticeFirstPartyCollection Practice = "first_party_collection_use"
+	PracticeThirdPartySharing    Practice = "third_party_sharing_collection"
+	// Data types.
+	PracticeIPAddress   Practice = "data_ip_address"
+	PracticeDeviceInfo  Practice = "data_device_info"
+	PracticeViewingData Practice = "data_viewing_behavior"
+	PracticeCookiesUse  Practice = "data_cookies"
+	// Purposes.
+	PracticeAnalytics       Practice = "purpose_analytics"
+	PracticeAdvertising     Practice = "purpose_advertising"
+	PracticePersonalization Practice = "purpose_personalization"
+	// Legal bases (GDPR Art. 6).
+	PracticeBasisConsent    Practice = "basis_consent"
+	PracticeBasisLegitInt   Practice = "basis_legitimate_interests"
+	PracticeBasisVitalInt   Practice = "basis_vital_interests"
+	PracticeBasisLegalOblig Practice = "basis_legal_obligation"
+	// Anonymization handling of addresses.
+	PracticeIPAnonymization Practice = "ip_anonymization"
+	// Retention.
+	PracticeIndefiniteRetention Practice = "retention_indefinite"
+	// Opt-out framing (contradicts GDPR's opt-in requirement for ads).
+	PracticeOptOutFraming Practice = "opt_out_framing"
+)
+
+// AllPractices lists the detectable practices in report order.
+var AllPractices = []Practice{
+	PracticeFirstPartyCollection, PracticeThirdPartySharing,
+	PracticeIPAddress, PracticeDeviceInfo, PracticeViewingData,
+	PracticeCookiesUse,
+	PracticeAnalytics, PracticeAdvertising, PracticePersonalization,
+	PracticeBasisConsent, PracticeBasisLegitInt, PracticeBasisVitalInt,
+	PracticeBasisLegalOblig,
+	PracticeIPAnonymization, PracticeIndefiniteRetention,
+	PracticeOptOutFraming,
+}
+
+// practicePhrases are the bilingual detection dictionaries.
+var practicePhrases = map[Practice][]string{
+	PracticeFirstPartyCollection: {
+		"wir erheben", "wir verarbeiten", "wir speichern", "wir nutzen",
+		"erhebung und verarbeitung", "we collect", "we process", "we store",
+	},
+	PracticeThirdPartySharing: {
+		"an dritte", "dritten übermittelt", "weitergabe an", "drittanbieter",
+		"empfänger der daten", "third parties", "shared with", "disclose to",
+	},
+	PracticeIPAddress: {
+		"ip-adresse", "ip adresse", "ip address",
+	},
+	PracticeDeviceInfo: {
+		"geräteinformationen", "gerätekennung", "endgerät", "hersteller und modell",
+		"betriebssystem", "device information", "device identifier", "operating system",
+	},
+	PracticeViewingData: {
+		"nutzungsverhalten", "sehverhalten", "reichweitenmessung", "nutzungsdaten",
+		"eingeschaltete sendung", "viewing behavior", "audience measurement", "usage data",
+	},
+	PracticeCookiesUse: {
+		"cookies", "cookie",
+	},
+	PracticeAnalytics: {
+		"analyse", "statistische auswertung", "webanalyse", "analytics", "statistics",
+	},
+	PracticeAdvertising: {
+		"werbung", "werbezwecke", "interessenbezogene werbung", "advertising",
+		"personalisierte werbung", "ad personalization", "personalisierung von werbung",
+	},
+	PracticePersonalization: {
+		"personalisierung", "individuelles nutzererlebnis", "auf sie zugeschnitten",
+		"personalization", "tailored to",
+	},
+	PracticeBasisConsent: {
+		"einwilligung", "art. 6 abs. 1 lit. a", "consent",
+	},
+	PracticeBasisLegitInt: {
+		"berechtigte interessen", "berechtigten interessen", "berechtigtes interesse",
+		"art. 6 abs. 1 lit. f", "legitimate interest",
+	},
+	PracticeBasisVitalInt: {
+		"lebenswichtige interessen", "lebenswichtiger interessen", "vital interests",
+	},
+	PracticeBasisLegalOblig: {
+		"rechtliche verpflichtung", "rechtlichen verpflichtung", "gesetzliche verpflichtung",
+		"legal obligation",
+	},
+	PracticeIPAnonymization: {
+		"anonymisiert", "pseudonymisiert", "gekürzt", "letzten drei ziffern",
+		"anonymized", "pseudonymized", "truncated",
+	},
+	PracticeIndefiniteRetention: {
+		"unbegrenzte zeit", "auf unbestimmte zeit", "unbefristet",
+		"indefinite", "indefinitely",
+	},
+	PracticeOptOutFraming: {
+		"opt-out", "widerspruchslösung", "deaktivieren sie", "abmelden von",
+		"opt out of",
+	},
+}
+
+// AnnotatePractices detects which taxonomy practices a policy text
+// declares.
+func AnnotatePractices(text string) map[Practice]bool {
+	low := strings.ToLower(text)
+	out := make(map[Practice]bool, len(practicePhrases))
+	for p, phrases := range practicePhrases {
+		for _, ph := range phrases {
+			if strings.Contains(low, ph) {
+				out[p] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// MentionsHbbTV reports whether the policy text is tailored to the HbbTV
+// ecosystem (the paper found 72% of German policies mention the term).
+func MentionsHbbTV(text string) bool {
+	return strings.Contains(strings.ToLower(text), "hbbtv")
+}
+
+// MentionsBlueButton reports whether the policy points viewers to privacy
+// settings behind the blue button (8 policies in the study).
+func MentionsBlueButton(text string) bool {
+	low := strings.ToLower(text)
+	return strings.Contains(low, "blaue taste") || strings.Contains(low, "blue button")
+}
+
+// MentionsTDDDG reports a reference to the German TTDSG/TDDDG implementing
+// the ePrivacy Directive (only RTL's policy had one alongside cookies).
+func MentionsTDDDG(text string) bool {
+	low := strings.ToLower(text)
+	return strings.Contains(low, "ttdsg") || strings.Contains(low, "tdddg") ||
+		strings.Contains(low, "telekommunikation-digitale-dienste-datenschutz")
+}

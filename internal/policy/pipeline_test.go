@@ -1,0 +1,153 @@
+package policy
+
+import (
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+func htmlFlow(rawURL, channel, body string, at time.Time) *proxy.Flow {
+	u, _ := url.Parse(rawURL)
+	return &proxy.Flow{
+		Time: at, Method: http.MethodGet, URL: u, StatusCode: 200,
+		Channel:         channel,
+		RequestHeaders:  http.Header{},
+		ResponseHeaders: http.Header{"Content-Type": []string{"text/html; charset=utf-8"}},
+		ResponseBody:    []byte(body),
+		ResponseSize:    int64(len(body)),
+	}
+}
+
+func wrap(body string) string {
+	return "<html><head><title>DSE</title></head><body>" + body + "</body></html>"
+}
+
+func pipelineDataset() *store.Dataset {
+	t0 := time.Date(2023, 9, 14, 10, 0, 0, 0, time.UTC)
+	policyA := wrap("<p>" + germanPolicy + "</p>")
+	policyB := wrap("<p>" + strings.ReplaceAll(germanPolicy, "Beispiel TV", "Muster TV") + "</p>")
+	english := wrap("<p>" + englishPolicy + "</p>")
+	misc := wrap("<p>" + miscText + "</p>")
+	return &store.Dataset{Runs: []*store.RunData{
+		{
+			Name: store.RunRed,
+			Flows: []*proxy.Flow{
+				htmlFlow("http://a.de/datenschutz.html", "A", policyA, t0),
+				htmlFlow("http://a.de/datenschutz.html", "A", policyA, t0.Add(time.Minute)), // duplicate occurrence
+				htmlFlow("http://b.de/datenschutz.html", "B", policyB, t0),
+				htmlFlow("http://c.com/privacy.html", "C", english, t0),
+				htmlFlow("http://shop.de/angebot.html", "D", misc, t0),
+			},
+		},
+		{
+			Name: store.RunYellow,
+			Flows: []*proxy.Flow{
+				htmlFlow("http://a.de/datenschutz.html", "A", policyA, t0.AddDate(0, 1, 0)),
+			},
+		},
+	}}
+}
+
+func TestCollectPipeline(t *testing.T) {
+	c := Collect(pipelineDataset())
+	if c.Occurrences != 5 { // 3×A + B + english; misc rejected
+		t.Errorf("occurrences = %d, want 5", c.Occurrences)
+	}
+	if c.PerRun[store.RunRed] != 4 || c.PerRun[store.RunYellow] != 1 {
+		t.Errorf("per-run = %v", c.PerRun)
+	}
+	if len(c.Unique) != 3 {
+		t.Fatalf("unique = %d, want 3", len(c.Unique))
+	}
+	if c.ByLanguage[LangGerman] != 2 || c.ByLanguage[LangEnglish] != 1 {
+		t.Errorf("languages = %v", c.ByLanguage)
+	}
+	// The two German channel-name variants form one near-dup group.
+	if len(c.NearDuplicateGroups) != 1 || len(c.NearDuplicateGroups[0]) != 2 {
+		t.Errorf("near-dup groups = %v", c.NearDuplicateGroups)
+	}
+	// The A doc is linked to both runs and its channel.
+	var docA *Doc
+	for _, d := range c.Unique {
+		for _, ch := range d.Channels {
+			if ch == "A" {
+				docA = d
+			}
+		}
+	}
+	if docA == nil {
+		t.Fatal("policy for channel A missing")
+	}
+	if len(docA.Runs) != 2 {
+		t.Errorf("doc A runs = %v", docA.Runs)
+	}
+	if !docA.Practices[PracticeFirstPartyCollection] {
+		t.Error("doc A practices not annotated")
+	}
+	if !docA.Articles[Art15Access] {
+		t.Error("doc A GDPR articles not annotated")
+	}
+}
+
+func TestCollectManualCorrection(t *testing.T) {
+	// A text that mixes disclosures with shopping content: the classifier
+	// rejects it, but the URL hint + legal term rescue it (the paper
+	// corrected 18 such false negatives).
+	mixed := wrap(`<p>` + miscText + ` Hinweis zum Datenschutz: wir speichern Bestelldaten.</p>`)
+	t0 := time.Date(2023, 9, 14, 10, 0, 0, 0, time.UTC)
+	ds := &store.Dataset{Runs: []*store.RunData{{
+		Name: store.RunRed,
+		Flows: []*proxy.Flow{
+			htmlFlow("http://shop.de/datenschutz.html", "S", mixed, t0),
+		},
+	}}}
+	c := Collect(ds)
+	if c.CorrectedFalseNegatives != 1 {
+		t.Errorf("corrected FNs = %d, want 1", c.CorrectedFalseNegatives)
+	}
+	if c.Occurrences != 1 {
+		t.Errorf("occurrences = %d", c.Occurrences)
+	}
+}
+
+func TestCollectIgnoresNonHTMLAndErrors(t *testing.T) {
+	t0 := time.Date(2023, 9, 14, 10, 0, 0, 0, time.UTC)
+	u, _ := url.Parse("http://a.de/datenschutz.html")
+	ds := &store.Dataset{Runs: []*store.RunData{{
+		Name: store.RunRed,
+		Flows: []*proxy.Flow{
+			{ // wrong content type
+				Time: t0, Method: "GET", URL: u, StatusCode: 200,
+				RequestHeaders:  http.Header{},
+				ResponseHeaders: http.Header{"Content-Type": []string{"application/json"}},
+				ResponseBody:    []byte(`{"x":1}`),
+			},
+			{ // error status
+				Time: t0, Method: "GET", URL: u, StatusCode: 404,
+				RequestHeaders:  http.Header{},
+				ResponseHeaders: http.Header{"Content-Type": []string{"text/html"}},
+				ResponseBody:    []byte("<html>not found</html>"),
+			},
+		},
+	}}}
+	c := Collect(ds)
+	if c.Occurrences != 0 || len(c.Unique) != 0 {
+		t.Errorf("corpus not empty: %d/%d", c.Occurrences, len(c.Unique))
+	}
+}
+
+func TestCorpusHelpers(t *testing.T) {
+	c := Collect(pipelineDataset())
+	if got := len(c.Texts()); got != len(c.Unique) {
+		t.Errorf("Texts() = %d", got)
+	}
+	n := c.CountWhere(func(d *Doc) bool { return d.Language == LangGerman })
+	if n != 2 {
+		t.Errorf("CountWhere(German) = %d", n)
+	}
+}

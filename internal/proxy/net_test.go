@@ -1,0 +1,12 @@
+package proxy
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+// netDial wraps net.DialTimeout for the CONNECT tunnel test.
+func netDial(network, addr string) (io.ReadWriteCloser, error) {
+	return net.DialTimeout(network, addr, 5*time.Second)
+}

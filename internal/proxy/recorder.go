@@ -1,0 +1,227 @@
+package proxy
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+)
+
+// AttributionWindow is how long after the last channel switch requests are
+// still attributed to that channel. The paper considered requests from the
+// last 15 minutes of channel watch time to minimize false positives.
+const AttributionWindow = 15 * time.Minute
+
+// RefererGrace is the window after a channel switch during which a request
+// whose Referer belongs to the previous channel is re-attributed to it,
+// accounting for delays during switching.
+const RefererGrace = 10 * time.Second
+
+// maxRecordedBody bounds how much of a request body is retained per flow.
+const maxRecordedBody = 16 << 10
+
+// Recorder intercepts HTTP(S) traffic and records flows. It is an
+// http.RoundTripper wrapping an inner transport, safe for concurrent use.
+type Recorder struct {
+	inner http.RoundTripper
+	clk   clock.Clock
+
+	mu      sync.Mutex
+	flows   []*Flow
+	nextID  int64
+	current channelEpoch
+	prev    channelEpoch
+	// hostsByChannel remembers which hosts each channel contacted, feeding
+	// the Referer-based attribution correction.
+	hostsByChannel map[string]map[string]struct{}
+	// disableReferer turns off the Referer correction; used by the
+	// attribution ablation bench.
+	disableReferer bool
+}
+
+type channelEpoch struct {
+	name  string
+	id    string
+	since time.Time
+}
+
+// NewRecorder returns a Recorder forwarding requests through inner and
+// timestamping flows with clk.
+func NewRecorder(inner http.RoundTripper, clk clock.Clock) *Recorder {
+	return &Recorder{
+		inner:          inner,
+		clk:            clk,
+		hostsByChannel: make(map[string]map[string]struct{}),
+	}
+}
+
+// SetRefererCorrection enables or disables the Referer-based attribution
+// correction (enabled by default).
+func (r *Recorder) SetRefererCorrection(on bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.disableReferer = !on
+}
+
+// SwitchChannel records that the remote-control script tuned the TV to the
+// named channel. Subsequent flows are attributed to it.
+func (r *Recorder) SwitchChannel(name, id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.prev = r.current
+	r.current = channelEpoch{name: name, id: id, since: r.clk.Now()}
+}
+
+var _ http.RoundTripper = (*Recorder)(nil)
+
+// RoundTrip implements http.RoundTripper: it forwards the request through
+// the inner transport and records a Flow.
+func (r *Recorder) RoundTrip(req *http.Request) (*http.Response, error) {
+	var reqBody []byte
+	if req.Body != nil {
+		b, err := io.ReadAll(io.LimitReader(req.Body, maxRecordedBody))
+		if err == nil {
+			reqBody = b
+			rest, _ := io.ReadAll(req.Body)
+			req.Body = io.NopCloser(io.MultiReader(bytes.NewReader(b), bytes.NewReader(rest)))
+		}
+	}
+	start := r.clk.Now()
+	resp, err := r.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	// Buffer the response body to measure its size while keeping it
+	// readable by the caller.
+	respBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	resp.Body = io.NopCloser(bytes.NewReader(respBody))
+	resp.ContentLength = int64(len(respBody))
+
+	f := &Flow{
+		Time:            start,
+		Method:          req.Method,
+		URL:             cloneURL(req.URL),
+		HTTPS:           req.URL.Scheme == "https",
+		RequestHeaders:  req.Header.Clone(),
+		RequestBody:     reqBody,
+		StatusCode:      resp.StatusCode,
+		ResponseHeaders: resp.Header.Clone(),
+		ResponseSize:    int64(len(respBody)),
+	}
+	if isTextual(resp.Header.Get("Content-Type")) {
+		n := len(respBody)
+		if n > maxRecordedBody {
+			n = maxRecordedBody
+		}
+		f.ResponseBody = append([]byte(nil), respBody[:n]...)
+	}
+	r.record(f)
+	return resp, nil
+}
+
+func (r *Recorder) record(f *Flow) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	f.ID = r.nextID
+	f.Channel, f.ChannelID = r.attributeLocked(f)
+	if f.Channel != "" {
+		hosts := r.hostsByChannel[f.Channel]
+		if hosts == nil {
+			hosts = make(map[string]struct{})
+			r.hostsByChannel[f.Channel] = hosts
+		}
+		hosts[f.Host()] = struct{}{}
+	}
+	r.flows = append(r.flows, f)
+}
+
+// attributeLocked maps a flow to a channel. Callers hold r.mu.
+func (r *Recorder) attributeLocked(f *Flow) (name, id string) {
+	cur := r.current
+	if cur.name == "" {
+		return "", ""
+	}
+	age := f.Time.Sub(cur.since)
+	if age < 0 || age > AttributionWindow {
+		return "", ""
+	}
+	// Referer correction: shortly after a switch, a request whose Referer
+	// host was seen on the previous channel (and not yet on the current
+	// one) belongs to content still loading for the previous channel.
+	if !r.disableReferer && r.prev.name != "" && age <= RefererGrace {
+		if ref := f.Referer(); ref != "" {
+			if u, err := url.Parse(ref); err == nil {
+				host := u.Hostname()
+				_, onPrev := r.hostsByChannel[r.prev.name][host]
+				_, onCur := r.hostsByChannel[cur.name][host]
+				if onPrev && !onCur {
+					return r.prev.name, r.prev.id
+				}
+			}
+		}
+	}
+	return cur.name, cur.id
+}
+
+// Flows returns a snapshot copy of all recorded flows.
+func (r *Recorder) Flows() []*Flow {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Flow, len(r.flows))
+	copy(out, r.flows)
+	return out
+}
+
+// Reset discards all recorded flows and channel state. Used between
+// measurement runs ("wipe and power off").
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.flows = nil
+	r.current = channelEpoch{}
+	r.prev = channelEpoch{}
+	r.hostsByChannel = make(map[string]map[string]struct{})
+}
+
+// Len returns the number of recorded flows.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.flows)
+}
+
+// isTextual reports whether a content type is worth retaining for content
+// analyses (scripts, markup, JSON/text payloads).
+func isTextual(contentType string) bool {
+	ct := contentType
+	for i := 0; i < len(ct); i++ {
+		if ct[i] == ';' {
+			ct = ct[:i]
+			break
+		}
+	}
+	if strings.HasPrefix(ct, "text/") {
+		return true
+	}
+	for _, t := range []string{"javascript", "json", "xml", "xhtml", "html"} {
+		if strings.Contains(ct, t) {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneURL(u *url.URL) *url.URL {
+	if u == nil {
+		return nil
+	}
+	c := *u
+	return &c
+}

@@ -1,0 +1,170 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Server is a real forward proxy (plain HTTP proxying plus CONNECT
+// tunnelling) that records all traffic through a Recorder. It plays the
+// role mitmproxy played in the study: the TV points its HTTP stack at the
+// proxy, and the proxy sees every request — including "HTTPS" traffic,
+// which in this synthetic internet is what mitmproxy saw after TLS
+// interception (none of the channels validated certificates).
+//
+// All upstream hosts are virtual, so the server reroutes every outbound
+// request to a single hostnet loopback address while preserving the Host
+// header for virtual-host routing.
+type Server struct {
+	rec  *Recorder
+	ln   net.Listener
+	http *http.Server
+}
+
+// RerouteTransport rewrites outbound requests to a fixed loopback address,
+// preserving the logical host for virtual-host dispatch. It is the inner
+// transport of a Recorder in loopback mode.
+type RerouteTransport struct {
+	// Addr is the hostnet loopback listener ("127.0.0.1:port").
+	Addr string
+	// Base performs the actual request; http.DefaultTransport when nil.
+	Base http.RoundTripper
+}
+
+var _ http.RoundTripper = (*RerouteTransport)(nil)
+
+// RoundTrip implements http.RoundTripper.
+func (t *RerouteTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	out := req.Clone(req.Context())
+	logicalHost := req.URL.Host
+	if logicalHost == "" {
+		logicalHost = req.Host
+	}
+	out.URL.Scheme = "http" // TLS terminated at the proxy, mitmproxy-style
+	out.URL.Host = t.Addr
+	out.Host = logicalHost
+	out.RequestURI = ""
+	return base.RoundTrip(out)
+}
+
+// NewServer starts a recording proxy listening on a loopback port. Callers
+// must Close it. Traffic is recorded via rec, whose inner transport should
+// be a RerouteTransport pointing at the hostnet loopback server.
+func NewServer(rec *Recorder) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("proxy: listen: %w", err)
+	}
+	s := &Server{rec: rec, ln: ln}
+	s.http = &http.Server{Handler: s}
+	go func() { _ = s.http.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the proxy's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the proxy down.
+func (s *Server) Close() error { return s.http.Close() }
+
+// URL returns the proxy URL for http.Transport.Proxy.
+func (s *Server) URL() *url.URL {
+	return &url.URL{Scheme: "http", Host: s.Addr()}
+}
+
+// ServeHTTP implements http.Handler: plain proxying for absolute-URI
+// requests, tunnelling for CONNECT.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodConnect {
+		s.handleConnect(w, r)
+		return
+	}
+	if !r.URL.IsAbs() {
+		http.Error(w, "proxy: request URI must be absolute", http.StatusBadRequest)
+		return
+	}
+	out := r.Clone(r.Context())
+	out.RequestURI = ""
+	resp, err := s.rec.RoundTrip(out)
+	if err != nil {
+		http.Error(w, "proxy: upstream: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// handleConnect implements the mitmproxy-style interception of CONNECT
+// tunnels: instead of blindly splicing bytes, it speaks HTTP inside the
+// tunnel, records each exchange, and marks the flows as HTTPS.
+func (s *Server) handleConnect(w http.ResponseWriter, r *http.Request) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "proxy: hijacking unsupported", http.StatusInternalServerError)
+		return
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		http.Error(w, "proxy: hijack: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	defer conn.Close()
+	_, _ = rw.WriteString("HTTP/1.1 200 Connection Established\r\n\r\n")
+	_ = rw.Flush()
+
+	host := r.Host // "virtualhost:443"
+	logical := host
+	if h, _, splitErr := net.SplitHostPort(host); splitErr == nil {
+		logical = h
+	}
+	for {
+		req, readErr := http.ReadRequest(rw.Reader)
+		if readErr != nil {
+			if !errors.Is(readErr, io.EOF) && !isClosedConn(readErr) {
+				// Tunnel ended mid-request; nothing else to do.
+				_ = readErr
+			}
+			return
+		}
+		req.URL.Scheme = "https"
+		req.URL.Host = logical
+		req.RequestURI = ""
+		resp, rtErr := s.rec.RoundTrip(req)
+		if rtErr != nil {
+			body := "proxy: upstream: " + rtErr.Error()
+			fmt.Fprintf(rw, "HTTP/1.1 502 Bad Gateway\r\nContent-Length: %d\r\nContent-Type: text/plain\r\n\r\n%s", len(body), body)
+			_ = rw.Flush()
+			return
+		}
+		writeErr := resp.Write(rw)
+		resp.Body.Close()
+		if writeErr != nil {
+			return
+		}
+		if err := rw.Flush(); err != nil {
+			return
+		}
+		if req.Close {
+			return
+		}
+	}
+}
+
+func isClosedConn(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "use of closed network connection")
+}

@@ -1,0 +1,123 @@
+// Package report renders the reproduced tables and figures in the paper's
+// format, for terminal output and for EXPERIMENTS.md.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Write renders the table to w.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, wdt := range widths {
+		total += wdt + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Int formats an integer with thousands separators, as the paper prints
+// counts.
+func Int(n int) string {
+	s := fmt.Sprintf("%d", n)
+	if n < 0 {
+		return s
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	parts = append([]string{s}, parts...)
+	return strings.Join(parts, ",")
+}
+
+// Pct formats a ratio as a percentage with two decimals.
+func Pct(r float64) string { return fmt.Sprintf("%.2f%%", r*100) }
+
+// F2 formats a float with two decimals.
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// PValue formats a p-value the way the paper reports significance.
+func PValue(p float64) string {
+	if p < 0.0001 {
+		return "< 0.0001"
+	}
+	return fmt.Sprintf("%.4f", p)
+}
+
+// Distribution prints a sorted histogram line ("a:3 b:1 ...") capped at n
+// entries — used for long-tail figures.
+func Distribution(m map[string]int, n int) string {
+	type kv struct {
+		k string
+		v int
+	}
+	rows := make([]kv, 0, len(m))
+	for k, v := range m {
+		rows = append(rows, kv{k, v})
+	}
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].v != rows[b].v {
+			return rows[a].v > rows[b].v
+		}
+		return rows[a].k < rows[b].k
+	})
+	if n > len(rows) {
+		n = len(rows)
+	}
+	parts := make([]string, 0, n)
+	for _, r := range rows[:n] {
+		parts = append(parts, fmt.Sprintf("%s:%d", r.k, r.v))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableWrite(t *testing.T) {
+	tbl := &Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Count"},
+	}
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("beta-long-name", "22,222")
+	var sb strings.Builder
+	if err := tbl.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"Demo", "Name", "Count", "alpha", "beta-long-name", "22,222", "---"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q:\n%s", frag, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns align: "Count" starts at the same offset in header and rows.
+	hdrIdx := strings.Index(lines[1], "Count")
+	if got := strings.Index(lines[4], "22,222"); got != hdrIdx {
+		t.Errorf("column misaligned: header at %d, cell at %d", hdrIdx, got)
+	}
+}
+
+func TestInt(t *testing.T) {
+	tests := []struct {
+		n    int
+		want string
+	}{
+		{0, "0"},
+		{7, "7"},
+		{999, "999"},
+		{1000, "1,000"},
+		{457492, "457,492"},
+		{1234567, "1,234,567"},
+		{-5, "-5"},
+	}
+	for _, tt := range tests {
+		if got := Int(tt.n); got != tt.want {
+			t.Errorf("Int(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestPctAndF2(t *testing.T) {
+	if got := Pct(0.0556); got != "5.56%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := F2(3.14159); got != "3.14" {
+		t.Errorf("F2 = %q", got)
+	}
+}
+
+func TestPValue(t *testing.T) {
+	if got := PValue(0.00005); got != "< 0.0001" {
+		t.Errorf("PValue small = %q", got)
+	}
+	if got := PValue(0.0321); got != "0.0321" {
+		t.Errorf("PValue = %q", got)
+	}
+}
+
+func TestDistribution(t *testing.T) {
+	m := map[string]int{"xiti.com": 119, "tvping.com": 141, "rare.de": 1}
+	got := Distribution(m, 2)
+	if got != "tvping.com:141 xiti.com:119" {
+		t.Errorf("Distribution = %q", got)
+	}
+	if Distribution(nil, 5) != "" {
+		t.Error("empty distribution should be empty string")
+	}
+}

@@ -1,0 +1,322 @@
+// Package stats implements the statistical procedures of the paper:
+// the Kruskal–Wallis H test (differences in central tendency across
+// measurement runs / channels / categories), the eta-squared effect size
+// with Cohen's thresholds, the Wilcoxon–Mann–Whitney U test (children's
+// channels vs others), and descriptive statistics.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrTooFewGroups is returned when a test needs at least two non-empty
+// groups.
+var ErrTooFewGroups = errors.New("stats: need at least two non-empty groups")
+
+// Desc holds descriptive statistics of a sample.
+type Desc struct {
+	N      int
+	Mean   float64
+	SD     float64
+	Min    float64
+	Max    float64
+	Median float64
+	Sum    float64
+}
+
+// Describe computes descriptive statistics. An empty sample yields a zero
+// Desc.
+func Describe(xs []float64) Desc {
+	if len(xs) == 0 {
+		return Desc{}
+	}
+	d := Desc{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		d.Sum += x
+		if x < d.Min {
+			d.Min = x
+		}
+		if x > d.Max {
+			d.Max = x
+		}
+	}
+	d.Mean = d.Sum / float64(d.N)
+	var ss float64
+	for _, x := range xs {
+		diff := x - d.Mean
+		ss += diff * diff
+	}
+	if d.N > 1 {
+		d.SD = math.Sqrt(ss / float64(d.N-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		d.Median = sorted[mid]
+	} else {
+		d.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return d
+}
+
+// EffectClass classifies an eta-squared effect size per Cohen (1988), with
+// the thresholds the paper uses: small <= 0.06 < moderate < 0.14 <= large.
+type EffectClass string
+
+// Effect size classes.
+const (
+	EffectSmall    EffectClass = "small"
+	EffectModerate EffectClass = "moderate"
+	EffectLarge    EffectClass = "large"
+)
+
+// ClassifyEta2 maps an eta-squared value to its class.
+func ClassifyEta2(eta2 float64) EffectClass {
+	switch {
+	case eta2 >= 0.14:
+		return EffectLarge
+	case eta2 > 0.06:
+		return EffectModerate
+	default:
+		return EffectSmall
+	}
+}
+
+// KruskalWallisResult is the outcome of a Kruskal–Wallis H test.
+type KruskalWallisResult struct {
+	H      float64
+	DF     int
+	P      float64
+	Eta2   float64 // eta^2_H = (H - k + 1) / (n - k)
+	Effect EffectClass
+	N      int
+	Groups int
+}
+
+// Significant reports whether p < alpha (the paper uses alpha = 0.05).
+func (r KruskalWallisResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// KruskalWallis runs the H test on the given groups with tie correction.
+func KruskalWallis(groups ...[]float64) (KruskalWallisResult, error) {
+	var nonEmpty [][]float64
+	for _, g := range groups {
+		if len(g) > 0 {
+			nonEmpty = append(nonEmpty, g)
+		}
+	}
+	k := len(nonEmpty)
+	if k < 2 {
+		return KruskalWallisResult{}, ErrTooFewGroups
+	}
+	// Pool and rank with midranks for ties.
+	type obs struct {
+		v     float64
+		group int
+	}
+	var pooled []obs
+	for gi, g := range nonEmpty {
+		for _, v := range g {
+			pooled = append(pooled, obs{v, gi})
+		}
+	}
+	n := len(pooled)
+	sort.Slice(pooled, func(a, b int) bool { return pooled[a].v < pooled[b].v })
+	ranks := make([]float64, n)
+	tieCorrection := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && pooled[j].v == pooled[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of ranks i+1..j
+		for t := i; t < j; t++ {
+			ranks[t] = mid
+		}
+		ties := float64(j - i)
+		tieCorrection += ties*ties*ties - ties
+		i = j
+	}
+	rankSums := make([]float64, k)
+	sizes := make([]int, k)
+	for i, o := range pooled {
+		rankSums[o.group] += ranks[i]
+		sizes[o.group]++
+	}
+	nf := float64(n)
+	h := 0.0
+	for gi := 0; gi < k; gi++ {
+		h += rankSums[gi] * rankSums[gi] / float64(sizes[gi])
+	}
+	h = 12/(nf*(nf+1))*h - 3*(nf+1)
+	// Tie correction.
+	if c := 1 - tieCorrection/(nf*nf*nf-nf); c > 0 {
+		h /= c
+	}
+	df := k - 1
+	res := KruskalWallisResult{
+		H:      h,
+		DF:     df,
+		P:      ChiSquareSF(h, df),
+		N:      n,
+		Groups: k,
+	}
+	if n > k {
+		res.Eta2 = (h - float64(k) + 1) / float64(n-k)
+		if res.Eta2 < 0 {
+			res.Eta2 = 0
+		}
+	}
+	res.Effect = ClassifyEta2(res.Eta2)
+	return res, nil
+}
+
+// MannWhitneyResult is the outcome of a Wilcoxon–Mann–Whitney U test
+// (normal approximation with tie and continuity correction).
+type MannWhitneyResult struct {
+	U float64
+	Z float64
+	P float64 // two-sided
+}
+
+// Significant reports whether p < alpha.
+func (r MannWhitneyResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// MannWhitney runs the two-sided U test comparing samples a and b.
+func MannWhitney(a, b []float64) (MannWhitneyResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return MannWhitneyResult{}, ErrTooFewGroups
+	}
+	type obs struct {
+		v float64
+		g int
+	}
+	pooled := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		pooled = append(pooled, obs{v, 0})
+	}
+	for _, v := range b {
+		pooled = append(pooled, obs{v, 1})
+	}
+	sort.Slice(pooled, func(i, j int) bool { return pooled[i].v < pooled[j].v })
+	n := len(pooled)
+	ranks := make([]float64, n)
+	tieTerm := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && pooled[j].v == pooled[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2
+		for t := i; t < j; t++ {
+			ranks[t] = mid
+		}
+		ties := float64(j - i)
+		tieTerm += ties*ties*ties - ties
+		i = j
+	}
+	var rankSumA float64
+	for i, o := range pooled {
+		if o.g == 0 {
+			rankSumA += ranks[i]
+		}
+	}
+	na, nb := float64(len(a)), float64(len(b))
+	u1 := rankSumA - na*(na+1)/2
+	u2 := na*nb - u1
+	u := math.Min(u1, u2)
+	mu := na * nb / 2
+	nf := na + nb
+	sigma2 := na * nb / 12 * ((nf + 1) - tieTerm/(nf*(nf-1)))
+	if sigma2 <= 0 {
+		// All observations identical: no evidence of difference.
+		return MannWhitneyResult{U: u, Z: 0, P: 1}, nil
+	}
+	sigma := math.Sqrt(sigma2)
+	z := (u - mu + 0.5) / sigma // continuity-corrected
+	p := 2 * NormalCDF(-math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return MannWhitneyResult{U: u, Z: z, P: p}, nil
+}
+
+// NormalCDF is the standard normal cumulative distribution function.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// ChiSquareSF is the chi-square survival function P(X >= x) with df degrees
+// of freedom, via the regularized upper incomplete gamma function.
+func ChiSquareSF(x float64, df int) float64 {
+	if x <= 0 || df <= 0 {
+		return 1
+	}
+	return gammaQ(float64(df)/2, x/2)
+}
+
+// gammaQ computes the regularized upper incomplete gamma function Q(a, x)
+// using the series for x < a+1 and the continued fraction otherwise
+// (Numerical Recipes, gammp/gammq).
+func gammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return 1
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+func gammaPSeries(a, x float64) float64 {
+	const itmax = 200
+	const eps = 3e-14
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < itmax; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaQContinuedFraction(a, x float64) float64 {
+	const itmax = 200
+	const eps = 3e-14
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	lg, _ := math.Lgamma(a)
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}

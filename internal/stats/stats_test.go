@@ -1,0 +1,246 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(got, want, tol float64) bool { return math.Abs(got-want) <= tol }
+
+func TestDescribe(t *testing.T) {
+	d := Describe([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if d.N != 8 || d.Mean != 5 || d.Min != 2 || d.Max != 9 || d.Sum != 40 {
+		t.Errorf("Desc = %+v", d)
+	}
+	if !approx(d.SD, 2.138, 0.001) { // sample SD
+		t.Errorf("SD = %v", d.SD)
+	}
+	if d.Median != 4.5 {
+		t.Errorf("Median = %v", d.Median)
+	}
+	if Describe(nil).N != 0 {
+		t.Error("empty Describe should be zero")
+	}
+	odd := Describe([]float64{3, 1, 2})
+	if odd.Median != 2 {
+		t.Errorf("odd median = %v", odd.Median)
+	}
+}
+
+func TestChiSquareSFKnownValues(t *testing.T) {
+	// Reference values from standard chi-square tables.
+	tests := []struct {
+		x    float64
+		df   int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{9.488, 4, 0.05},
+		{13.277, 4, 0.01},
+		{0, 3, 1},
+	}
+	for _, tt := range tests {
+		if got := ChiSquareSF(tt.x, tt.df); !approx(got, tt.want, 0.001) {
+			t.Errorf("ChiSquareSF(%v, %d) = %v, want %v", tt.x, tt.df, got, tt.want)
+		}
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	tests := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.96, 0.975},
+		{-1.96, 0.025},
+		{1.6449, 0.95},
+	}
+	for _, tt := range tests {
+		if got := NormalCDF(tt.x); !approx(got, tt.want, 0.001) {
+			t.Errorf("NormalCDF(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestKruskalWallisKnownExample(t *testing.T) {
+	// Overlapping shifted groups; with midranks and tie correction
+	// H = 3.2051 (matches scipy.stats.kruskal: H=3.205, p=0.2014).
+	g1 := []float64{1, 2, 3, 4, 5}
+	g2 := []float64{2, 3, 4, 5, 6}
+	g3 := []float64{3, 4, 5, 6, 7}
+	res, err := KruskalWallis(g1, g2, g3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.H, 3.2051, 0.001) {
+		t.Errorf("H = %v", res.H)
+	}
+	if !approx(res.P, 0.2014, 0.001) {
+		t.Errorf("P = %v", res.P)
+	}
+	if res.DF != 2 {
+		t.Errorf("DF = %d", res.DF)
+	}
+	if res.Significant(0.05) {
+		t.Errorf("overlapping groups reported significant (p = %v)", res.P)
+	}
+}
+
+func TestKruskalWallisSeparatedGroups(t *testing.T) {
+	// Perfectly separated groups must be highly significant.
+	g1 := make([]float64, 30)
+	g2 := make([]float64, 30)
+	g3 := make([]float64, 30)
+	for i := range g1 {
+		g1[i] = float64(i)
+		g2[i] = float64(i) + 100
+		g3[i] = float64(i) + 200
+	}
+	res, err := KruskalWallis(g1, g2, g3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.0001) {
+		t.Errorf("separated groups p = %v", res.P)
+	}
+	if res.Effect != EffectLarge {
+		t.Errorf("effect = %v (eta2 = %v)", res.Effect, res.Eta2)
+	}
+}
+
+func TestKruskalWallisIdenticalGroups(t *testing.T) {
+	g := []float64{5, 5, 5, 5}
+	res, err := KruskalWallis(g, g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.05) {
+		t.Errorf("identical groups significant: %+v", res)
+	}
+}
+
+func TestKruskalWallisErrors(t *testing.T) {
+	if _, err := KruskalWallis([]float64{1, 2}); !errors.Is(err, ErrTooFewGroups) {
+		t.Errorf("single group err = %v", err)
+	}
+	if _, err := KruskalWallis([]float64{1}, nil, []float64{}); !errors.Is(err, ErrTooFewGroups) {
+		t.Errorf("one non-empty group err = %v", err)
+	}
+}
+
+func TestMannWhitneySeparated(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	b := []float64{101, 102, 103, 104, 105, 106, 107, 108, 109, 110}
+	res, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U != 0 {
+		t.Errorf("U = %v", res.U)
+	}
+	if !res.Significant(0.001) {
+		t.Errorf("p = %v", res.P)
+	}
+}
+
+func TestMannWhitneySimilar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	res, err := MannWhitney(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.01) {
+		t.Errorf("same-distribution samples significant: p = %v", res.P)
+	}
+}
+
+func TestMannWhitneyAllTied(t *testing.T) {
+	res, err := MannWhitney([]float64{3, 3, 3}, []float64{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("all-tied p = %v, want 1", res.P)
+	}
+}
+
+func TestMannWhitneyErrors(t *testing.T) {
+	if _, err := MannWhitney(nil, []float64{1}); !errors.Is(err, ErrTooFewGroups) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClassifyEta2(t *testing.T) {
+	tests := []struct {
+		eta2 float64
+		want EffectClass
+	}{
+		{0.01, EffectSmall},
+		{0.06, EffectSmall},
+		{0.08, EffectModerate},
+		{0.139, EffectModerate},
+		{0.14, EffectLarge},
+		{0.5, EffectLarge},
+	}
+	for _, tt := range tests {
+		if got := ClassifyEta2(tt.eta2); got != tt.want {
+			t.Errorf("ClassifyEta2(%v) = %v, want %v", tt.eta2, got, tt.want)
+		}
+	}
+}
+
+// Property: p-values are always in [0, 1] and H is non-negative.
+func TestKruskalWallisProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []float64 {
+			n := rng.Intn(20) + 2
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = math.Floor(rng.Float64() * 10) // induce ties
+			}
+			return xs
+		}
+		res, err := KruskalWallis(mk(), mk(), mk())
+		if err != nil {
+			return false
+		}
+		return res.P >= 0 && res.P <= 1 && res.H >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Mann-Whitney is symmetric in its arguments.
+func TestMannWhitneySymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() []float64 {
+			n := rng.Intn(15) + 1
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = float64(rng.Intn(8))
+			}
+			return xs
+		}
+		a, b := mk(), mk()
+		r1, err1 := MannWhitney(a, b)
+		r2, err2 := MannWhitney(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return approx(r1.P, r2.P, 1e-9) && approx(r1.U, r2.U, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

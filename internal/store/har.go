@@ -1,0 +1,163 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+)
+
+// This file exports recorded flows in HAR 1.2 (HTTP Archive) format, the
+// lingua franca of HTTP analysis tooling — mitmproxy itself exports HAR,
+// so downstream users can inspect our captures with the same viewers they
+// point at real captures.
+
+type harLog struct {
+	Log harLogBody `json:"log"`
+}
+
+type harLogBody struct {
+	Version string     `json:"version"`
+	Creator harCreator `json:"creator"`
+	Entries []harEntry `json:"entries"`
+}
+
+type harCreator struct {
+	Name    string `json:"name"`
+	Version string `json:"version"`
+}
+
+type harEntry struct {
+	StartedDateTime string      `json:"startedDateTime"`
+	Time            float64     `json:"time"`
+	Request         harRequest  `json:"request"`
+	Response        harResponse `json:"response"`
+	Comment         string      `json:"comment,omitempty"`
+}
+
+type harRequest struct {
+	Method      string     `json:"method"`
+	URL         string     `json:"url"`
+	HTTPVersion string     `json:"httpVersion"`
+	Headers     []harNV    `json:"headers"`
+	QueryString []harNV    `json:"queryString"`
+	HeadersSize int        `json:"headersSize"`
+	BodySize    int        `json:"bodySize"`
+	PostData    *harPost   `json:"postData,omitempty"`
+	Cookies     []struct{} `json:"cookies"`
+}
+
+type harPost struct {
+	MimeType string `json:"mimeType"`
+	Text     string `json:"text"`
+}
+
+type harResponse struct {
+	Status      int        `json:"status"`
+	StatusText  string     `json:"statusText"`
+	HTTPVersion string     `json:"httpVersion"`
+	Headers     []harNV    `json:"headers"`
+	Content     harContent `json:"content"`
+	RedirectURL string     `json:"redirectURL"`
+	HeadersSize int        `json:"headersSize"`
+	BodySize    int64      `json:"bodySize"`
+	Cookies     []struct{} `json:"cookies"`
+}
+
+type harContent struct {
+	Size     int64  `json:"size"`
+	MimeType string `json:"mimeType"`
+	Text     string `json:"text,omitempty"`
+}
+
+type harNV struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// ExportHAR writes all flows of the dataset as one HAR 1.2 document. The
+// channel attribution travels in each entry's comment field.
+func (d *Dataset) ExportHAR(w io.Writer) error {
+	doc := harLog{Log: harLogBody{
+		Version: "1.2",
+		Creator: harCreator{Name: "hbbtvlab", Version: "1.0"},
+	}}
+	for _, run := range d.Runs {
+		for _, f := range run.Flows {
+			doc.Log.Entries = append(doc.Log.Entries, flowToHAR(run.Name, f))
+		}
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(&doc); err != nil {
+		return fmt.Errorf("store: export HAR: %w", err)
+	}
+	return nil
+}
+
+func flowToHAR(run RunName, f *proxy.Flow) harEntry {
+	req := harRequest{
+		Method:      f.Method,
+		URL:         f.URL.String(),
+		HTTPVersion: "HTTP/1.1",
+		Headers:     headerNV(f.RequestHeaders),
+		HeadersSize: -1,
+		BodySize:    len(f.RequestBody),
+		Cookies:     []struct{}{},
+		QueryString: queryNV(f),
+	}
+	if len(f.RequestBody) > 0 {
+		req.PostData = &harPost{
+			MimeType: f.RequestHeaders.Get("Content-Type"),
+			Text:     string(f.RequestBody),
+		}
+	}
+	resp := harResponse{
+		Status:      f.StatusCode,
+		StatusText:  "",
+		HTTPVersion: "HTTP/1.1",
+		Headers:     headerNV(f.ResponseHeaders),
+		RedirectURL: f.ResponseHeaders.Get("Location"),
+		HeadersSize: -1,
+		BodySize:    f.ResponseSize,
+		Cookies:     []struct{}{},
+		Content: harContent{
+			Size:     f.ResponseSize,
+			MimeType: f.ContentType(),
+			Text:     string(f.ResponseBody),
+		},
+	}
+	comment := "run=" + string(run)
+	if f.Channel != "" {
+		comment += " channel=" + f.Channel
+	}
+	return harEntry{
+		StartedDateTime: f.Time.Format(time.RFC3339Nano),
+		Time:            0,
+		Request:         req,
+		Response:        resp,
+		Comment:         comment,
+	}
+}
+
+func headerNV(h map[string][]string) []harNV {
+	out := make([]harNV, 0, len(h))
+	for k, vs := range h {
+		for _, v := range vs {
+			out = append(out, harNV{Name: k, Value: v})
+		}
+	}
+	return out
+}
+
+func queryNV(f *proxy.Flow) []harNV {
+	q := f.URL.Query()
+	out := make([]harNV, 0, len(q))
+	for k, vs := range q {
+		for _, v := range vs {
+			out = append(out, harNV{Name: k, Value: v})
+		}
+	}
+	return out
+}

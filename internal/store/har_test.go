@@ -1,0 +1,54 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestExportHAR(t *testing.T) {
+	ds := persistedDataset()
+	var buf bytes.Buffer
+	if err := ds.ExportHAR(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("HAR is not valid JSON: %v", err)
+	}
+	log := doc["log"].(map[string]any)
+	if log["version"] != "1.2" {
+		t.Errorf("version = %v", log["version"])
+	}
+	entries := log["entries"].([]any)
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	e := entries[0].(map[string]any)
+	req := e["request"].(map[string]any)
+	if req["url"] != "http://tvping.com/t?c=a" || req["method"] != "GET" {
+		t.Errorf("request = %v", req)
+	}
+	// Query string decomposed.
+	qs := req["queryString"].([]any)
+	if len(qs) != 1 || qs[0].(map[string]any)["name"] != "c" {
+		t.Errorf("queryString = %v", qs)
+	}
+	// Set-Cookie headers preserved in the response.
+	resp := e["response"].(map[string]any)
+	hdrs := resp["headers"].([]any)
+	setCookies := 0
+	for _, h := range hdrs {
+		if h.(map[string]any)["name"] == "Set-Cookie" {
+			setCookies++
+		}
+	}
+	if setCookies != 2 {
+		t.Errorf("Set-Cookie headers in HAR = %d, want 2", setCookies)
+	}
+	// Channel attribution in the comment.
+	if c := e["comment"].(string); !strings.Contains(c, "channel=A") || !strings.Contains(c, "run=Red") {
+		t.Errorf("comment = %q", c)
+	}
+}

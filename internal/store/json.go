@@ -1,0 +1,246 @@
+package store
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/webos"
+)
+
+// This file implements full dataset persistence, so that data collection
+// (cmd/hbbtv-measure) and analysis (cmd/hbbtv-analyze) can run as separate
+// processes — the study's collection machine pushed to BigQuery and the
+// analyses ran later. The format is gzip-compressed JSON with flows
+// flattened into a portable schema.
+
+// datasetJSON is the serialized form of a Dataset.
+type datasetJSON struct {
+	Version int       `json:"version"`
+	Runs    []runJSON `json:"runs"`
+}
+
+type runJSON struct {
+	Name        RunName          `json:"name"`
+	Date        time.Time        `json:"date"`
+	Channels    []ChannelInfo    `json:"channels"`
+	Flows       []flowJSON       `json:"flows"`
+	Cookies     []cookieJSON     `json:"cookies"`
+	Storage     []storageJSON    `json:"storage"`
+	Screenshots []screenshotJSON `json:"screenshots"`
+	Logs        []logJSON        `json:"logs"`
+}
+
+type flowJSON struct {
+	ID        int64             `json:"id"`
+	Time      time.Time         `json:"time"`
+	Method    string            `json:"method"`
+	URL       string            `json:"url"`
+	HTTPS     bool              `json:"https"`
+	ReqHdr    map[string]string `json:"reqHdr,omitempty"`
+	ReqBody   []byte            `json:"reqBody,omitempty"`
+	Status    int               `json:"status"`
+	RespHdr   map[string]string `json:"respHdr,omitempty"`
+	SetCookie []string          `json:"setCookie,omitempty"`
+	RespSize  int64             `json:"respSize"`
+	RespBody  []byte            `json:"respBody,omitempty"`
+	Channel   string            `json:"channel,omitempty"`
+	ChannelID string            `json:"channelId,omitempty"`
+}
+
+type cookieJSON struct {
+	Name     string    `json:"name"`
+	Value    string    `json:"value"`
+	Domain   string    `json:"domain"`
+	Path     string    `json:"path"`
+	Expires  time.Time `json:"expires,omitempty"`
+	Created  time.Time `json:"created"`
+	HostOnly bool      `json:"hostOnly,omitempty"`
+	SetBy    string    `json:"setBy,omitempty"`
+}
+
+type storageJSON struct {
+	Origin string `json:"origin"`
+	Key    string `json:"key"`
+	Value  string `json:"value"`
+}
+
+type screenshotJSON struct {
+	Time      time.Time            `json:"time"`
+	Channel   string               `json:"channel"`
+	ChannelID string               `json:"channelId"`
+	HasSignal bool                 `json:"hasSignal"`
+	Overlay   *appmodelOverlayJSON `json:"overlay,omitempty"`
+	Show      string               `json:"show,omitempty"`
+}
+
+// appmodelOverlayJSON reuses the appmodel JSON tags by embedding the raw
+// overlay; appmodel types are already JSON-serializable (the application
+// manifest uses the same encoding).
+type appmodelOverlayJSON = json.RawMessage
+
+type logJSON struct {
+	Time   time.Time     `json:"time"`
+	Kind   webos.LogKind `json:"kind"`
+	Detail string        `json:"detail"`
+}
+
+// Save writes the dataset as gzip-compressed JSON.
+func (d *Dataset) Save(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	enc := json.NewEncoder(gz)
+	out := datasetJSON{Version: 1}
+	for _, run := range d.Runs {
+		rj := runJSON{
+			Name: run.Name, Date: run.Date,
+			Channels: run.Channels,
+		}
+		for _, f := range run.Flows {
+			rj.Flows = append(rj.Flows, encodeFlow(f))
+		}
+		for _, c := range run.Cookies {
+			rj.Cookies = append(rj.Cookies, cookieJSON(c))
+		}
+		for _, s := range run.Storage {
+			rj.Storage = append(rj.Storage, storageJSON(s))
+		}
+		for _, s := range run.Screenshots {
+			sj := screenshotJSON{
+				Time: s.Time, Channel: s.Channel, ChannelID: s.ChannelID,
+				HasSignal: s.HasSignal, Show: s.Show,
+			}
+			if s.Overlay != nil {
+				raw, err := json.Marshal(s.Overlay)
+				if err != nil {
+					return fmt.Errorf("store: marshal overlay: %w", err)
+				}
+				ov := appmodelOverlayJSON(raw)
+				sj.Overlay = &ov
+			}
+			rj.Screenshots = append(rj.Screenshots, sj)
+		}
+		for _, l := range run.Logs {
+			rj.Logs = append(rj.Logs, logJSON{Time: l.Time, Kind: l.Kind, Detail: l.Detail})
+		}
+		out.Runs = append(out.Runs, rj)
+	}
+	if err := enc.Encode(&out); err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	return gz.Close()
+}
+
+func encodeFlow(f *proxy.Flow) flowJSON {
+	fj := flowJSON{
+		ID: f.ID, Time: f.Time, Method: f.Method,
+		URL: f.URL.String(), HTTPS: f.HTTPS,
+		ReqBody: f.RequestBody,
+		Status:  f.StatusCode, RespSize: f.ResponseSize,
+		RespBody: f.ResponseBody,
+		Channel:  f.Channel, ChannelID: f.ChannelID,
+	}
+	fj.ReqHdr = flattenHeader(f.RequestHeaders)
+	fj.RespHdr = flattenHeader(f.ResponseHeaders)
+	// Set-Cookie is multi-valued and analysis-critical: keep every value.
+	fj.SetCookie = f.ResponseHeaders.Values("Set-Cookie")
+	delete(fj.RespHdr, "Set-Cookie")
+	return fj
+}
+
+func flattenHeader(h http.Header) map[string]string {
+	if len(h) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(h))
+	for k, vs := range h {
+		out[k] = strings.Join(vs, "\n")
+	}
+	return out
+}
+
+func expandHeader(m map[string]string) http.Header {
+	h := make(http.Header, len(m))
+	for k, joined := range m {
+		for _, v := range strings.Split(joined, "\n") {
+			h.Add(k, v)
+		}
+	}
+	return h
+}
+
+// Load reads a dataset written by Save.
+func Load(r io.Reader) (*Dataset, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: load: %w", err)
+	}
+	defer gz.Close()
+	var in datasetJSON
+	if err := json.NewDecoder(gz).Decode(&in); err != nil {
+		return nil, fmt.Errorf("store: load: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("store: unsupported dataset version %d", in.Version)
+	}
+	d := &Dataset{}
+	for _, rj := range in.Runs {
+		run := &RunData{Name: rj.Name, Date: rj.Date, Channels: rj.Channels}
+		for _, fj := range rj.Flows {
+			f, err := decodeFlow(fj)
+			if err != nil {
+				return nil, err
+			}
+			run.Flows = append(run.Flows, f)
+		}
+		for _, c := range rj.Cookies {
+			run.Cookies = append(run.Cookies, webos.StoredCookie(c))
+		}
+		for _, s := range rj.Storage {
+			run.Storage = append(run.Storage, webos.StorageItem(s))
+		}
+		for _, sj := range rj.Screenshots {
+			shot := webos.Screenshot{
+				Time: sj.Time, Channel: sj.Channel, ChannelID: sj.ChannelID,
+				HasSignal: sj.HasSignal, Show: sj.Show,
+			}
+			if sj.Overlay != nil {
+				if err := json.Unmarshal(*sj.Overlay, &shot.Overlay); err != nil {
+					return nil, fmt.Errorf("store: load overlay: %w", err)
+				}
+			}
+			run.Screenshots = append(run.Screenshots, shot)
+		}
+		for _, l := range rj.Logs {
+			run.Logs = append(run.Logs, webos.LogEntry{Time: l.Time, Kind: l.Kind, Detail: l.Detail})
+		}
+		d.Runs = append(d.Runs, run)
+	}
+	return d, nil
+}
+
+func decodeFlow(fj flowJSON) (*proxy.Flow, error) {
+	u, err := url.Parse(fj.URL)
+	if err != nil {
+		return nil, fmt.Errorf("store: load flow url %q: %w", fj.URL, err)
+	}
+	f := &proxy.Flow{
+		ID: fj.ID, Time: fj.Time, Method: fj.Method, URL: u, HTTPS: fj.HTTPS,
+		RequestHeaders:  expandHeader(fj.ReqHdr),
+		RequestBody:     fj.ReqBody,
+		StatusCode:      fj.Status,
+		ResponseHeaders: expandHeader(fj.RespHdr),
+		ResponseSize:    fj.RespSize,
+		ResponseBody:    fj.RespBody,
+		Channel:         fj.Channel, ChannelID: fj.ChannelID,
+	}
+	for _, sc := range fj.SetCookie {
+		f.ResponseHeaders.Add("Set-Cookie", sc)
+	}
+	return f, nil
+}

@@ -1,0 +1,126 @@
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/webos"
+)
+
+func persistedDataset() *Dataset {
+	t0 := time.Date(2023, 8, 21, 12, 0, 0, 0, time.UTC)
+	f := mkFlow("http://tvping.com/t?c=a", "A", false)
+	f.ID = 7
+	f.RequestHeaders.Set("Referer", "http://a.de/index.html")
+	f.RequestBody = []byte("payload")
+	f.ResponseHeaders.Add("Set-Cookie", "tvpid=abc; Path=/")
+	f.ResponseHeaders.Add("Set-Cookie", "tvpid_a=def; Path=/")
+	f.ResponseBody = []byte("<html>body</html>")
+	return &Dataset{Runs: []*RunData{{
+		Name:     RunRed,
+		Date:     t0,
+		Channels: []ChannelInfo{{Name: "A", ID: "sid-1", Show: "Tatort", Genre: "Krimi"}},
+		Flows:    []*proxy.Flow{f},
+		Cookies: []webos.StoredCookie{{
+			Name: "tvpid", Value: "abc", Domain: "tvping.com", Path: "/",
+			Created: t0, Expires: t0.Add(24 * time.Hour), SetBy: "a.tvping.com",
+		}},
+		Storage: []webos.StorageItem{{Origin: "http://a.de", Key: "k", Value: "v"}},
+		Screenshots: []webos.Screenshot{
+			{Time: t0, Channel: "A", ChannelID: "sid-1", HasSignal: true, Show: "Tatort"},
+			{Time: t0.Add(time.Minute), Channel: "A", ChannelID: "sid-1", HasSignal: true,
+				Overlay: &appmodel.OverlaySpec{
+					Type:    appmodel.OverlayPrivacy,
+					Privacy: appmodel.PrivacyConsentNotice,
+					Consent: &appmodel.ConsentSpec{
+						StyleID: 3, Brand: "P7S1", Modal: true,
+						Layers: []appmodel.ConsentLayer{{
+							Buttons: []appmodel.ConsentButton{{Label: "OK", Role: appmodel.RoleAcceptAll, Highlight: true}},
+						}},
+					},
+				}},
+		},
+		Logs: []webos.LogEntry{{Time: t0, Kind: webos.LogSwitch, Detail: "switch to A"}},
+	}}}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	want := persistedDataset()
+	var buf bytes.Buffer
+	if err := want.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 1 {
+		t.Fatalf("runs = %d", len(got.Runs))
+	}
+	gr, wr := got.Runs[0], want.Runs[0]
+	if gr.Name != wr.Name || !gr.Date.Equal(wr.Date) {
+		t.Errorf("run header = %v %v", gr.Name, gr.Date)
+	}
+	if !reflect.DeepEqual(gr.Channels, wr.Channels) {
+		t.Errorf("channels = %+v", gr.Channels)
+	}
+	gf, wf := gr.Flows[0], wr.Flows[0]
+	if gf.ID != wf.ID || gf.Method != wf.Method || gf.URL.String() != wf.URL.String() {
+		t.Errorf("flow identity = %+v", gf)
+	}
+	if gf.Referer() != wf.Referer() {
+		t.Errorf("referer = %q", gf.Referer())
+	}
+	if !bytes.Equal(gf.RequestBody, wf.RequestBody) || !bytes.Equal(gf.ResponseBody, wf.ResponseBody) {
+		t.Error("bodies lost")
+	}
+	// Set-Cookie multiplicity preserved — the cookie analyses depend on it.
+	if got, want := gf.SetCookies(), wf.SetCookies(); len(got) != len(want) || len(got) != 2 {
+		t.Errorf("set-cookies = %v", got)
+	}
+	if gf.ContentType() != wf.ContentType() {
+		t.Errorf("content type = %q, want %q", gf.ContentType(), wf.ContentType())
+	}
+	if !reflect.DeepEqual(gr.Cookies, wr.Cookies) {
+		t.Errorf("cookies = %+v", gr.Cookies)
+	}
+	if !reflect.DeepEqual(gr.Storage, wr.Storage) {
+		t.Errorf("storage = %+v", gr.Storage)
+	}
+	if !reflect.DeepEqual(gr.Screenshots, wr.Screenshots) {
+		t.Errorf("screenshots = %+v", gr.Screenshots)
+	}
+	if !reflect.DeepEqual(gr.Logs, wr.Logs) {
+		t.Errorf("logs = %+v", gr.Logs)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not gzip")); err == nil {
+		t.Error("Load accepted plain text")
+	}
+}
+
+func TestLoadRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	gzw := newGzipJSON(&buf, `{"version":99,"runs":[]}`)
+	_ = gzw
+	if _, err := Load(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// newGzipJSON writes raw JSON gzip-compressed into buf.
+func newGzipJSON(buf *bytes.Buffer, raw string) error {
+	gz := gzip.NewWriter(buf)
+	if _, err := gz.Write([]byte(raw)); err != nil {
+		return err
+	}
+	return gz.Close()
+}

@@ -1,0 +1,257 @@
+// Package store is the study's data sink (its BigQuery substitute): it
+// holds, per measurement run, the recorded flows, the TV's cookie jar and
+// localStorage dumps, the screenshots, the interaction logs, and the
+// channel metadata — and offers the query helpers the analyses are built
+// on.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/webos"
+)
+
+// RunName identifies one of the five measurement runs.
+type RunName string
+
+// The five measurement runs of the study.
+const (
+	RunGeneral RunName = "General"
+	RunRed     RunName = "Red"
+	RunGreen   RunName = "Green"
+	RunBlue    RunName = "Blue"
+	RunYellow  RunName = "Yellow"
+)
+
+// AllRuns lists the runs in the paper's table order.
+var AllRuns = []RunName{RunGeneral, RunRed, RunGreen, RunBlue, RunYellow}
+
+// ChannelInfo is the per-channel metadata recorded with each run.
+type ChannelInfo struct {
+	Name       string
+	ID         string
+	Satellite  string
+	Language   string
+	Categories []dvb.ServiceCategory
+	// Show and Genre record the program aired during the measurement —
+	// the behavioral data the leakage analysis searches for in traffic.
+	Show  string
+	Genre string
+}
+
+// PrimaryCategory mirrors dvb.Service.PrimaryCategory.
+func (c *ChannelInfo) PrimaryCategory() dvb.ServiceCategory {
+	if len(c.Categories) == 0 {
+		return ""
+	}
+	return c.Categories[0]
+}
+
+// TargetsChildren reports whether the satellite operator's metadata marks
+// this channel as exclusively targeting children.
+func (c *ChannelInfo) TargetsChildren() bool {
+	return len(c.Categories) == 1 && c.Categories[0] == dvb.CategoryChildren
+}
+
+// RunData is everything collected during one measurement run.
+type RunData struct {
+	Name        RunName
+	Date        time.Time
+	Channels    []ChannelInfo
+	Flows       []*proxy.Flow
+	Cookies     []webos.StoredCookie
+	Storage     []webos.StorageItem
+	Screenshots []webos.Screenshot
+	Logs        []webos.LogEntry
+}
+
+// Channel returns the metadata for the named channel, or nil.
+func (r *RunData) Channel(name string) *ChannelInfo {
+	for i := range r.Channels {
+		if r.Channels[i].Name == name {
+			return &r.Channels[i]
+		}
+	}
+	return nil
+}
+
+// FlowsByChannel groups the run's attributed flows by channel name.
+// Unattributed flows are dropped, as in the paper's mapping procedure.
+func (r *RunData) FlowsByChannel() map[string][]*proxy.Flow {
+	out := make(map[string][]*proxy.Flow)
+	for _, f := range r.Flows {
+		if f.Channel == "" {
+			continue
+		}
+		out[f.Channel] = append(out[f.Channel], f)
+	}
+	return out
+}
+
+// CountHTTPS returns (plain, https) request counts.
+func (r *RunData) CountHTTPS() (plain, https int) {
+	for _, f := range r.Flows {
+		if f.HTTPS {
+			https++
+		} else {
+			plain++
+		}
+	}
+	return plain, https
+}
+
+// HTTPSShare returns the fraction of requests that were HTTPS.
+func (r *RunData) HTTPSShare() float64 {
+	plain, https := r.CountHTTPS()
+	total := plain + https
+	if total == 0 {
+		return 0
+	}
+	return float64(https) / float64(total)
+}
+
+// Dataset is the complete study data set across all runs.
+type Dataset struct {
+	Runs []*RunData
+}
+
+// Run returns the named run, or nil.
+func (d *Dataset) Run(name RunName) *RunData {
+	for _, r := range d.Runs {
+		if r.Name == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// AllFlows returns every flow across runs (shared backing slices are not
+// copied; treat the result as read-only).
+func (d *Dataset) AllFlows() []*proxy.Flow {
+	var out []*proxy.Flow
+	for _, r := range d.Runs {
+		out = append(out, r.Flows...)
+	}
+	return out
+}
+
+// AllScreenshots returns every screenshot across runs.
+func (d *Dataset) AllScreenshots() []webos.Screenshot {
+	var out []webos.Screenshot
+	for _, r := range d.Runs {
+		out = append(out, r.Screenshots...)
+	}
+	return out
+}
+
+// AllCookies returns every cookie-jar entry across runs.
+func (d *Dataset) AllCookies() []webos.StoredCookie {
+	var out []webos.StoredCookie
+	for _, r := range d.Runs {
+		out = append(out, r.Cookies...)
+	}
+	return out
+}
+
+// ChannelNames returns the union of channel names across all runs.
+func (d *Dataset) ChannelNames() []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for _, r := range d.Runs {
+		for _, c := range r.Channels {
+			if _, ok := seen[c.Name]; !ok {
+				seen[c.Name] = struct{}{}
+				out = append(out, c.Name)
+			}
+		}
+	}
+	return out
+}
+
+// ChannelInfo returns the first run's metadata for the named channel.
+func (d *Dataset) ChannelInfo(name string) *ChannelInfo {
+	for _, r := range d.Runs {
+		if c := r.Channel(name); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// flowRecord is the flattened NDJSON export schema.
+type flowRecord struct {
+	Run       RunName   `json:"run"`
+	Time      time.Time `json:"time"`
+	Method    string    `json:"method"`
+	URL       string    `json:"url"`
+	HTTPS     bool      `json:"https"`
+	Status    int       `json:"status"`
+	Size      int64     `json:"size"`
+	Type      string    `json:"contentType"`
+	Referer   string    `json:"referer,omitempty"`
+	Channel   string    `json:"channel,omitempty"`
+	ChannelID string    `json:"channelId,omitempty"`
+}
+
+// ExportFlows writes all flows as NDJSON — the "push to BigQuery" step.
+func (d *Dataset) ExportFlows(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range d.Runs {
+		for _, f := range r.Flows {
+			rec := flowRecord{
+				Run:       r.Name,
+				Time:      f.Time,
+				Method:    f.Method,
+				URL:       f.URL.String(),
+				HTTPS:     f.HTTPS,
+				Status:    f.StatusCode,
+				Size:      f.ResponseSize,
+				Type:      f.ContentType(),
+				Referer:   f.Referer(),
+				Channel:   f.Channel,
+				ChannelID: f.ChannelID,
+			}
+			if err := enc.Encode(&rec); err != nil {
+				return fmt.Errorf("store: export flow: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Summary is a compact per-run description for reports and logs.
+type Summary struct {
+	Run          RunName `json:"run"`
+	Channels     int     `json:"channels"`
+	HTTPRequests int     `json:"httpRequests"`
+	HTTPSShare   float64 `json:"httpsShare"`
+	Cookies      int     `json:"cookies"`
+	Storage      int     `json:"localStorage"`
+	Screenshots  int     `json:"screenshots"`
+	LogEntries   int     `json:"logEntries"`
+}
+
+// Summaries returns a per-run overview.
+func (d *Dataset) Summaries() []Summary {
+	out := make([]Summary, 0, len(d.Runs))
+	for _, r := range d.Runs {
+		out = append(out, Summary{
+			Run:          r.Name,
+			Channels:     len(r.Channels),
+			HTTPRequests: len(r.Flows),
+			HTTPSShare:   r.HTTPSShare(),
+			Cookies:      len(r.Cookies),
+			Storage:      len(r.Storage),
+			Screenshots:  len(r.Screenshots),
+			LogEntries:   len(r.Logs),
+		})
+	}
+	return out
+}

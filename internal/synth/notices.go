@@ -1,0 +1,128 @@
+package synth
+
+import "github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+
+// NoticeSpec builds one of the twelve recurring consent-notice stylings
+// Section VI catalogues. Style IDs follow the paper's numbering:
+//
+//	1 RTL Germany group            7 Bibel TV
+//	2 ProSiebenSat.1 (non-modal)   8 RTL Zwei (category choice, layer 1)
+//	3 ProSiebenSat.1 (modal)       9 TLC
+//	4 QVC                         10 ZDF (full screen, modal)
+//	5 DMAX/TLC/Comedy Central     11 COUCHPLAY
+//	6 HSE                         12 unbranded shared banner
+func NoticeSpec(styleID int) *appmodel.ConsentSpec {
+	accept := func() appmodel.ConsentButton {
+		return appmodel.ConsentButton{Label: "Alle akzeptieren", Role: appmodel.RoleAcceptAll, Highlight: true}
+	}
+	base := &appmodel.ConsentSpec{StyleID: styleID, Language: "de"}
+	switch styleID {
+	case 1:
+		base.Brand = "RTL Germany"
+		base.Layers = []appmodel.ConsentLayer{
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Einstellungen", Role: appmodel.RoleSettings}}},
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Nur notwendige", Role: appmodel.RoleOnlyNecessary}},
+				Checkboxes: []appmodel.ConsentCheckbox{
+					{Label: "Notwendig", PreTicked: true, Immutable: true},
+					{Label: "Funktional", PreTicked: true},
+					{Label: "Marketing", PreTicked: true},
+				}},
+		}
+	case 2:
+		base.Brand = "ProSiebenSat.1"
+		base.Layers = []appmodel.ConsentLayer{
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Einstellungen oder Ablehnen", Role: appmodel.RoleSettingsOrDecline}}},
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Ablehnen", Role: appmodel.RoleDecline}}},
+		}
+	case 3:
+		base.Brand = "ProSiebenSat.1"
+		base.Modal, base.FullScreen = true, true
+		base.Layers = []appmodel.ConsentLayer{
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Einstellungen oder Ablehnen", Role: appmodel.RoleSettingsOrDecline}}},
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Ablehnen", Role: appmodel.RoleDecline}}},
+		}
+	case 4:
+		base.Brand = "QVC"
+		base.Layers = []appmodel.ConsentLayer{
+			{Buttons: []appmodel.ConsentButton{accept(),
+				{Label: "Datenschutz-Einstellungen", Role: appmodel.RoleSettings},
+				{Label: "Ablehnen", Role: appmodel.RoleDecline}}},
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Nur notwendige", Role: appmodel.RoleOnlyNecessary}}},
+		}
+	case 5:
+		base.Brand = "DMAX Austria / TLC / Comedy Central"
+		base.Layers = []appmodel.ConsentLayer{
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Datenschutz", Role: appmodel.RolePrivacy}}},
+		}
+	case 6:
+		base.Brand = "HSE"
+		base.Layers = []appmodel.ConsentLayer{
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Einstellungen", Role: appmodel.RoleSettings}}},
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Nur notwendige", Role: appmodel.RoleOnlyNecessary}}},
+		}
+	case 7:
+		base.Brand = "Bibel TV"
+		base.Layers = []appmodel.ConsentLayer{
+			{Buttons: []appmodel.ConsentButton{accept(),
+				{Label: "Datenschutz", Role: appmodel.RolePrivacy},
+				{Label: "Einstellungen", Role: appmodel.RoleSettings}}},
+			// Layer 2: Google Analytics deselectable, pre-ticked (ECJ
+			// Planet49: not compliant).
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Auswahl bestätigen", Role: appmodel.RoleConfirm}},
+				Checkboxes: []appmodel.ConsentCheckbox{
+					{Label: "Google Analytics", PreTicked: true},
+				}},
+		}
+	case 8:
+		base.Brand = "RTL Zwei"
+		// Unique: category-based selection already on the first layer.
+		base.Layers = []appmodel.ConsentLayer{
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Nur notwendige", Role: appmodel.RoleOnlyNecessary}},
+				Checkboxes: []appmodel.ConsentCheckbox{
+					{Label: "Notwendig", PreTicked: true, Immutable: true},
+					{Label: "Funktional", PreTicked: true},
+					{Label: "Marketing", PreTicked: true},
+				}},
+		}
+	case 9:
+		base.Brand = "TLC"
+		base.Layers = []appmodel.ConsentLayer{
+			{Buttons: []appmodel.ConsentButton{accept(),
+				{Label: "Datenschutz", Role: appmodel.RolePrivacy},
+				{Label: "Einstellungen", Role: appmodel.RoleSettings}}},
+		}
+	case 10:
+		base.Brand = "ZDF"
+		base.Modal, base.FullScreen = true, true
+		base.Layers = []appmodel.ConsentLayer{
+			{Buttons: []appmodel.ConsentButton{accept(),
+				{Label: "Datenschutz-Einstellungen", Role: appmodel.RoleSettings},
+				{Label: "Ablehnen", Role: appmodel.RoleDecline}}},
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Auswahl bestätigen", Role: appmodel.RoleConfirm}},
+				Checkboxes: []appmodel.ConsentCheckbox{
+					{Label: "Erforderlich", PreTicked: true, Immutable: true},
+					{Label: "Statistik", PreTicked: false},
+				}},
+		}
+	case 11:
+		base.Brand = "COUCHPLAY"
+		base.PartnerListLinked = true
+		base.Layers = []appmodel.ConsentLayer{
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Einstellungen oder Ablehnen", Role: appmodel.RoleSettingsOrDecline}}},
+		}
+	case 12:
+		base.Brand = "" // unbranded banner shared by MTV, WELT, etc.
+		base.Layers = []appmodel.ConsentLayer{
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Einstellungen", Role: appmodel.RoleSettings}}},
+			// Layer 2 with the '?'-marked checkboxes the paper observed.
+			{Buttons: []appmodel.ConsentButton{accept(), {Label: "Speichern", Role: appmodel.RoleConfirm}},
+				Checkboxes: []appmodel.ConsentCheckbox{
+					{Label: "Analyse", Uncertain: true},
+					{Label: "Werbung", Uncertain: true},
+				}},
+		}
+	default:
+		return nil
+	}
+	return base
+}

@@ -1,0 +1,166 @@
+package synth
+
+import "strings"
+
+// Policy templates 0..14, one per operator group (several groups share a
+// template, giving the SimHash near-duplicate groups the study found).
+// Placeholders: {GROUP} and {CHANNEL}. All are German except where a
+// channel-level override produces the English and bilingual documents.
+
+const policyPreamble = `<!DOCTYPE html><html><head><title>Datenschutzerklärung {CHANNEL}</title></head><body>
+<div>Startseite | Impressum | Kontakt</div>
+<h1>Datenschutzerklärung für das HbbTV-Angebot von {CHANNEL}</h1>`
+
+const policyFooter = `<div>© {GROUP}. Alle Rechte vorbehalten.</div></body></html>`
+
+// genericPreamble is the non-HbbTV-tailored variant: a website policy
+// served unchanged to TV viewers (28% of German policies never mention
+// HbbTV).
+const genericPreamble = `<!DOCTYPE html><html><head><title>Datenschutzerklärung {CHANNEL}</title></head><body>
+<div>Startseite | Impressum | Kontakt</div>
+<h1>Datenschutzerklärung von {CHANNEL}</h1>`
+
+// basePolicyDE is the common German disclosure corpus; templates extend it.
+const basePolicyDE = `
+<p>Wir erheben und verarbeiten personenbezogene Daten ausschließlich im
+Rahmen der Datenschutz-Grundverordnung (DSGVO). Verantwortlicher im Sinne
+der DSGVO ist die {GROUP} GmbH. Beim Aufruf unseres Angebots wird die
+IP-Adresse Ihres Endgeräts verarbeitet.</p>
+<p>Wir nutzen Cookies zur Reichweitenmessung und zur statistischen
+Auswertung des Nutzungsverhaltens unserer Zuschauer. Die Rechtsgrundlage
+der Verarbeitung ist Art. 6 Abs. 1 lit. a DSGVO (Einwilligung).</p>
+<p>Sie haben ein Auskunftsrecht nach Art. 15 DSGVO, ein Recht auf
+Berichtigung nach Art. 16 DSGVO, ein Recht auf Löschung nach Art. 17 DSGVO,
+ein Recht auf Einschränkung der Verarbeitung nach Art. 18 DSGVO sowie ein
+Beschwerderecht bei der zuständigen Aufsichtsbehörde nach Art. 77 DSGVO.</p>`
+
+// policyTemplates index by OperatorGroup.PolicyTemplate.
+var policyTemplates = []string{
+	// 0: ARD (public): full rights, IP anonymization, no third parties.
+	policyPreamble + basePolicyDE + `
+<p>Ihre IP-Adresse wird vor jeder Speicherung vollständig anonymisiert.
+Ihre Daten verbleiben vollständig bei uns. Sie haben außerdem ein Recht
+auf Datenübertragbarkeit nach Art. 20 DSGVO und ein Widerspruchsrecht nach
+Art. 21 DSGVO. Die Datenschutz-Einstellungen erreichen Sie über die blaue
+Taste Ihrer Fernbedienung (HbbTV).</p>` + policyFooter,
+	// 1: RedButton platform: third parties, truncated IP.
+	policyPreamble + basePolicyDE + `
+<p>Zur Reichweitenmessung unseres HbbTV-Angebots arbeiten wir mit
+Dienstleistern zusammen; dabei werden Daten an Dritte übermittelt. Ihre
+IP-Adresse wird gekürzt, indem die letzten drei Ziffern entfernt werden.
+Geräteinformationen wie Hersteller und Modell sowie das Betriebssystem
+Ihres Endgeräts werden verarbeitet.</p>` + policyFooter,
+	// 2: RTL group: TDDDG reference, HbbTV e-mail, blue button.
+	policyPreamble + basePolicyDE + `
+<p>Für Speicher- und Zugriffsvorgänge auf Ihrem Endgerät, einschließlich
+Cookies, gilt § 25 TTDSG (jetzt TDDDG). Die Verarbeitung erfolgt teilweise
+auf Grundlage unserer berechtigten Interessen nach Art. 6 Abs. 1 lit. f
+DSGVO. Daten werden an Drittanbieter für interessenbezogene Werbung
+übermittelt. Für HbbTV-spezifische Anfragen erreichen Sie uns unter
+hbbtv-datenschutz@{GROUP}.example. Die Datenschutz-Einstellungen erreichen
+Sie über die blaue Taste (HbbTV).</p>` + policyFooter,
+	// 3: ProSiebenSat.1: third parties, device data, legitimate interests.
+	policyPreamble + basePolicyDE + `
+<p>Wir übermitteln Nutzungsdaten an Dritte zur Webanalyse und für
+personalisierte Werbung. Die Verarbeitung stützt sich teilweise auf unsere
+berechtigten Interessen (Art. 6 Abs. 1 lit. f DSGVO). Geräteinformationen
+(Hersteller, Modell, Betriebssystem) werden im HbbTV-Angebot verarbeitet
+und teilweise auf unbestimmte Zeit gespeichert.</p>` + policyFooter,
+	// 4: ZDF (public): hybrid notice, anonymization, HbbTV term.
+	policyPreamble + basePolicyDE + `
+<p>Ihre IP-Adresse wird vollständig anonymisiert. Im HbbTV-Angebot können
+Sie über die blaue Taste die Cookie-Einstellungen aufrufen. Sie haben ein
+Widerspruchsrecht nach Art. 21 DSGVO.</p>` + policyFooter,
+	// 5: Discovery/DMAX: third parties, fingerprint-adjacent wording.
+	policyPreamble + basePolicyDE + `
+<p>Zur Wiedererkennung Ihres Endgeräts werden Gerätekennungen und
+Geräteinformationen verarbeitet und an Dritte übermittelt. Die Speicherung
+erfolgt teilweise unbefristet auf Grundlage berechtigter Interessen.</p>` + policyFooter,
+	// 6: Shopping group: orders, third parties.
+	policyPreamble + basePolicyDE + `
+<p>Bei Bestellungen über das HbbTV-Angebot verarbeiten wir Ihre
+Bestelldaten. Nutzungsdaten werden an Dritte zur Reichweitenmessung
+übermittelt.</p>` + policyFooter,
+	// 7: Children's group (the paper's titular case).
+	policyPreamble + basePolicyDE + `
+<p>Unser Programm richtet sich an Kinder und Familien. Die Personalisierung
+von Werbung und das Profiling erfolgen ausschließlich von 17 Uhr bis 6 Uhr.
+Außerhalb dieses Zeitraums findet keine interessenbezogene Werbung statt.
+Nutzungsdaten können an Dritte zur Reichweitenmessung übermittelt
+werden.</p>` + policyFooter,
+	// 8: Music/Sport nets: short, no Art. 20/21, not tailored to HbbTV.
+	genericPreamble + basePolicyDE + `
+<p>Nutzungsdaten werden zur Reichweitenmessung an Dritte übermittelt.</p>` + policyFooter,
+	// 9: News nets / Bibel TV: analytics opt-out on second layer.
+	policyPreamble + basePolicyDE + `
+<p>Sie können die Webanalyse (z.B. Google Analytics) in den
+Datenschutz-Einstellungen des HbbTV-Angebots deaktivieren. Daten werden an
+Dritte zur statistischen Auswertung übermittelt.</p>` + policyFooter,
+	// 10: Movie nets: partner list, device data.
+	policyPreamble + basePolicyDE + `
+<p>Eine Liste unserer Partner finden Sie in den Einstellungen. Daten,
+einschließlich Geräteinformationen, werden an Drittanbieter für Werbung
+übermittelt.</p>` + policyFooter,
+	// 11: HGTV-like: opt-out framing for targeted ads (GDPR requires opt-in).
+	policyPreamble + basePolicyDE + `
+<p>Interessenbezogene Werbung und Reichweitenmessung erfolgen auf Grundlage
+unserer berechtigten Interessen. Sie können der Verarbeitung per Opt-Out
+widersprechen: deaktivieren Sie die personalisierte Werbung in den
+Einstellungen. Daten werden an Dritte übermittelt.</p>` + policyFooter,
+	// 12: Krone-like: program adapted to individual viewing behavior.
+	policyPreamble + basePolicyDE + `
+<p>Das Programmangebot wird an das individuelle Sehverhalten des Zuschauers
+angepasst (Personalisierung). Nutzungsdaten werden an Dritte
+übermittelt.</p>` + policyFooter,
+	// 13: Regional independents: minimal, generic website policy.
+	genericPreamble + basePolicyDE + policyFooter,
+	// 14: Sachsen-Eins-like: vague vital interests / legal obligation.
+	genericPreamble + basePolicyDE + `
+<p>Eine Verarbeitung personenbezogener Daten kann gegebenenfalls auch zum
+Schutz lebenswichtiger Interessen oder zur Erfüllung einer rechtlichen
+Verpflichtung erfolgen, soweit dies erforderlich erscheint. Daten werden
+unter Umständen auf unbestimmte Zeit gespeichert.</p>` + policyFooter,
+}
+
+// englishPolicyHTML is the single English policy of the corpus.
+const englishPolicyHTML = `<!DOCTYPE html><html><head><title>Privacy Policy {CHANNEL}</title></head><body>
+<h1>Privacy Policy for the {CHANNEL} HbbTV service</h1>
+<p>We collect and process personal data in accordance with the GDPR. The
+controller is {GROUP} Ltd. When you access our HbbTV service we process
+your IP address; it is anonymized before storage. We use cookies for
+audience measurement and analytics purposes. The legal basis is your
+consent under Article 6 GDPR and our legitimate interest. Usage data may be
+shared with third parties for advertising. You have the right of access
+under Article 15, the right to rectification under Article 16, the right to
+erasure under Article 17, and the right to lodge a complaint with a
+supervisory authority under Article 77 GDPR.</p>
+</body></html>`
+
+// PolicyHTML renders the policy document for a group/channel.
+func PolicyHTML(template int, group, channel string) string {
+	if template < 0 || template >= len(policyTemplates) {
+		return ""
+	}
+	return expandPolicy(policyTemplates[template], group, channel)
+}
+
+// EnglishPolicyHTML renders the English policy for a channel.
+func EnglishPolicyHTML(group, channel string) string {
+	return expandPolicy(englishPolicyHTML, group, channel)
+}
+
+// BilingualPolicyHTML renders the German/English combined policy.
+func BilingualPolicyHTML(template int, group, channel string) string {
+	de := PolicyHTML(template, group, channel)
+	en := expandPolicy(englishPolicyHTML, group, channel)
+	// Concatenate the bodies: strip the closing/opening wrappers.
+	de = strings.Replace(de, "</body></html>", "", 1)
+	en = strings.Replace(en, "<!DOCTYPE html><html><head><title>Privacy Policy "+channel+"</title></head><body>", "", 1)
+	return de + en
+}
+
+func expandPolicy(t, group, channel string) string {
+	t = strings.ReplaceAll(t, "{GROUP}", group)
+	t = strings.ReplaceAll(t, "{CHANNEL}", channel)
+	return t
+}

@@ -1,0 +1,139 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/headend"
+)
+
+// Fixed tracker domains with named roles in the reproduction.
+const (
+	// DomainTVPing is the dominant HbbTV pixel host (the study's most
+	// traffic-heavy tracker; absent from every Web filter list).
+	DomainTVPing = "tvping.com"
+	// DomainXiti is the most frequently included third party — a real
+	// Web analytics service covered by EasyPrivacy and Pi-hole; in HbbTV
+	// it is pulled in by platform services rather than channels directly.
+	DomainXiti = "xiti.com"
+	// DomainTVStat is the platform-analytics intermediary whose pixel
+	// redirects to xiti.
+	DomainTVStat = "tvstat.net"
+	// DomainSyncA / DomainSyncB are the cookie-syncing pair (the study
+	// observed syncing between exactly two domains).
+	DomainSyncA = "adsync-a.com"
+	DomainSyncB = "adsync-b.com"
+	// DomainCMP is the consent-management backend (timestamp cookies,
+	// HTTPS endpoints).
+	DomainCMP = "cmp-central.de"
+	// DomainSmartclip is the ad service named in the Super RTL case.
+	DomainSmartclip = "smartclip.net"
+	// DomainGA is Google Analytics (found encoded directly in some
+	// broadcast signals).
+	DomainGA = "google-analytics.com"
+)
+
+// thirdPartyFingerprinters are the fingerprint-script hosts that are not
+// first parties. hotjar.com (EasyPrivacy) and criteo.com (EasyList) give
+// the two list-covered fingerprinters the paper observed; the rest are
+// HbbTV-specific and uncovered.
+var thirdPartyFingerprinters = []string{
+	"hotjar.com", "criteo.com",
+	"metrixfp01.de", "metrixfp02.de", "metrixfp03.de", "metrixfp04.de",
+	"metrixfp05.de", "metrixfp06.de", "metrixfp07.de", "metrixfp08.de",
+	"metrixfp09.de", "metrixfp10.de", "metrixfp11.de", "metrixfp12.de",
+}
+
+// deviceCollectors receive the technical-data leaks (the study counted
+// nine third parties receiving device information).
+var deviceCollectors = []string{
+	"tvtelemetry.de", "devicestats.tv", "hbbmetrics.eu",
+	"screenstats.de", "tvaudience.net", "adtarget-tv.de",
+	"reichweite24.de", "tvprofilez.com", "telemetrix.tv",
+}
+
+// profileCollectors receive the behavioral-data leaks (watched show,
+// genre, brand interests).
+var profileCollectors = []string{
+	"tvprofilez.com", "adtarget-tv.de", "genremetrics.de", "viewprofile.eu",
+}
+
+// longTailCount is the size of the generated long tail of HbbTV-specific
+// cookie-setting trackers at scale 1.0 (the study saw 166 distinct
+// cookie-setting parties with a pronounced long tail).
+const longTailCount = 40
+
+// longTailDomain names the i-th tail tracker.
+func longTailDomain(i int) string {
+	return fmt.Sprintf("tvmetrics%02d.de", i+1)
+}
+
+// buildTrackers installs the full tracker roster on the virtual Internet.
+func (w *World) buildTrackers(clk clock.Clock, rng *rand.Rand) {
+	install := func(t headend.Tracker) {
+		headend.NewTrackerService(t, clk, rng.Int63()).Install(w.Internet)
+		w.Trackers = append(w.Trackers, t)
+	}
+	install(headend.Tracker{Domain: DomainTVPing, CookieName: "tvpid", CookieKind: headend.CookieID})
+	install(headend.Tracker{Domain: DomainXiti, CookieName: "xtuid", CookieKind: headend.CookieID})
+	install(headend.Tracker{Domain: DomainTVStat, CookieName: "tsid", CookieKind: headend.CookieID,
+		PixelRedirectTo: DomainXiti})
+	install(headend.Tracker{Domain: DomainSyncA, CookieName: "sa_uid", CookieKind: headend.CookieID,
+		SyncPartner: DomainSyncB})
+	install(headend.Tracker{Domain: DomainSyncB, CookieName: "sb_uid", CookieKind: headend.CookieID})
+	install(headend.Tracker{Domain: DomainCMP, CookieName: "ctime", CookieKind: headend.CookieTimestamp})
+	install(headend.Tracker{Domain: DomainSmartclip, CookieName: "uuid2", CookieKind: headend.CookieID})
+	install(headend.Tracker{Domain: DomainGA, CookieName: "_ga", CookieKind: headend.CookieID})
+	install(headend.Tracker{Domain: "doubleclick.net", CookieName: "ide", CookieKind: headend.CookieID})
+	install(headend.Tracker{Domain: "sensic.net", CookieName: "gtid", CookieKind: headend.CookieID})
+	// Content CDNs serve fat images (negative control for the pixel
+	// heuristic).
+	install(headend.Tracker{Domain: "tvcdn-images.de", FatPixel: true})
+
+	for _, d := range thirdPartyFingerprinters {
+		install(headend.Tracker{Domain: d, Fingerprint: true,
+			CookieName: "fpid", CookieKind: headend.CookieID})
+	}
+	for _, d := range deviceCollectors {
+		install(headend.Tracker{Domain: d, CookieName: "devid", CookieKind: headend.CookieID})
+	}
+	for _, d := range profileCollectors {
+		install(headend.Tracker{Domain: d})
+	}
+	// Some tail trackers reuse well-known Web cookie names (classifiable
+	// by the Cookiepedia substitute); most use bespoke names, which keeps
+	// the HbbTV classification coverage far below the Web's.
+	knownNames := []string{"uuid2", "tuuid", "anj", "criteo_id", "cto_bundle", "adform_uid", "tluid", "test_cookie"}
+	for i := 0; i < longTailCount; i++ {
+		kind := headend.CookieID
+		switch i % 5 {
+		case 3:
+			kind = headend.CookieTimestamp
+		case 4:
+			kind = headend.CookieShort
+		}
+		name := fmt.Sprintf("tm%02d", i+1)
+		if i%5 == 0 && i/5 < len(knownNames) {
+			name = knownNames[i/5]
+			kind = headend.CookieID
+		}
+		install(headend.Tracker{
+			Domain:     longTailDomain(i),
+			CookieName: name,
+			CookieKind: kind,
+		})
+	}
+	// tvfonts.eu: the shared font CDN every HbbTV app loads — benign
+	// third-party infrastructure that makes the ecosystem one connected
+	// component.
+	w.Internet.HandleFunc("tvfonts.eu", func(wr http.ResponseWriter, r *http.Request) {
+		wr.Header().Set("Content-Type", "text/css")
+		fmt.Fprint(wr, "@font-face{font-family:TiresiasScreen;src:url(t.woff)}")
+	})
+	// Group platform services: per-group stats pixels and fingerprint
+	// hosts live on subdomains of the group's first party, so hostnet
+	// wildcards for the group domains are registered by the app sites;
+	// here we register the shared fp script service used first-party.
+}

@@ -1,0 +1,160 @@
+package tracking
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/etld"
+	"github.com/hbbtvlab/hbbtvlab/internal/filterlist"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+// This file implements the paper's future-work proposal: "(automatically)
+// deriving additional filter rules from observed traffic that block
+// trackers for HbbTV". Trackers detected by the behavioural heuristics
+// (pixels, fingerprints) but missed by the existing Web lists become
+// Adblock-Plus rules; a first party's own measurement host is blocked at
+// host granularity (blocking the whole first party would break the app).
+
+// DerivedRule is one generated filter rule with its evidence.
+type DerivedRule struct {
+	Rule string
+	// Domain is the blocked scope (eTLD+1 or a first-party subdomain).
+	Domain string
+	// Requests is how many tracking requests the rule's evidence covers.
+	Requests int
+	// Kinds aggregates why the domain was flagged.
+	Kinds Kind
+}
+
+// DeriveFilterRules scans a dataset for heuristically-detected tracking
+// requests that the base list misses and emits one rule per blockable
+// scope, most-evidenced first.
+func (c *Classifier) DeriveFilterRules(ds *store.Dataset, firstParty map[string]string, base *filterlist.List) []DerivedRule {
+	firstParties := make(map[string]struct{}, len(firstParty))
+	for _, fp := range firstParty {
+		firstParties[fp] = struct{}{}
+	}
+	type evidence struct {
+		requests int
+		kinds    Kind
+	}
+	byScope := make(map[string]*evidence)
+	for _, run := range ds.Runs {
+		for _, f := range run.Flows {
+			kinds := c.Classify(f)
+			if kinds&(KindPixel|KindFingerprint) == 0 {
+				continue // only heuristic detections feed derivation
+			}
+			if base != nil && base.MatchURL(f.URL.String()) {
+				continue // already covered
+			}
+			host := f.Host()
+			party := etld.MustRegistrableDomain(host)
+			scope := party
+			if _, isFP := firstParties[party]; isFP {
+				// Block only the measurement host, never the app platform.
+				scope = hostScope(host)
+				if scope == "" {
+					continue
+				}
+			}
+			ev := byScope[scope]
+			if ev == nil {
+				ev = &evidence{}
+				byScope[scope] = ev
+			}
+			ev.requests++
+			ev.kinds |= kinds
+		}
+	}
+	rules := make([]DerivedRule, 0, len(byScope))
+	for scope, ev := range byScope {
+		rules = append(rules, DerivedRule{
+			Rule:     fmt.Sprintf("||%s^", scope),
+			Domain:   scope,
+			Requests: ev.requests,
+			Kinds:    ev.kinds,
+		})
+	}
+	sort.Slice(rules, func(a, b int) bool {
+		if rules[a].Requests != rules[b].Requests {
+			return rules[a].Requests > rules[b].Requests
+		}
+		return rules[a].Domain < rules[b].Domain
+	})
+	return rules
+}
+
+// hostScope reduces a first-party tracking host to a blockable subdomain
+// scope ("stats.ard.de"); hosts with no dedicated subdomain return "".
+func hostScope(host string) string {
+	if i := strings.IndexByte(host, '.'); i > 0 && strings.Count(host, ".") >= 2 {
+		return host
+	}
+	return ""
+}
+
+// RulesText renders derived rules as an ABP list body.
+func RulesText(rules []DerivedRule) string {
+	var b strings.Builder
+	b.WriteString("! Derived HbbTV tracker rules (generated from observed traffic)\n")
+	for _, r := range rules {
+		b.WriteString(r.Rule)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ExtensionResult quantifies how much an extended list improves coverage.
+type ExtensionResult struct {
+	TrackingRequests int // heuristically-detected tracking requests
+	BlockedBefore    int // covered by the base list alone
+	BlockedAfter     int // covered by base + derived rules
+}
+
+// CoverageBefore returns the base list's share of tracking requests.
+func (r ExtensionResult) CoverageBefore() float64 {
+	if r.TrackingRequests == 0 {
+		return 0
+	}
+	return float64(r.BlockedBefore) / float64(r.TrackingRequests)
+}
+
+// CoverageAfter returns the extended list's share.
+func (r ExtensionResult) CoverageAfter() float64 {
+	if r.TrackingRequests == 0 {
+		return 0
+	}
+	return float64(r.BlockedAfter) / float64(r.TrackingRequests)
+}
+
+// EvaluateExtension measures base-list coverage of heuristic tracking
+// requests before and after appending the derived rules.
+func (c *Classifier) EvaluateExtension(ds *store.Dataset, base *filterlist.List, rules []DerivedRule) (ExtensionResult, error) {
+	extended := filterlist.MustParseHosts("base-copy", "")
+	// Rebuild the extended list: base rules are not clonable, so evaluate
+	// base and extension separately.
+	if err := extended.Append(RulesText(rules)); err != nil {
+		return ExtensionResult{}, err
+	}
+	var res ExtensionResult
+	for _, run := range ds.Runs {
+		for _, f := range run.Flows {
+			if c.Classify(f)&(KindPixel|KindFingerprint) == 0 {
+				continue
+			}
+			res.TrackingRequests++
+			u := f.URL.String()
+			inBase := base != nil && base.MatchURL(u)
+			if inBase {
+				res.BlockedBefore++
+			}
+			if inBase || extended.MatchURL(u) {
+				res.BlockedAfter++
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,114 @@
+package tracking
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/filterlist"
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+// deriveDataset holds: an unlisted pixel host (3 requests), an unlisted
+// fingerprinter (1), a first-party stats pixel (2), a listed web tracker
+// (1, must be skipped), and clean traffic.
+func deriveDataset() *store.Dataset {
+	return &store.Dataset{Runs: []*store.RunData{{
+		Name: store.RunRed,
+		Flows: []*proxy.Flow{
+			mkFlow("http://ch1.tvping.com/t", "A", t0, 200, "image/gif", 35, ""),
+			mkFlow("http://ch1.tvping.com/t", "A", t0, 200, "image/gif", 35, ""),
+			mkFlow("http://ch2.tvping.com/t", "B", t0, 200, "image/gif", 35, ""),
+			mkFlow("http://metrixfp01.de/fp.js", "A", t0, 200, "application/javascript", 99, "toDataURL"),
+			mkFlow("http://stats.ard.de/px?c=a", "A", t0, 200, "image/gif", 35, ""),
+			mkFlow("http://stats.ard.de/px?c=b", "B", t0, 200, "image/gif", 35, ""),
+			mkFlow("http://google-analytics.com/collect", "A", t0, 200, "image/gif", 35, ""),
+			mkFlow("http://hbbtv.ard.de/index.html", "A", t0, 200, "text/html", 500, "<html>"),
+		},
+	}}}
+}
+
+var deriveFirstParties = map[string]string{"A": "ard.de", "B": "ard.de"}
+
+func TestDeriveFilterRules(t *testing.T) {
+	ds := deriveDataset()
+	cls := NewClassifier()
+	rules := cls.DeriveFilterRules(ds, deriveFirstParties, cls.EasyPrivacy)
+
+	byDomain := map[string]DerivedRule{}
+	for _, r := range rules {
+		byDomain[r.Domain] = r
+	}
+	// The unlisted pixel host is derived at eTLD+1 scope with 3 requests.
+	if r, ok := byDomain["tvping.com"]; !ok || r.Requests != 3 || r.Rule != "||tvping.com^" {
+		t.Errorf("tvping rule = %+v", byDomain["tvping.com"])
+	}
+	// The fingerprinter is derived with the fingerprint kind.
+	if r, ok := byDomain["metrixfp01.de"]; !ok || r.Kinds&KindFingerprint == 0 {
+		t.Errorf("fingerprinter rule = %+v", byDomain["metrixfp01.de"])
+	}
+	// The first-party measurement host is blocked at HOST scope, so the
+	// app platform itself stays reachable.
+	if _, ok := byDomain["ard.de"]; ok {
+		t.Error("derived a rule blocking the whole first party")
+	}
+	if r, ok := byDomain["stats.ard.de"]; !ok || r.Requests != 2 {
+		t.Errorf("stats host rule = %+v", byDomain["stats.ard.de"])
+	}
+	// Already-listed trackers are not re-derived.
+	if _, ok := byDomain["google-analytics.com"]; ok {
+		t.Error("derived a rule for an already-covered tracker")
+	}
+	// Ordered by evidence.
+	if rules[0].Domain != "tvping.com" {
+		t.Errorf("rules[0] = %+v, want the most-evidenced domain first", rules[0])
+	}
+}
+
+func TestRulesTextParses(t *testing.T) {
+	ds := deriveDataset()
+	cls := NewClassifier()
+	rules := cls.DeriveFilterRules(ds, deriveFirstParties, cls.EasyPrivacy)
+	text := RulesText(rules)
+	if !strings.HasPrefix(text, "!") {
+		t.Error("rules text missing header comment")
+	}
+	l, err := filterlist.Parse("derived", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.MatchURL("http://ch9.tvping.com/t?c=x") {
+		t.Error("derived list does not block the pixel host")
+	}
+	if l.MatchURL("http://hbbtv.ard.de/index.html") {
+		t.Error("derived list blocks the application platform")
+	}
+	if !l.MatchURL("http://stats.ard.de/px") {
+		t.Error("derived list does not block the first-party stats host")
+	}
+}
+
+func TestEvaluateExtension(t *testing.T) {
+	ds := deriveDataset()
+	cls := NewClassifier()
+	base := cls.EasyPrivacy
+	rules := cls.DeriveFilterRules(ds, deriveFirstParties, base)
+	res, err := cls.EvaluateExtension(ds, base, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 heuristic tracking requests (3 tvping + 1 fp + 2 stats + 1 GA).
+	if res.TrackingRequests != 7 {
+		t.Errorf("tracking requests = %d", res.TrackingRequests)
+	}
+	if res.BlockedBefore != 1 { // only GA is on EasyPrivacy
+		t.Errorf("blocked before = %d", res.BlockedBefore)
+	}
+	if res.BlockedAfter != 7 {
+		t.Errorf("blocked after = %d, want full coverage", res.BlockedAfter)
+	}
+	if res.CoverageAfter() <= res.CoverageBefore() {
+		t.Errorf("extension did not improve coverage: %.2f -> %.2f",
+			res.CoverageBefore(), res.CoverageAfter())
+	}
+}

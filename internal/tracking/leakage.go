@@ -1,0 +1,169 @@
+package tracking
+
+import (
+	"net/url"
+	"strings"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/etld"
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+// This file implements the Section V-B analysis of personal data collected
+// by HbbTV channels: a keyword search over GET/POST payloads for technical
+// data (device identity) and behavioral data (aired program and genre).
+
+// LeakKind classifies leaked data.
+type LeakKind string
+
+// Leak kinds.
+const (
+	LeakTechnical  LeakKind = "technical"
+	LeakBehavioral LeakKind = "behavioral"
+)
+
+// Leak is one observed transmission of personal data to some party.
+type Leak struct {
+	Kind    LeakKind
+	Keyword string // which needle matched
+	Channel string
+	Party   string // receiving eTLD+1
+	Run     store.RunName
+}
+
+// DeviceNeedles are the technical-data search terms for the study's TV.
+// The paper searched for manufacturer, model, OS, language, local time,
+// and addresses.
+type DeviceNeedles struct {
+	Manufacturer string
+	Model        string
+	OS           string
+	Language     string
+}
+
+// LGNeedles matches the study device.
+var LGNeedles = DeviceNeedles{
+	Manufacturer: "LGE",
+	Model:        "43UK6300LLB",
+	OS:           "WEBOS4.0",
+	Language:     "German",
+}
+
+func (n DeviceNeedles) terms() map[string]string {
+	return map[string]string{
+		"manufacturer": n.Manufacturer,
+		"model":        n.Model,
+		"os":           n.OS,
+		"language":     n.Language,
+	}
+}
+
+// FindLeaks scans all flows of the given runs for technical and behavioral
+// data. Behavioral needles (show title, genre) come from the channel
+// metadata of the dataset. Only requests to third parties count for the
+// "data was sent to N third parties" statistic, but first-party leaks are
+// reported too (the caller can filter).
+func FindLeaks(ds *store.Dataset, firstParty map[string]string, needles DeviceNeedles) []Leak {
+	var out []Leak
+	terms := needles.terms()
+	for _, run := range ds.Runs {
+		for _, f := range run.Flows {
+			if f.Channel == "" {
+				continue
+			}
+			hay := flowPayload(f)
+			if hay == "" {
+				continue
+			}
+			party := etld.MustRegistrableDomain(f.Host())
+			for label, term := range terms {
+				if term != "" && strings.Contains(hay, term) {
+					out = append(out, Leak{
+						Kind: LeakTechnical, Keyword: label,
+						Channel: f.Channel, Party: party, Run: run.Name,
+					})
+				}
+			}
+			info := ds.ChannelInfo(f.Channel)
+			if info != nil {
+				if info.Show != "" && strings.Contains(hay, info.Show) {
+					out = append(out, Leak{
+						Kind: LeakBehavioral, Keyword: "show",
+						Channel: f.Channel, Party: party, Run: run.Name,
+					})
+				}
+				if info.Genre != "" && strings.Contains(hay, info.Genre) {
+					out = append(out, Leak{
+						Kind: LeakBehavioral, Keyword: "genre",
+						Channel: f.Channel, Party: party, Run: run.Name,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// flowPayload is the searched text: decoded query plus request body.
+func flowPayload(f *proxy.Flow) string {
+	var sb strings.Builder
+	if q := f.URL.RawQuery; q != "" {
+		if dec, err := url.QueryUnescape(q); err == nil {
+			sb.WriteString(dec)
+		} else {
+			sb.WriteString(q)
+		}
+	}
+	if len(f.RequestBody) > 0 {
+		sb.WriteByte('\n')
+		sb.Write(f.RequestBody)
+	}
+	return sb.String()
+}
+
+// LeakSummary aggregates FindLeaks output into the paper's headline
+// numbers.
+type LeakSummary struct {
+	// TechnicalChannels counts channels leaking device data.
+	TechnicalChannels int
+	// TechnicalParties counts distinct third parties receiving device data.
+	TechnicalParties int
+	// BehavioralChannels counts channels leaking the watched genre/show.
+	BehavioralChannels int
+	// RequestsWithPersonalData counts flows carrying any leak.
+	RequestsWithPersonalData int
+}
+
+// Summarize rolls leaks up. firstParty distinguishes third-party receivers.
+func Summarize(leaks []Leak, firstParty map[string]string) LeakSummary {
+	techChans := map[string]struct{}{}
+	techParties := map[string]struct{}{}
+	behChans := map[string]struct{}{}
+	reqs := 0
+	seenReq := map[[4]string]struct{}{}
+	for _, l := range leaks {
+		key := [4]string{string(l.Run), l.Channel, l.Party, string(l.Kind)}
+		if _, dup := seenReq[key]; !dup {
+			seenReq[key] = struct{}{}
+		}
+		reqs++
+		third := firstParty[l.Channel] != "" && l.Party != firstParty[l.Channel]
+		switch l.Kind {
+		case LeakTechnical:
+			techChans[l.Channel] = struct{}{}
+			if third {
+				techParties[l.Party] = struct{}{}
+			}
+		case LeakBehavioral:
+			if third {
+				behChans[l.Channel] = struct{}{}
+			}
+		}
+	}
+	return LeakSummary{
+		TechnicalChannels:        len(techChans),
+		TechnicalParties:         len(techParties),
+		BehavioralChannels:       len(behChans),
+		RequestsWithPersonalData: reqs,
+	}
+}

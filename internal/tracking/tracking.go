@@ -1,0 +1,273 @@
+// Package tracking implements the user-tracking analyses of Section V:
+// first/third-party identification (with the filter-list correction for
+// trackers encoded directly into the HbbTV signal), the tracking-pixel
+// heuristic, fingerprint-script detection, personal-data leakage search,
+// and the per-channel / per-category tracking statistics behind Table III
+// and Figures 6 and 7.
+package tracking
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/etld"
+	"github.com/hbbtvlab/hbbtvlab/internal/filterlist"
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+// PixelMaxBytes is the tracking-pixel size threshold: responses smaller
+// than this (roughly an empty image) count as pixels.
+const PixelMaxBytes = 45
+
+// FirstParties identifies the first party of every channel across runs,
+// following Section V-A: the earliest attributed request that loads
+// content, skipping requests flagged by the known-tracker list so that
+// third-party endpoints encoded directly into the broadcast signal are not
+// misclassified. Returns channel name -> eTLD+1.
+func FirstParties(runs []*store.RunData, known *filterlist.List) map[string]string {
+	return firstParties(runs, known)
+}
+
+// NaiveFirstParties applies the uncorrected rule (first request wins) —
+// the ablation baseline showing why the filter-list correction matters.
+func NaiveFirstParties(runs []*store.RunData) map[string]string {
+	return firstParties(runs, nil)
+}
+
+func firstParties(runs []*store.RunData, known *filterlist.List) map[string]string {
+	type cand struct {
+		t    int64
+		host string
+	}
+	best := make(map[string]cand)
+	for _, run := range runs {
+		for _, f := range run.Flows {
+			if f.Channel == "" {
+				continue
+			}
+			if known != nil && known.MatchURL(f.URL.String()) {
+				continue
+			}
+			ts := f.Time.UnixNano()
+			if b, ok := best[f.Channel]; !ok || ts < b.t {
+				best[f.Channel] = cand{t: ts, host: f.Host()}
+			}
+		}
+	}
+	out := make(map[string]string, len(best))
+	for ch, c := range best {
+		out[ch] = etld.MustRegistrableDomain(c.host)
+	}
+	return out
+}
+
+// IsTrackingPixel implements the Section V-D1 heuristic: the response is an
+// image, smaller than 45 bytes, with status 200.
+func IsTrackingPixel(f *proxy.Flow) bool {
+	if f.StatusCode != 200 {
+		return false
+	}
+	if f.ResponseSize >= PixelMaxBytes {
+		return false
+	}
+	return strings.HasPrefix(f.ContentType(), "image/")
+}
+
+// fingerprintMarkers are the API/library signatures of Section V-D2.
+var fingerprintMarkers = []string{
+	"toDataURL",          // canvas readback
+	"getContext('webgl'", // WebGL probing
+	"getContext(\"webgl", //
+	"WebGLRenderingContext",
+	"AudioContext",
+	"Fingerprint2", // FingerprintJS library
+	"fingerprintjs",
+}
+
+// IsFingerprintScript reports whether a flow delivered JavaScript whose
+// body references fingerprinting APIs or libraries. The framework cannot
+// observe execution, so — as in the paper — this is a lower bound.
+func IsFingerprintScript(f *proxy.Flow) bool {
+	ct := f.ContentType()
+	if !strings.Contains(ct, "javascript") && ct != "application/x-javascript" {
+		return false
+	}
+	if len(f.ResponseBody) == 0 {
+		return false
+	}
+	body := string(f.ResponseBody)
+	for _, m := range fingerprintMarkers {
+		if strings.Contains(body, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Kind classifies why a flow counts as a tracking request.
+type Kind int
+
+// Tracking-request kinds (bit flags).
+const (
+	KindPixel Kind = 1 << iota
+	KindFingerprint
+	KindListed // flagged by a filter list
+)
+
+// Classifier bundles the filter lists used to label tracking requests.
+type Classifier struct {
+	EasyList    *filterlist.List
+	EasyPrivacy *filterlist.List
+	PiHole      *filterlist.List
+}
+
+// NewClassifier returns a classifier over the embedded snapshot lists.
+func NewClassifier() *Classifier {
+	return &Classifier{
+		EasyList:    filterlist.EasyList(),
+		EasyPrivacy: filterlist.EasyPrivacy(),
+		PiHole:      filterlist.PiHole(),
+	}
+}
+
+// Classify returns the tracking kinds of a flow (0 = not tracking).
+func (c *Classifier) Classify(f *proxy.Flow) Kind {
+	var k Kind
+	if IsTrackingPixel(f) {
+		k |= KindPixel
+	}
+	if IsFingerprintScript(f) {
+		k |= KindFingerprint
+	}
+	u := f.URL.String()
+	if (c.EasyList != nil && c.EasyList.MatchURL(u)) ||
+		(c.EasyPrivacy != nil && c.EasyPrivacy.MatchURL(u)) ||
+		(c.PiHole != nil && c.PiHole.MatchURL(u)) {
+		k |= KindListed
+	}
+	return k
+}
+
+// IsTracking reports whether the flow is a tracking request under any
+// heuristic or list.
+func (c *Classifier) IsTracking(f *proxy.Flow) bool { return c.Classify(f) != 0 }
+
+// RunListStats is one row of Table III: filter-list hits and heuristic
+// detections for one measurement run.
+type RunListStats struct {
+	Run          store.RunName
+	OnPiHole     int
+	OnEasyList   int
+	OnEasyPriv   int
+	TrackingPxl  int
+	Fingerprints int
+}
+
+// ListStats computes Table III for a run.
+func (c *Classifier) ListStats(run *store.RunData) RunListStats {
+	s := RunListStats{Run: run.Name}
+	for _, f := range run.Flows {
+		u := f.URL.String()
+		if c.PiHole.MatchURL(u) {
+			s.OnPiHole++
+		}
+		if c.EasyList.MatchURL(u) {
+			s.OnEasyList++
+		}
+		if c.EasyPrivacy.MatchURL(u) {
+			s.OnEasyPriv++
+		}
+		if IsTrackingPixel(f) {
+			s.TrackingPxl++
+		}
+		if IsFingerprintScript(f) {
+			s.Fingerprints++
+		}
+	}
+	return s
+}
+
+// ChannelStats aggregates tracking per channel — the basis of Fig. 6 and
+// the channel-level analysis.
+type ChannelStats struct {
+	Channel          string
+	TrackingRequests int
+	Trackers         map[string]struct{} // distinct tracker eTLD+1s
+}
+
+// TrackerCount returns the number of distinct trackers contacted.
+func (cs *ChannelStats) TrackerCount() int { return len(cs.Trackers) }
+
+// PerChannel computes tracking statistics for every channel with at least
+// one tracking request, across the given runs.
+func (c *Classifier) PerChannel(runs []*store.RunData) map[string]*ChannelStats {
+	out := make(map[string]*ChannelStats)
+	for _, run := range runs {
+		for _, f := range run.Flows {
+			if f.Channel == "" || !c.IsTracking(f) {
+				continue
+			}
+			cs := out[f.Channel]
+			if cs == nil {
+				cs = &ChannelStats{Channel: f.Channel, Trackers: make(map[string]struct{})}
+				out[f.Channel] = cs
+			}
+			cs.TrackingRequests++
+			cs.Trackers[etld.MustRegistrableDomain(f.Host())] = struct{}{}
+		}
+	}
+	return out
+}
+
+// CategoryStats aggregates tracking per channel category (Fig. 7).
+type CategoryStats struct {
+	Category         string
+	Channels         int
+	TrackingRequests int
+	PerChannel       []float64 // tracking requests per channel, for tests/stats
+}
+
+// PerCategory groups PerChannel results by the channels' primary category.
+// Channels in categories with fewer than minChannels channels are folded
+// into "Other/Unknown", as in Fig. 7.
+func PerCategory(byChannel map[string]*ChannelStats, ds *store.Dataset, minChannels int) []CategoryStats {
+	catChannels := make(map[string][]string)
+	for _, name := range ds.ChannelNames() {
+		info := ds.ChannelInfo(name)
+		cat := "Other/Unknown"
+		if info != nil && info.PrimaryCategory() != "" {
+			cat = string(info.PrimaryCategory())
+		}
+		catChannels[cat] = append(catChannels[cat], name)
+	}
+	// Fold small categories.
+	folded := make(map[string][]string)
+	for cat, chans := range catChannels {
+		if cat != "Other/Unknown" && len(chans) < minChannels {
+			folded["Other/Unknown"] = append(folded["Other/Unknown"], chans...)
+			continue
+		}
+		folded[cat] = append(folded[cat], chans...)
+	}
+	var out []CategoryStats
+	for cat, chans := range folded {
+		cs := CategoryStats{Category: cat, Channels: len(chans)}
+		for _, ch := range chans {
+			n := 0
+			if st := byChannel[ch]; st != nil {
+				n = st.TrackingRequests
+			}
+			cs.TrackingRequests += n
+			cs.PerChannel = append(cs.PerChannel, float64(n))
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].TrackingRequests != out[b].TrackingRequests {
+			return out[a].TrackingRequests > out[b].TrackingRequests
+		}
+		return out[a].Category < out[b].Category
+	})
+	return out
+}

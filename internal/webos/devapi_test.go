@@ -1,0 +1,179 @@
+package webos
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+)
+
+// devFixture serves the consent fixture TV over the Developer API.
+func devFixture(t *testing.T) (*DevClient, *testFixture) {
+	t.Helper()
+	fx := newFixture(t)
+	bouquet := &dvb.Bouquet{Services: []*dvb.Service{
+		fx.svc,
+		{ServiceID: 900, Name: "Radio Eins", Radio: true},
+	}}
+	api, err := ServeDevAPI(fx.tv, bouquet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { api.Close() })
+	return NewDevClient(api.Addr()), fx
+}
+
+func TestDevAPIRemoteControlSession(t *testing.T) {
+	c, fx := devFixture(t)
+
+	if err := c.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Switch("TestTV"); err != nil {
+		t.Fatal(err)
+	}
+	state, err := c.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state.Channel != "TestTV" || !state.HasApp || state.SessionID == "" {
+		t.Errorf("state = %+v", state)
+	}
+
+	if err := c.Watch(30); err != nil {
+		t.Fatal(err)
+	}
+	// The watch drove beacons through the recorder.
+	if fx.rec.Len() < 4 {
+		t.Errorf("flows after remote watch = %d", fx.rec.Len())
+	}
+
+	if err := c.Press(appmodel.KeyRed); err != nil {
+		t.Fatal(err)
+	}
+	shot, err := c.Screenshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shot.Overlay == nil || shot.Overlay.Type != appmodel.OverlayMediaLibrary {
+		t.Errorf("screenshot after red = %+v", shot.Overlay)
+	}
+
+	logs, err := c.Logs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(logs) == 0 {
+		t.Error("no logs over the API")
+	}
+
+	if err := c.PowerOff(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDevAPIChannelList(t *testing.T) {
+	c, _ := devFixture(t)
+	chans, err := c.Channels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chans) != 2 {
+		t.Fatalf("channels = %+v", chans)
+	}
+	byName := map[string]ChannelMeta{}
+	for _, ch := range chans {
+		byName[ch.Name] = ch
+	}
+	if !byName["TestTV"].HasAIT || byName["TestTV"].Radio {
+		t.Errorf("TestTV meta = %+v", byName["TestTV"])
+	}
+	if !byName["Radio Eins"].Radio {
+		t.Errorf("radio meta = %+v", byName["Radio Eins"])
+	}
+}
+
+func TestDevAPIErrors(t *testing.T) {
+	c, _ := devFixture(t)
+	if err := c.Switch("Ghost Channel"); err == nil {
+		t.Error("switch to unknown channel succeeded")
+	}
+	// Tuning while powered off conflicts.
+	if err := c.Switch("TestTV"); err == nil {
+		t.Error("switch on powered-off TV succeeded")
+	}
+	if err := c.Watch(-5); err == nil {
+		t.Error("negative watch accepted")
+	}
+	if err := c.Watch(100000000); err == nil {
+		t.Error("absurd watch accepted")
+	}
+}
+
+func TestDevAPIScreenshotRoundTripsOverlay(t *testing.T) {
+	c, fx := devFixture(t)
+	if err := c.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Switch("TestTV"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Press(appmodel.KeyBlue); err != nil { // consent notice
+		t.Fatal(err)
+	}
+	shot, err := c.Screenshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shot.Overlay == nil || shot.Overlay.Consent == nil {
+		t.Fatalf("consent overlay lost over JSON: %+v", shot.Overlay)
+	}
+	if got := shot.Overlay.Consent.Layers[0].Buttons[0].Role; got != appmodel.RoleAcceptAll {
+		t.Errorf("button role over JSON = %v", got)
+	}
+	_ = fx
+	// Watch a little; the screenshot time advances on the virtual clock.
+	if err := c.Watch(60); err != nil {
+		t.Fatal(err)
+	}
+	shot2, err := c.Screenshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shot2.Time.After(shot.Time) {
+		t.Errorf("screenshot time did not advance: %v then %v", shot.Time, shot2.Time)
+	}
+}
+
+func TestDevAPIConcurrentCommands(t *testing.T) {
+	c, _ := devFixture(t)
+	if err := c.PowerOn(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Switch("TestTV"); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			if err := c.Watch(5); err != nil {
+				done <- err
+				return
+			}
+			_, err := c.Screenshot()
+			done <- err
+		}()
+	}
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < 8; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-deadline:
+			t.Fatal("concurrent commands deadlocked")
+		}
+	}
+}

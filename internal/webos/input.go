@@ -1,0 +1,185 @@
+package webos
+
+import (
+	"net/http"
+	"strconv"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+)
+
+// Press injects a remote-control key press, as the study's remote-control
+// script did through the webOS Developer API.
+//
+// When a consent notice is on screen, the cursor keys move the button
+// focus and ENTER activates the focused button — this is the HbbTV input
+// constraint the paper identifies as a new nudging dimension: the cursor
+// must rest on some button, and all twelve notice stylings park it on
+// "Accept". Otherwise the key is dispatched through the application's key
+// map (colored buttons navigate, per the HbbTV standard).
+func (tv *TV) Press(key appmodel.Key) {
+	tv.logf(LogKey, "press %s", key)
+	app := tv.app
+	if app == nil {
+		return
+	}
+	if _, notice := app.activeConsent(); notice != nil {
+		tv.pressOnConsent(key, notice)
+		return
+	}
+	tv.dispatchKey(key)
+}
+
+// activeConsent returns the overlay hosting an interactable consent notice
+// and its spec: the on-top notice wins over a consent-bearing base overlay.
+func (a *runningApp) activeConsent() (*appmodel.OverlaySpec, *appmodel.ConsentSpec) {
+	if a.notice != nil && a.notice.Consent != nil && len(a.notice.Consent.Layers) > 0 {
+		return a.notice, a.notice.Consent
+	}
+	if a.overlay != nil && a.overlay.Consent != nil && len(a.overlay.Consent.Layers) > 0 {
+		return a.overlay, a.overlay.Consent
+	}
+	return nil, nil
+}
+
+func (tv *TV) pressOnConsent(key appmodel.Key, notice *appmodel.ConsentSpec) {
+	app := tv.app
+	layer := notice.Layers[app.consentLayer]
+	switch key {
+	case appmodel.KeyLeft, appmodel.KeyUp:
+		if app.consentFocus > 0 {
+			app.consentFocus--
+		}
+	case appmodel.KeyRight, appmodel.KeyDown:
+		if app.consentFocus < len(layer.Buttons)-1 {
+			app.consentFocus++
+		}
+	case appmodel.KeyEnter:
+		tv.activateConsentButton(notice, layer)
+	case appmodel.KeyBack:
+		if app.consentLayer > 0 {
+			app.consentLayer--
+			app.consentFocus = notice.Layers[app.consentLayer].DefaultFocus
+		} else if !notice.Modal {
+			// Non-modal notices can be dismissed.
+			tv.dismissConsent("dismissed")
+		}
+	default:
+		// Colored buttons are swallowed by modal notices; non-modal
+		// notices let them through to the app.
+		if !notice.Modal {
+			tv.dispatchKey(key)
+		}
+	}
+}
+
+func (tv *TV) activateConsentButton(notice *appmodel.ConsentSpec, layer appmodel.ConsentLayer) {
+	app := tv.app
+	if len(layer.Buttons) == 0 {
+		return
+	}
+	focus := app.consentFocus
+	if focus < 0 {
+		focus = 0
+	}
+	if focus >= len(layer.Buttons) {
+		focus = len(layer.Buttons) - 1
+	}
+	btn := layer.Buttons[focus]
+	switch btn.Role {
+	case appmodel.RoleAcceptAll:
+		tv.setConsentCookie("all")
+		tv.dismissConsent("accept_all")
+	case appmodel.RoleOnlyNecessary:
+		tv.setConsentCookie("necessary")
+		tv.dismissConsent("only_necessary")
+	case appmodel.RoleDecline:
+		tv.setConsentCookie("denied")
+		tv.dismissConsent("decline")
+	case appmodel.RoleSettings, appmodel.RoleSettingsOrDecline:
+		if app.consentLayer+1 < len(notice.Layers) {
+			app.consentLayer++
+			app.consentFocus = notice.Layers[app.consentLayer].DefaultFocus
+			tv.logf(LogApp, "consent layer %d shown", app.consentLayer+1)
+		} else {
+			tv.setConsentCookie("denied")
+			tv.dismissConsent("settings_exhausted")
+		}
+	case appmodel.RolePrivacy:
+		// Switch to the privacy-policy view the notice links to.
+		host, _ := app.activeConsent()
+		if host != nil && host.PolicyURL != "" {
+			ov := appmodel.OverlaySpec{
+				Type:      appmodel.OverlayPrivacy,
+				Privacy:   appmodel.PrivacyPolicy,
+				PolicyURL: host.PolicyURL,
+			}
+			app.notice = nil
+			app.overlay = &ov
+			tv.logf(LogApp, "privacy policy shown")
+		}
+	case appmodel.RoleConfirm:
+		tv.dismissConsent("confirm")
+	}
+}
+
+// setConsentCookie records the consent decision on the app origin, with a
+// Unix-timestamp value — one source of the timestamp cookies the paper's
+// ID heuristic explicitly excludes.
+func (tv *TV) setConsentCookie(decision string) {
+	app := tv.app
+	if app == nil {
+		return
+	}
+	tv.jar.SetCookies(app.baseURL, []*http.Cookie{{
+		Name:   "consent",
+		Value:  decision + "-" + strconv.FormatInt(tv.clk.Now().Unix(), 10),
+		MaxAge: 180 * 24 * 3600,
+	}})
+}
+
+func (tv *TV) dismissConsent(how string) {
+	app := tv.app
+	if app == nil {
+		return
+	}
+	tv.logf(LogApp, "consent %s", how)
+	if app.notice != nil {
+		// Dismissing the on-top notice reveals the base overlay.
+		app.notice = nil
+	} else {
+		app.overlay = nil
+	}
+	app.consentLayer = 0
+	app.consentFocus = 0
+}
+
+func (tv *TV) dispatchKey(key appmodel.Key) {
+	app := tv.app
+	if app == nil || app.doc.App == nil {
+		return
+	}
+	action, ok := app.doc.App.KeyMap[key]
+	if !ok {
+		return
+	}
+	switch action.Kind {
+	case appmodel.ActionNavigate:
+		target := resolveRef(app.baseURL, action.URL)
+		if err := tv.loadApp(target); err != nil {
+			tv.logf(LogError, "navigate %s: %v", target, err)
+		}
+	case appmodel.ActionOverlay:
+		if action.Overlay != nil {
+			ov := *action.Overlay
+			app.overlay = &ov
+			app.consentLayer = 0
+			if ov.Consent != nil && len(ov.Consent.Layers) > 0 {
+				app.consentFocus = ov.Consent.Layers[0].DefaultFocus
+			}
+		}
+	case appmodel.ActionDismiss:
+		app.overlay = nil
+	case appmodel.ActionFocus:
+		app.consentFocus += action.FocusDelta
+	}
+}

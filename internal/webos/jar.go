@@ -1,0 +1,221 @@
+package webos
+
+import (
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+)
+
+// StoredCookie is one cookie in the TV's cookie jar, with the metadata the
+// study extracted via SSH from the TV's Chromium profile.
+type StoredCookie struct {
+	Name     string
+	Value    string
+	Domain   string // registered domain attribute, without leading dot
+	Path     string
+	Expires  time.Time // zero = session cookie
+	Created  time.Time
+	HostOnly bool   // no Domain attribute: only the exact host matches
+	SetBy    string // host of the response (or document) that set it
+}
+
+// Expired reports whether the cookie is expired at now.
+func (c *StoredCookie) Expired(now time.Time) bool {
+	return !c.Expires.IsZero() && !now.Before(c.Expires)
+}
+
+// Jar is an RFC 6265-style cookie jar driven by an explicit clock so that
+// expiry works on the virtual timeline. It implements http.CookieJar.
+type Jar struct {
+	clk clock.Clock
+
+	mu      sync.Mutex
+	cookies map[jarKey]*StoredCookie
+}
+
+type jarKey struct {
+	domain string
+	path   string
+	name   string
+}
+
+var _ http.CookieJar = (*Jar)(nil)
+
+// NewJar returns an empty jar on the given clock.
+func NewJar(clk clock.Clock) *Jar {
+	return &Jar{clk: clk, cookies: make(map[jarKey]*StoredCookie)}
+}
+
+// SetCookies implements http.CookieJar.
+func (j *Jar) SetCookies(u *url.URL, cookies []*http.Cookie) {
+	host := strings.ToLower(u.Hostname())
+	if host == "" {
+		return
+	}
+	now := j.clk.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, c := range cookies {
+		if c.Name == "" {
+			continue
+		}
+		sc := &StoredCookie{
+			Name:    c.Name,
+			Value:   c.Value,
+			Path:    c.Path,
+			Created: now,
+			SetBy:   host,
+		}
+		if sc.Path == "" {
+			sc.Path = defaultPath(u.Path)
+		}
+		domain := strings.TrimPrefix(strings.ToLower(c.Domain), ".")
+		switch {
+		case domain == "":
+			sc.Domain = host
+			sc.HostOnly = true
+		case domainMatch(host, domain):
+			sc.Domain = domain
+		default:
+			continue // a host may not set cookies for unrelated domains
+		}
+		switch {
+		case c.MaxAge > 0:
+			sc.Expires = now.Add(time.Duration(c.MaxAge) * time.Second)
+		case c.MaxAge < 0:
+			// Immediate deletion.
+			delete(j.cookies, jarKey{sc.Domain, sc.Path, sc.Name})
+			continue
+		case !c.Expires.IsZero():
+			sc.Expires = c.Expires
+		}
+		if sc.Expired(now) {
+			delete(j.cookies, jarKey{sc.Domain, sc.Path, sc.Name})
+			continue
+		}
+		key := jarKey{sc.Domain, sc.Path, sc.Name}
+		if old, ok := j.cookies[key]; ok {
+			sc.Created = old.Created // updates keep creation time
+		}
+		j.cookies[key] = sc
+	}
+}
+
+// Cookies implements http.CookieJar.
+func (j *Jar) Cookies(u *url.URL) []*http.Cookie {
+	host := strings.ToLower(u.Hostname())
+	path := u.Path
+	if path == "" {
+		path = "/"
+	}
+	now := j.clk.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var matched []*StoredCookie
+	for _, sc := range j.cookies {
+		if sc.Expired(now) {
+			continue
+		}
+		if sc.HostOnly {
+			if host != sc.Domain {
+				continue
+			}
+		} else if !domainMatch(host, sc.Domain) {
+			continue
+		}
+		if !pathMatch(path, sc.Path) {
+			continue
+		}
+		matched = append(matched, sc)
+	}
+	// RFC 6265 §5.4: longer paths first, then earlier creation times.
+	sort.Slice(matched, func(a, b int) bool {
+		if len(matched[a].Path) != len(matched[b].Path) {
+			return len(matched[a].Path) > len(matched[b].Path)
+		}
+		return matched[a].Created.Before(matched[b].Created)
+	})
+	out := make([]*http.Cookie, len(matched))
+	for i, sc := range matched {
+		out[i] = &http.Cookie{Name: sc.Name, Value: sc.Value}
+	}
+	return out
+}
+
+// All returns a snapshot of every unexpired cookie, sorted by domain, path,
+// then name — the jar dump the measurement run uploads.
+func (j *Jar) All() []StoredCookie {
+	now := j.clk.Now()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]StoredCookie, 0, len(j.cookies))
+	for _, sc := range j.cookies {
+		if !sc.Expired(now) {
+			out = append(out, *sc)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Domain != out[b].Domain {
+			return out[a].Domain < out[b].Domain
+		}
+		if out[a].Path != out[b].Path {
+			return out[a].Path < out[b].Path
+		}
+		return out[a].Name < out[b].Name
+	})
+	return out
+}
+
+// Clear wipes the jar (between measurement runs).
+func (j *Jar) Clear() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cookies = make(map[jarKey]*StoredCookie)
+}
+
+// Len returns the number of stored (possibly expired) cookies.
+func (j *Jar) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.cookies)
+}
+
+// domainMatch implements RFC 6265 §5.1.3: host equals domain or is a
+// subdomain of it.
+func domainMatch(host, domain string) bool {
+	if host == domain {
+		return true
+	}
+	return strings.HasSuffix(host, "."+domain)
+}
+
+// pathMatch implements RFC 6265 §5.1.4.
+func pathMatch(reqPath, cookiePath string) bool {
+	if reqPath == cookiePath {
+		return true
+	}
+	if strings.HasPrefix(reqPath, cookiePath) {
+		if strings.HasSuffix(cookiePath, "/") {
+			return true
+		}
+		return len(reqPath) > len(cookiePath) && reqPath[len(cookiePath)] == '/'
+	}
+	return false
+}
+
+// defaultPath implements RFC 6265 §5.1.4 default-path computation.
+func defaultPath(reqPath string) string {
+	if reqPath == "" || reqPath[0] != '/' {
+		return "/"
+	}
+	i := strings.LastIndexByte(reqPath, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return reqPath[:i]
+}

@@ -1,0 +1,98 @@
+package webos
+
+import (
+	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+)
+
+// Screenshot captures the current screen state via the Developer API —
+// the study took one every 60 seconds. The returned overlay is a deep
+// enough copy that later runtime state changes do not mutate it.
+func (tv *TV) Screenshot() Screenshot {
+	shot := Screenshot{Time: tv.clk.Now()}
+	if !tv.powered || tv.current == nil {
+		return shot
+	}
+	svc := tv.current
+	shot.Channel = svc.Name
+	shot.ChannelID = channelID(svc)
+	shot.Show = svc.CurrentShow
+
+	switch {
+	case svc.Invisible:
+		shot.Overlay = &appmodel.OverlaySpec{Type: appmodel.OverlayNoSignal}
+		return shot
+	case svc.FlakySignal && signalOutage(svc.Name, shot.Time.Unix()):
+		shot.Overlay = &appmodel.OverlaySpec{Type: appmodel.OverlayNoSignal}
+		return shot
+	case svc.Encrypted:
+		shot.HasSignal = true
+		shot.Overlay = &appmodel.OverlaySpec{
+			Type: appmodel.OverlayCTM,
+			Text: "No CI module",
+		}
+		return shot
+	}
+	shot.HasSignal = true
+	if tv.app == nil {
+		return shot
+	}
+	elapsed := int(shot.Time.Sub(tv.app.started).Seconds())
+	// The on-top consent notice wins while it is visible.
+	if n := tv.app.notice; n != nil && n.VisibleAt(elapsed) {
+		shot.Overlay = tv.snapshotOverlay(n)
+		return shot
+	}
+	if ov := tv.app.overlay; ov != nil && ov.VisibleAt(elapsed) {
+		shot.Overlay = tv.snapshotOverlay(ov)
+	}
+	return shot
+}
+
+// snapshotOverlay deep-copies an overlay for a screenshot, reducing any
+// consent notice to its currently visible layer.
+func (tv *TV) snapshotOverlay(src *appmodel.OverlaySpec) *appmodel.OverlaySpec {
+	ov := *src
+	if ov.Consent != nil {
+		c := *ov.Consent
+		if tv.app.consentLayer < len(c.Layers) {
+			c.Layers = c.Layers[tv.app.consentLayer : tv.app.consentLayer+1]
+		}
+		ov.Consent = &c
+	}
+	return &ov
+}
+
+func channelID(svc *dvb.Service) string {
+	// Mirrors TuneTo's announcement format.
+	return "sid-" + uitoa(uint64(svc.ServiceID))
+}
+
+func uitoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// signalOutage deterministically decides whether a flaky channel is off-air
+// during the minute containing unixTime. Roughly 1 in 6 minutes drop, so
+// daytime-only and weak channels contribute "no signal" screenshots the
+// way they did in the study.
+func signalOutage(name string, unixTime int64) bool {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(name) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= uint64(unixTime / 60)
+	h *= 1099511628211
+	return h%6 == 0
+}

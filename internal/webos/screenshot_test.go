@@ -1,0 +1,54 @@
+package webos
+
+import (
+	"testing"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+)
+
+func TestUitoa(t *testing.T) {
+	tests := []struct {
+		in   uint64
+		want string
+	}{
+		{0, "0"}, {7, "7"}, {28106, "28106"}, {65535, "65535"},
+	}
+	for _, tt := range tests {
+		if got := uitoa(tt.in); got != tt.want {
+			t.Errorf("uitoa(%d) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestChannelIDFormat(t *testing.T) {
+	svc := &dvb.Service{ServiceID: 1234, Name: "X"}
+	if got := channelID(svc); got != "sid-1234" {
+		t.Errorf("channelID = %q", got)
+	}
+}
+
+func TestSignalOutageDeterministic(t *testing.T) {
+	a := signalOutage("Kanal", 1692615600)
+	b := signalOutage("Kanal", 1692615600)
+	if a != b {
+		t.Fatal("signalOutage not deterministic")
+	}
+	// Within the same minute the decision is stable.
+	if signalOutage("Kanal", 1692615600) != signalOutage("Kanal", 1692615600+30) {
+		t.Error("outage decision changed within a minute")
+	}
+	// Roughly 1-in-6 minutes drop; over many minutes both states occur.
+	drops := 0
+	const minutes = 600
+	for i := 0; i < minutes; i++ {
+		if signalOutage("Kanal", int64(1692615600+i*60)) {
+			drops++
+		}
+	}
+	if drops == 0 || drops == minutes {
+		t.Fatalf("outage rate degenerate: %d/%d", drops, minutes)
+	}
+	if drops < minutes/12 || drops > minutes/3 {
+		t.Errorf("outage rate %d/%d far from ~1/6", drops, minutes)
+	}
+}

@@ -1,0 +1,82 @@
+package webos
+
+import (
+	"sort"
+	"sync"
+)
+
+// StorageItem is one localStorage entry with its owning origin, as the
+// study extracted from the TV's browser profile.
+type StorageItem struct {
+	Origin string // scheme://host of the document that wrote it
+	Key    string
+	Value  string
+}
+
+// LocalStorage is the TV browser's per-origin localStorage.
+type LocalStorage struct {
+	mu   sync.Mutex
+	data map[string]map[string]string
+}
+
+// NewLocalStorage returns an empty store.
+func NewLocalStorage() *LocalStorage {
+	return &LocalStorage{data: make(map[string]map[string]string)}
+}
+
+// Set writes key=value for origin.
+func (s *LocalStorage) Set(origin, key, value string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.data[origin]
+	if m == nil {
+		m = make(map[string]string)
+		s.data[origin] = m
+	}
+	m[key] = value
+}
+
+// Get reads a key for origin.
+func (s *LocalStorage) Get(origin, key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[origin][key]
+	return v, ok
+}
+
+// All returns a sorted snapshot of every item.
+func (s *LocalStorage) All() []StorageItem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []StorageItem
+	for origin, m := range s.data {
+		for k, v := range m {
+			out = append(out, StorageItem{Origin: origin, Key: k, Value: v})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Origin != out[b].Origin {
+			return out[a].Origin < out[b].Origin
+		}
+		return out[a].Key < out[b].Key
+	})
+	return out
+}
+
+// Clear wipes the store (between measurement runs).
+func (s *LocalStorage) Clear() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data = make(map[string]map[string]string)
+}
+
+// Len returns the total number of stored items.
+func (s *LocalStorage) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, m := range s.data {
+		n += len(m)
+	}
+	return n
+}

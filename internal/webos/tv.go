@@ -1,0 +1,567 @@
+// Package webos simulates the study's measurement device: an LG webOS TV
+// with an HbbTV 2.0 runtime. The TV tunes dvb services, decodes their AIT,
+// loads the announced HbbTV application over HTTP through the intercepting
+// proxy, executes the app's behaviour manifest (cookies, localStorage,
+// beacon loops, fingerprint collection, key maps, overlays), and exposes
+// the Developer-API surface the remote-control script used: screenshots,
+// channel metadata, input injection, and — thanks to "rooting" — direct
+// access to the cookie jar and localStorage.
+package webos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+)
+
+// DeviceInfo is the technical identity of the TV — the values the paper
+// searched for in outgoing traffic (manufacturer, model, OS, language).
+type DeviceInfo struct {
+	Manufacturer string
+	Model        string
+	OS           string
+	Language     string
+}
+
+// LGDevice is the study's device: an LG 43UK6300LLB on webOS 05.40.26.
+var LGDevice = DeviceInfo{
+	Manufacturer: "LGE",
+	Model:        "43UK6300LLB",
+	OS:           "WEBOS4.0 05.40.26 W4_LM18A",
+	Language:     "German",
+}
+
+// Config configures a TV.
+type Config struct {
+	Clock     clock.Clock
+	Transport http.RoundTripper // the proxy recorder
+	Device    DeviceInfo
+	// OnSwitch is invoked on every channel switch (the remote-control
+	// script forwarded switches to the proxy for attribution).
+	OnSwitch func(name, id string)
+	// Seed drives session/user identifier generation.
+	Seed int64
+	// PlatformTraffic enables the TV's own phone-home traffic to lge.com.
+	// The study disabled all configurable platform communication.
+	PlatformTraffic bool
+}
+
+// LogKind classifies TV log entries.
+type LogKind string
+
+// Log entry kinds.
+const (
+	LogSwitch LogKind = "channel_switch"
+	LogKey    LogKind = "key_press"
+	LogApp    LogKind = "app_event"
+	LogError  LogKind = "error"
+)
+
+// LogEntry is one interaction/metadata log record.
+type LogEntry struct {
+	Time   time.Time
+	Kind   LogKind
+	Detail string
+}
+
+// Screenshot captures what is on screen — the ground truth the annotation
+// codebook is applied to.
+type Screenshot struct {
+	Time      time.Time
+	Channel   string
+	ChannelID string
+	HasSignal bool
+	// Overlay is nil when only the TV program is visible.
+	Overlay *appmodel.OverlaySpec
+	Show    string
+}
+
+// TV is the simulated measurement device.
+type TV struct {
+	cfg    Config
+	clk    clock.Clock
+	client *http.Client
+
+	jar     *Jar
+	storage *LocalStorage
+
+	powered bool
+	network bool
+
+	current *dvb.Service
+	// currentEvent is the airing program decoded from the service's EIT.
+	currentEvent *dvb.Event
+	app          *runningApp
+
+	userID    string
+	sessionID string
+	rng       *rand.Rand
+
+	logs []LogEntry
+}
+
+// runningApp is the state of the loaded HbbTV application.
+type runningApp struct {
+	doc     *appmodel.Document
+	baseURL *url.URL
+	started time.Time
+	// watchElapsed accumulates total watch time so that beacon schedules
+	// survive across successive short Watch calls (screenshot cadence).
+	watchElapsed time.Duration
+	overlay      *appmodel.OverlaySpec
+	// notice is the consent notice shown on top of overlay until decided.
+	notice *appmodel.OverlaySpec
+	// consentLayer / consentFocus track consent-notice interaction state.
+	consentLayer int
+	consentFocus int
+	beacons      []appmodel.BeaconSpec
+	vars         appmodel.Vars
+}
+
+// New constructs a powered-off TV.
+func New(cfg Config) *TV {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	if cfg.Device == (DeviceInfo{}) {
+		cfg.Device = LGDevice
+	}
+	tv := &TV{
+		cfg:     cfg,
+		clk:     cfg.Clock,
+		jar:     NewJar(cfg.Clock),
+		storage: NewLocalStorage(),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	tv.userID = tv.newID("u")
+	tv.client = &http.Client{Transport: cfg.Transport, Jar: tv.jar}
+	return tv
+}
+
+func (tv *TV) newID(prefix string) string {
+	return fmt.Sprintf("%s%08x%08x", prefix, tv.rng.Uint32(), tv.rng.Uint32())
+}
+
+// PowerOn boots the TV and connects it to the network. A new viewing
+// session identifier is generated, as the TV's browser would.
+func (tv *TV) PowerOn() {
+	tv.powered = true
+	tv.network = true
+	tv.sessionID = tv.newID("s")
+	if tv.cfg.PlatformTraffic {
+		// The TV itself phones home; the study disabled this and excluded
+		// lge.com traffic. Modeled so the exclusion has something to drop.
+		req, err := http.NewRequest(http.MethodGet, "http://snu.lge.com/checkupdate?model="+url.QueryEscape(tv.cfg.Device.Model), nil)
+		if err == nil {
+			if resp, err := tv.client.Do(req); err == nil {
+				drain(resp)
+			}
+		}
+	}
+	tv.logf(LogApp, "power on (session %s)", tv.sessionID)
+}
+
+// PowerOff turns the TV off, exiting any running application.
+func (tv *TV) PowerOff() {
+	tv.exitApp()
+	tv.current = nil
+	tv.powered = false
+	tv.logf(LogApp, "power off")
+}
+
+// SetNetwork connects or disconnects the TV from the Internet. Without a
+// connection, linear TV still works but HbbTV content is not loaded.
+func (tv *TV) SetNetwork(on bool) { tv.network = on }
+
+// Rooted access — what RootMyTV 2.0 + SSH provided.
+
+// CookieJar returns the TV's cookie jar for direct inspection.
+func (tv *TV) CookieJar() *Jar { return tv.jar }
+
+// Storage returns the TV's localStorage for direct inspection.
+func (tv *TV) Storage() *LocalStorage { return tv.storage }
+
+// WipeBrowserState clears cookies and localStorage (between runs).
+func (tv *TV) WipeBrowserState() {
+	tv.jar.Clear()
+	tv.storage.Clear()
+}
+
+// UserID returns the TV-persistent identifier apps embed in tracking
+// requests.
+func (tv *TV) UserID() string { return tv.userID }
+
+// SessionID returns the per-power-on session identifier.
+func (tv *TV) SessionID() string { return tv.sessionID }
+
+// Logs returns a copy of all log entries.
+func (tv *TV) Logs() []LogEntry {
+	out := make([]LogEntry, len(tv.logs))
+	copy(out, tv.logs)
+	return out
+}
+
+func (tv *TV) logf(kind LogKind, format string, args ...any) {
+	tv.logs = append(tv.logs, LogEntry{
+		Time:   tv.clk.Now(),
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// TuneTo switches the TV to the given service: the running HbbTV app (if
+// any) exits, the switch is announced (for traffic attribution), and the
+// service's autostart application is loaded when the signal carries an AIT
+// and the TV is online.
+func (tv *TV) TuneTo(svc *dvb.Service) error {
+	if !tv.powered {
+		return fmt.Errorf("webos: TV is powered off")
+	}
+	tv.exitApp()
+	tv.current = svc
+	tv.currentEvent = nil
+	if len(svc.EITSection) > 0 {
+		if eit, err := dvb.DecodeEIT(svc.EITSection); err == nil {
+			tv.currentEvent = eit.Present()
+		} else {
+			tv.logf(LogError, "EIT decode for %s: %v", svc.Name, err)
+		}
+	}
+	id := fmt.Sprintf("sid-%d", svc.ServiceID)
+	tv.logf(LogSwitch, "switch to %s (%s)", svc.Name, id)
+	if tv.cfg.OnSwitch != nil {
+		tv.cfg.OnSwitch(svc.Name, id)
+	}
+	if !tv.network || !svc.HasAIT() || svc.Encrypted || svc.Invisible {
+		return nil
+	}
+	ait, err := dvb.DecodeAIT(svc.AITSection)
+	if err != nil {
+		tv.logf(LogError, "AIT decode for %s: %v", svc.Name, err)
+		return fmt.Errorf("webos: decode AIT: %w", err)
+	}
+	auto := ait.Autostart()
+	if auto == nil {
+		return nil
+	}
+	if err := tv.loadApp(auto.EntryURL()); err != nil {
+		tv.logf(LogError, "app load for %s: %v", svc.Name, err)
+		return fmt.Errorf("webos: load app: %w", err)
+	}
+	return nil
+}
+
+// Current returns the currently tuned service, or nil.
+func (tv *TV) Current() *dvb.Service { return tv.current }
+
+// HasApp reports whether an HbbTV application is currently running.
+func (tv *TV) HasApp() bool { return tv.app != nil }
+
+func (tv *TV) exitApp() {
+	if tv.app != nil {
+		tv.logf(LogApp, "exit app %s", tv.app.baseURL)
+	}
+	tv.app = nil
+}
+
+// appVars builds the template variables for the current app context.
+func (tv *TV) appVars() appmodel.Vars {
+	now := tv.clk.Now()
+	v := appmodel.Vars{
+		SessionID:    tv.sessionID,
+		UserID:       tv.userID,
+		Manufacturer: tv.cfg.Device.Manufacturer,
+		Model:        tv.cfg.Device.Model,
+		OS:           tv.cfg.Device.OS,
+		Language:     tv.cfg.Device.Language,
+		LocalTime:    now.Format("2006-01-02T15:04:05"),
+		UnixTime:     now.Unix(),
+	}
+	if tv.current != nil {
+		v.Channel = tv.current.Name
+		v.ChannelID = fmt.Sprintf("sid-%d", tv.current.ServiceID)
+		// The aired program comes from the broadcast EIT when present,
+		// falling back to the channel-list metadata.
+		if tv.currentEvent != nil {
+			v.Show = tv.currentEvent.Title
+			v.Genre = tv.currentEvent.Genre
+		} else {
+			v.Show = tv.current.CurrentShow
+			v.Genre = tv.current.CurrentGenre
+		}
+	}
+	return v
+}
+
+// loadApp fetches and interprets an HbbTV application document.
+func (tv *TV) loadApp(entry string) error {
+	base, err := url.Parse(entry)
+	if err != nil {
+		return fmt.Errorf("parse entry URL: %w", err)
+	}
+	body, _, err := tv.get(entry, "")
+	if err != nil {
+		return err
+	}
+	doc, err := appmodel.ParseHTML(body)
+	if err != nil {
+		return err
+	}
+	app := &runningApp{doc: doc, baseURL: base, started: tv.clk.Now()}
+	tv.app = app
+	app.vars = tv.appVars()
+
+	// Load markup subresources in document order with the document as
+	// Referer; XHR resources fire after the manifest is applied.
+	for _, res := range doc.Resources {
+		if res.Kind == appmodel.ResXHR {
+			continue
+		}
+		u := resolveRef(base, res.URL)
+		if _, _, err := tv.get(u, base.String()); err != nil {
+			tv.logf(LogError, "subresource %s: %v", u, err)
+		}
+	}
+
+	if doc.App == nil {
+		return nil
+	}
+	spec := doc.App
+
+	// Script-set cookies on the app origin.
+	for _, c := range spec.Cookies {
+		tv.jar.SetCookies(base, []*http.Cookie{{
+			Name:   c.Name,
+			Value:  app.vars.Expand(c.Value),
+			Path:   c.Path,
+			MaxAge: c.MaxAge,
+		}})
+	}
+	// localStorage writes.
+	origin := base.Scheme + "://" + base.Host
+	for _, s := range spec.Storage {
+		tv.storage.Set(origin, s.Key, app.vars.Expand(s.Value))
+	}
+	// XHR resources fire immediately.
+	for _, res := range doc.Resources {
+		if res.Kind == appmodel.ResXHR {
+			u := resolveRef(base, res.URL)
+			if _, _, err := tv.get(u, base.String()); err != nil {
+				tv.logf(LogError, "xhr %s: %v", u, err)
+			}
+		}
+	}
+	// Fingerprinting: fetch the script, then report collected properties.
+	if fp := spec.Fingerprint; fp != nil {
+		if _, _, err := tv.get(resolveRef(base, fp.ScriptURL), base.String()); err == nil {
+			report := map[string]any{
+				"apis":         fp.APIs,
+				"manufacturer": tv.cfg.Device.Manufacturer,
+				"model":        tv.cfg.Device.Model,
+				"os":           tv.cfg.Device.OS,
+				"language":     tv.cfg.Device.Language,
+				"localTime":    app.vars.LocalTime,
+				"canvas":       tv.pseudoFingerprint("canvas"),
+				"webgl":        tv.pseudoFingerprint("webgl"),
+			}
+			payload, _ := json.Marshal(report)
+			tv.post(resolveRef(base, fp.ReportURL), base.String(), "application/json", payload)
+		}
+	}
+	// Explicit data-leak reports.
+	for _, target := range spec.LeakTechnical {
+		u := addQuery(resolveRef(base, target), url.Values{
+			"manufacturer": {tv.cfg.Device.Manufacturer},
+			"model":        {tv.cfg.Device.Model},
+			"os":           {tv.cfg.Device.OS},
+			"language":     {tv.cfg.Device.Language},
+			"localtime":    {app.vars.LocalTime},
+		})
+		if _, _, err := tv.get(u, base.String()); err != nil {
+			tv.logf(LogError, "leak technical %s: %v", u, err)
+		}
+	}
+	for _, target := range spec.LeakBehavioral {
+		u := addQuery(resolveRef(base, target), url.Values{
+			"channel": {app.vars.Channel},
+			"show":    {app.vars.Show},
+			"genre":   {app.vars.Genre},
+			"uid":     {tv.userID},
+		})
+		if _, _, err := tv.get(u, base.String()); err != nil {
+			tv.logf(LogError, "leak behavioral %s: %v", u, err)
+		}
+	}
+	// Beacons are executed by Watch.
+	app.beacons = spec.Beacons
+	if spec.Overlay != nil {
+		ov := *spec.Overlay
+		app.overlay = &ov
+		if ov.Consent != nil && len(ov.Consent.Layers) > 0 {
+			app.consentFocus = ov.Consent.Layers[0].DefaultFocus
+		}
+	}
+	if spec.Notice != nil {
+		nv := *spec.Notice
+		app.notice = &nv
+		if nv.Consent != nil && len(nv.Consent.Layers) > 0 {
+			app.consentFocus = nv.Consent.Layers[0].DefaultFocus
+		}
+	}
+	return nil
+}
+
+// Watch lets the TV sit on the current channel for d, firing all beacon
+// traffic the app schedules. Time advances on the TV's clock. Beacon
+// phases persist across calls, so a 120-second beacon still fires when the
+// caller watches in shorter screenshot-cadence slices.
+func (tv *TV) Watch(d time.Duration) {
+	app := tv.app
+	if app == nil || len(app.beacons) == 0 {
+		tv.clk.Sleep(d)
+		return
+	}
+	start := app.watchElapsed
+	end := start + d
+	app.watchElapsed = end
+
+	type event struct {
+		at     time.Duration
+		beacon int
+	}
+	var events []event
+	for bi, b := range app.beacons {
+		iv := time.Duration(b.IntervalSeconds) * time.Second
+		if iv <= 0 {
+			iv = time.Second
+		}
+		// Fire times are the multiples of iv in (start, end].
+		for at := (start/iv + 1) * iv; at <= end; at += iv {
+			events = append(events, event{at: at, beacon: bi})
+		}
+	}
+	sort.Slice(events, func(a, b int) bool { return events[a].at < events[b].at })
+	cur := start
+	for _, ev := range events {
+		if ev.at > cur {
+			tv.clk.Sleep(ev.at - cur)
+			cur = ev.at
+		}
+		b := app.beacons[ev.beacon]
+		n := b.Burst
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			tv.fireBeacon(b)
+		}
+	}
+	if end > cur {
+		tv.clk.Sleep(end - cur)
+	}
+}
+
+func (tv *TV) fireBeacon(b appmodel.BeaconSpec) {
+	app := tv.app
+	if app == nil {
+		return
+	}
+	vars := tv.appVars() // refresh local time / unix time per request
+	q := url.Values{}
+	for k, v := range b.Params {
+		q.Set(k, vars.Expand(v))
+	}
+	u := addQuery(resolveRef(app.baseURL, b.URL), q)
+	if _, _, err := tv.get(u, app.baseURL.String()); err != nil {
+		tv.logf(LogError, "beacon %s: %v", u, err)
+	}
+}
+
+// get performs a GET with the TV's HTTP stack.
+func (tv *TV) get(rawURL, referer string) ([]byte, *http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, rawURL, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	tv.decorate(req, referer)
+	resp, err := tv.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return body, resp, nil
+}
+
+func (tv *TV) post(rawURL, referer, contentType string, body []byte) {
+	req, err := http.NewRequest(http.MethodPost, rawURL, strings.NewReader(string(body)))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", contentType)
+	tv.decorate(req, referer)
+	resp, err := tv.client.Do(req)
+	if err != nil {
+		tv.logf(LogError, "post %s: %v", rawURL, err)
+		return
+	}
+	drain(resp)
+}
+
+func (tv *TV) decorate(req *http.Request, referer string) {
+	if referer != "" {
+		req.Header.Set("Referer", referer)
+	}
+	req.Header.Set("User-Agent", fmt.Sprintf(
+		"Mozilla/5.0 (Web0S; Linux/SmartTV) AppleWebKit/537.36 HbbTV/1.5.1 (+DRM; %s; %s; %s;)",
+		tv.cfg.Device.Manufacturer, tv.cfg.Device.Model, tv.cfg.Device.OS))
+}
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// pseudoFingerprint derives a stable per-device hash for a fingerprinting
+// API — what a canvas/WebGL fingerprint boils down to for the analysis.
+func (tv *TV) pseudoFingerprint(api string) string {
+	h := uint64(1469598103934665603)
+	for _, b := range []byte(api + tv.cfg.Device.Model + tv.cfg.Device.OS + tv.userID) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return fmt.Sprintf("%016x", h)
+}
+
+func resolveRef(base *url.URL, ref string) string {
+	u, err := url.Parse(ref)
+	if err != nil {
+		return ref
+	}
+	return base.ResolveReference(u).String()
+}
+
+func addQuery(rawURL string, q url.Values) string {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return rawURL
+	}
+	query := u.Query()
+	for k, vs := range q {
+		for _, v := range vs {
+			query.Add(k, v)
+		}
+	}
+	u.RawQuery = query.Encode()
+	return u.String()
+}

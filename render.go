@@ -1,0 +1,211 @@
+package hbbtvlab
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/cookies"
+	"github.com/hbbtvlab/hbbtvlab/internal/core"
+	"github.com/hbbtvlab/hbbtvlab/internal/report"
+)
+
+// RenderFunnel prints the Section IV-B funnel report.
+func RenderFunnel(w io.Writer, f *core.FunnelReport) error {
+	t := &report.Table{
+		Title:   "Channel-selection funnel (Section IV-B)",
+		Headers: []string{"Step", "Count"},
+	}
+	t.AddRow("Received services", report.Int(f.Received))
+	t.AddRow("TV channels", report.Int(f.TVChannels))
+	t.AddRow("Radio channels (removed)", report.Int(f.Radio))
+	t.AddRow("Free-to-air TV", report.Int(f.FreeToAir))
+	t.AddRow("Visible, named", report.Int(f.AfterVisible))
+	t.AddRow("No HTTP(S) traffic (removed)", report.Int(f.NoTraffic))
+	t.AddRow("IPTV (removed)", report.Int(f.IPTV))
+	t.AddRow("Final channel set", report.Int(f.FinalCount()))
+	return t.Write(w)
+}
+
+// RenderTableI prints Table I.
+func RenderTableI(w io.Writer, rows []TableIRow) error {
+	t := &report.Table{
+		Title: "Table I: Data collected per measurement run",
+		Headers: []string{"Meas. Run", "Date", "Channels", "HTTP Req.",
+			"HTTPS Req.", "HTTPS Share", "Cookies", "1P", "3P", "Local Stor."},
+	}
+	for _, r := range rows {
+		t.AddRow(string(r.Run), r.Date.Format("2006-01-02"),
+			report.Int(r.Channels), report.Int(r.HTTPReq),
+			report.Int(r.HTTPSReq), report.Pct(r.HTTPSShare),
+			report.Int(r.Cookies), report.Int(r.FirstParty),
+			report.Int(r.ThirdParty), report.Int(r.LocalStorage))
+	}
+	return t.Write(w)
+}
+
+// RenderTableII prints Table II.
+func RenderTableII(w io.Writer, res *Results) error {
+	t := &report.Table{
+		Title:   "Table II: Cookie-setting third parties per run",
+		Headers: []string{"Meas. Run", "# 3Ps", "# 3P Cookies", "Mean", "Min", "Max", "SD"},
+	}
+	for _, u := range res.TableII {
+		t.AddRow(string(u.Run), report.Int(u.Parties), report.Int(u.Cookies),
+			report.F2(u.PerParty.Mean), report.F2(u.PerParty.Min),
+			report.F2(u.PerParty.Max), report.F2(u.PerParty.SD))
+	}
+	return t.Write(w)
+}
+
+// RenderTableIII prints Table III plus the smart-TV list comparison.
+func RenderTableIII(w io.Writer, res *Results) error {
+	t := &report.Table{
+		Title:   "Table III: Tracking requests and filter-list coverage",
+		Headers: []string{"Meas. Run", "On Pi-hole", "On EasyList", "On EasyPrivacy", "Track. Pxl", "Fingerp."},
+	}
+	for _, r := range res.TableIII {
+		t.AddRow(string(r.Run), report.Int(r.OnPiHole), report.Int(r.OnEasyList),
+			report.Int(r.OnEasyPriv), report.Int(r.TrackingPxl), report.Int(r.Fingerprints))
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Smart-TV lists (total blocked): Pi-hole=%d Perflyst=%d Kamran=%d\n",
+		res.SmartTVLists["Pi-hole"], res.SmartTVLists["Perflyst"], res.SmartTVLists["Kamran"])
+	return nil
+}
+
+// RenderTableIV prints Table IV.
+func RenderTableIV(w io.Writer, res *Results) error {
+	t := &report.Table{
+		Title:   "Table IV: HbbTV overlay types on screenshots",
+		Headers: []string{"Meas. Run", "No Sign.", "CTM", "TV Only", "Media Lib.", "Privacy", "Other", "Total"},
+	}
+	for _, r := range res.Consent.TableIV {
+		t.AddRow(string(r.Run), report.Int(r.NoSignal), report.Int(r.CTM),
+			report.Int(r.TVOnly), report.Int(r.MediaLib), report.Int(r.Privacy),
+			report.Int(r.Other), report.Int(r.Total()))
+	}
+	return t.Write(w)
+}
+
+// RenderTableV prints Table V.
+func RenderTableV(w io.Writer, res *Results) error {
+	t := &report.Table{
+		Title:   "Table V: Prevalence of privacy-related information",
+		Headers: []string{"Meas. Run", "# Shots", "# Priv. Shots", "%", "# Channels", "# Priv. Chan.", "%"},
+	}
+	for _, r := range res.Consent.TableV {
+		t.AddRow(string(r.Run), report.Int(r.Screenshots), report.Int(r.PrivacyShots),
+			report.Pct(r.ShotShare), report.Int(r.Channels),
+			report.Int(r.PrivacyChannels), report.Pct(r.ChannelShare))
+	}
+	return t.Write(w)
+}
+
+// RenderFigures prints the figure-level statistics.
+func RenderFigures(w io.Writer, res *Results) error {
+	fmt.Fprintf(w, "Figure 5: cookie-using third parties (long tail)\n")
+	fmt.Fprintf(w, "  top parties: %s\n", report.Distribution(res.Fig5.PartyChannels, 10))
+	fmt.Fprintf(w, "  parties on >10 channels: %d; single-channel parties: %d\n\n",
+		res.Fig5.PartiesOnMoreThan10, res.Fig5.SingleChannelParties)
+
+	fmt.Fprintf(w, "Figure 6: trackers per channel\n")
+	fmt.Fprintf(w, "  tracking requests/channel: mean=%.1f min=%.0f max=%.0f sd=%.1f\n",
+		res.Fig6.Requests.Mean, res.Fig6.Requests.Min, res.Fig6.Requests.Max, res.Fig6.Requests.SD)
+	fmt.Fprintf(w, "  trackers/channel: mean=%.2f min=%.0f max=%.0f sd=%.2f\n",
+		res.Fig6.Trackers.Mean, res.Fig6.Trackers.Min, res.Fig6.Trackers.Max, res.Fig6.Trackers.SD)
+	fmt.Fprintf(w, "  top-10 channels' share of tracking requests: %s\n\n", report.Pct(res.Fig6.Top10Share))
+
+	fmt.Fprintf(w, "Figure 7: trackers by channel category\n")
+	for _, c := range res.Fig7 {
+		fmt.Fprintf(w, "  %-15s channels=%-4d tracking requests=%s\n",
+			c.Category, c.Channels, report.Int(c.TrackingRequests))
+	}
+	fmt.Fprintln(w)
+
+	f8 := res.Fig8
+	fmt.Fprintf(w, "Figure 8: ecosystem graph\n")
+	fmt.Fprintf(w, "  nodes=%d edges=%d components=%d\n", f8.Nodes, f8.Edges, f8.Components)
+	fmt.Fprintf(w, "  avg path length=%.2f mean neighbor degree=%.1f degree mean=%.1f (sd %.1f)\n",
+		f8.AvgPathLength, f8.MeanNeighborDegree, f8.DegreeMean, f8.DegreeSD)
+	for _, nd := range f8.TopNodes {
+		fmt.Fprintf(w, "  hub: %s (%d edges)\n", nd.Node, nd.Degree)
+	}
+	fmt.Fprintf(w, "  nodes with >=10 edges: %d; single-edge domains: %d; xiti degree=%d; tvping degree=%d\n",
+		f8.NodesWith10Edges, f8.SingleEdgeDomains, f8.XitiDegree, f8.TVPingDegree)
+	return nil
+}
+
+// RenderFindings prints the remaining section-level findings.
+func RenderFindings(w io.Writer, res *Results) error {
+	fmt.Fprintf(w, "Section V-B data leakage: technical on %d channels to %d third parties; behavioral on %d channels; %s requests with personal data\n",
+		res.Leaks.TechnicalChannels, res.Leaks.TechnicalParties,
+		res.Leaks.BehavioralChannels, report.Int(res.Leaks.RequestsWithPersonalData))
+	ck := res.Cookies
+	fmt.Fprintf(w, "Section V-C cookies: %d distinct; classified %s (targeting share %s); set by tracking requests %s; potential IDs %s\n",
+		ck.DistinctCookies, report.Pct(ck.ClassifiedShare), report.Pct(ck.TargetingShare),
+		report.Pct(ck.SetByTrackingShare), report.Int(ck.PotentialIDs))
+	for _, pd := range ck.Purposes {
+		fmt.Fprintf(w, "  %-8s cookies classified %s; targeting %d, performance %d, necessary %d, functional %d, unknown %d\n",
+			pd.Run, report.Pct(pd.CoverageShare()),
+			pd.ByPurpose[cookies.PurposeTargeting], pd.ByPurpose[cookies.PurposePerformance],
+			pd.ByPurpose[cookies.PurposeNecessary], pd.ByPurpose[cookies.PurposeFunctionality],
+			pd.ByPurpose[cookies.PurposeUnknown])
+	}
+	fmt.Fprintf(w, "Section V-C3 syncing: %d sync transfers, %d minting parties, %d channels\n",
+		len(ck.SyncEvents), ck.SyncParties, ck.SyncChannels)
+	fmt.Fprintf(w, "Section V-D5 children: %d channels, %s tracking requests, %d targeting cookies, MWU p=%s\n",
+		len(res.Children.Channels), report.Int(res.Children.TrackingRequests),
+		res.Children.TargetingCookies, report.PValue(res.Children.MWU.P))
+	cn := res.Consent
+	fmt.Fprintf(w, "Section VI consent: %d channels with privacy info; %d notice stylings; default=accept on %d/%d; pre-ticked in %d; pointers on %d channels (%d obscured)\n",
+		cn.ChannelsWithPrivacy, len(cn.Styles), cn.Nudging.DefaultIsAccept,
+		cn.Nudging.Styles, cn.Nudging.WithPreTicked, cn.Pointers.Channels, cn.Pointers.Obscured)
+	fmt.Fprintf(w, "  codebook agreement: kappa %.2f (%s) -> %.2f (%s) after refinement\n",
+		cn.AgreementInitial.Kappa, cn.AgreementInitial.Interpretation,
+		cn.AgreementRefined.Kappa, cn.AgreementRefined.Interpretation)
+	for _, ad := range cn.LocationAds {
+		fmt.Fprintf(w, "  location-targeted ad on %s (%s run): %q\n", ad.Channel, ad.Run, ad.Text)
+	}
+	p := res.Policies
+	fmt.Fprintf(w, "Section VII policies: %s occurrences -> %d unique (%d corrected FNs); languages %v; near-dup groups %d\n",
+		report.Int(p.Corpus.Occurrences), len(p.Corpus.Unique),
+		p.Corpus.CorrectedFalseNegatives, p.Corpus.ByLanguage, len(p.Corpus.NearDuplicateGroups))
+	fmt.Fprintf(w, "  HbbTV mentions %d; blue-button %d; TDDDG %d; 3P-declaring %d; legit-interest %d; opt-out contradictions %d; vague policies %d\n",
+		p.HbbTVMentions, p.BlueButtonMentions, p.TDDDGMentions,
+		p.ThirdPartyDeclaring, p.LegitimateInterest, p.OptOutContradictions,
+		p.VaguePolicies)
+	if p.AdWindowDeclared {
+		fmt.Fprintf(w, "  declared ad window %02d:00-%02d:00; tracking requests outside window: %d\n",
+			p.AdWindow.StartHour, p.AdWindow.EndHour, len(p.WindowViolations))
+	}
+	fmt.Fprintf(w, "Derived filter rules (future work): %d rules; heuristic-tracking coverage %s -> %s\n",
+		len(res.DerivedRules), report.Pct(res.Extension.CoverageBefore()),
+		report.Pct(res.Extension.CoverageAfter()))
+	st := res.Stats
+	fmt.Fprintf(w, "Statistics: run->traffic p=%s (eta2=%.3f %s); run->cookies p=%s; channel->trackers p=%s (%s); category->trackers p=%s (%s)\n",
+		report.PValue(st.RunTraffic.P), st.RunTraffic.Eta2, st.RunTraffic.Effect,
+		report.PValue(st.RunCookies.P),
+		report.PValue(st.ChannelTrackers.P), st.ChannelTrackers.Effect,
+		report.PValue(st.CategoryTrackers.P), st.CategoryTrackers.Effect)
+	return nil
+}
+
+// RenderAll prints every table, figure, and finding.
+func RenderAll(w io.Writer, res *Results) error {
+	for _, f := range []func() error{
+		func() error { return RenderTableI(w, res.TableI) },
+		func() error { fmt.Fprintln(w); return RenderTableII(w, res) },
+		func() error { fmt.Fprintln(w); return RenderTableIII(w, res) },
+		func() error { fmt.Fprintln(w); return RenderTableIV(w, res) },
+		func() error { fmt.Fprintln(w); return RenderTableV(w, res) },
+		func() error { fmt.Fprintln(w); return RenderFigures(w, res) },
+		func() error { fmt.Fprintln(w); return RenderFindings(w, res) },
+	} {
+		if err := f(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package hbbtvlab
+
+// Integration test for the DESIGN.md transport-mode claim: the in-process
+// transport and the real loopback path (TCP + CONNECT-capable recording
+// proxy + virtual-host server) must yield equivalent flow records for the
+// same TV session.
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+	"github.com/hbbtvlab/hbbtvlab/internal/hostnet"
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/synth"
+	"github.com/hbbtvlab/hbbtvlab/internal/webos"
+)
+
+// driveTV tunes one synthetic channel and watches for a minute, returning
+// the recorded flows as "METHOD url -> status" strings.
+func driveTV(t *testing.T, rec *proxy.Recorder, clk *clock.Virtual, svc *dvb.Service) []string {
+	t.Helper()
+	tv := webos.New(webos.Config{
+		Clock:     clk,
+		Transport: rec,
+		Seed:      99,
+		OnSwitch:  rec.SwitchChannel,
+	})
+	tv.PowerOn()
+	if err := tv.TuneTo(svc); err != nil {
+		t.Fatal(err)
+	}
+	tv.Watch(60 * time.Second)
+	flows := rec.Flows()
+	out := make([]string, len(flows))
+	for i, f := range flows {
+		out[i] = fmt.Sprintf("%s %s://%s%s -> %d (%s, chan=%s)",
+			f.Method, f.URL.Scheme, f.URL.Host, f.URL.Path,
+			f.StatusCode, f.ContentType(), f.Channel)
+	}
+	return out
+}
+
+func TestTransportModesProduceIdenticalFlows(t *testing.T) {
+	build := func() (*synth.World, *clock.Virtual) {
+		clk := clock.NewVirtual(time.Date(2023, 8, 21, 9, 0, 0, 0, time.UTC))
+		return synth.Build(synth.Config{Seed: 77, Scale: 0.02}, clk), clk
+	}
+
+	// Direct (in-process) mode.
+	worldA, clkA := build()
+	recA := proxy.NewRecorder(&hostnet.Transport{Net: worldA.Internet}, clkA)
+	flowsA := driveTV(t, recA, clkA, worldA.Channels[0].Service)
+
+	// Loopback mode: virtual hosts behind a real TCP server, traffic
+	// through the recording proxy's reroute transport.
+	worldB, clkB := build()
+	srv, err := hostnet.Serve(worldB.Internet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	recB := proxy.NewRecorder(&proxy.RerouteTransport{Addr: srv.Addr()}, clkB)
+	flowsB := driveTV(t, recB, clkB, worldB.Channels[0].Service)
+
+	if len(flowsA) == 0 {
+		t.Fatal("no flows recorded")
+	}
+	if len(flowsA) != len(flowsB) {
+		t.Fatalf("flow counts differ: direct %d, loopback %d\n%v\n%v",
+			len(flowsA), len(flowsB), flowsA, flowsB)
+	}
+	for i := range flowsA {
+		if flowsA[i] != flowsB[i] {
+			t.Errorf("flow %d differs:\n direct:   %s\n loopback: %s", i, flowsA[i], flowsB[i])
+		}
+	}
+}
+
+func TestLoopbackModeThroughConnectProxy(t *testing.T) {
+	// Drive an HTTPS-marked request through the real CONNECT proxy and
+	// verify the recorded flow keeps its logical URL and HTTPS flag.
+	clk := clock.NewVirtual(time.Date(2023, 8, 21, 9, 0, 0, 0, time.UTC))
+	world := synth.Build(synth.Config{Seed: 77, Scale: 0.02}, clk)
+	upstream, err := hostnet.Serve(world.Internet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer upstream.Close()
+	rec := proxy.NewRecorder(&proxy.RerouteTransport{Addr: upstream.Addr()}, clk)
+	rec.SwitchChannel("X", "1")
+	srv, err := proxy.NewServer(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &http.Client{Transport: &http.Transport{Proxy: http.ProxyURL(srv.URL())}}
+	resp, err := client.Get("http://tvping.com/t?c=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	flows := rec.Flows()
+	if len(flows) != 1 || flows[0].URL.Host != "tvping.com" || flows[0].Channel != "X" {
+		t.Fatalf("flows = %+v", flows)
+	}
+}
