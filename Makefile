@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test check race fuzz bench
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# check is the tier-1 gate: vet plus the full suite under the race
+# detector. The sharded measurement engine (internal/core.Pool) runs its
+# concurrency tests here, so any shared-state regression between shards
+# fails the build.
+check: build
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/webos/ ./internal/proxy/
+
+# Short fuzzing pass over the binary AIT decoder (seeded corpus).
+fuzz:
+	$(GO) test ./internal/dvb/ -run '^$$' -fuzz FuzzParseAIT -fuzztime 30s
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -313,6 +313,51 @@ func BenchmarkDerivedRules(b *testing.B) {
 	}
 }
 
+// BenchmarkPoolParallelism measures the sharded measurement engine at
+// increasing worker counts. Beyond the timing, every sub-benchmark
+// hard-asserts that its merged dataset digest equals the j=1 digest —
+// speed may vary with the core count of the machine, byte-identity may
+// not. The speedup-vs-serial metric reports the wall-clock ratio against
+// the j=1 sub-benchmark.
+func BenchmarkPoolParallelism(b *testing.B) {
+	const seed, scale = 1, 0.1
+	var (
+		baseline   string
+		serialTime time.Duration
+	)
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			var digest string
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				study := NewStudy(Options{
+					Seed: seed, Scale: scale,
+					ProbeWatch:  30 * time.Second,
+					Parallelism: j,
+				})
+				ds, err := study.ExecuteRuns()
+				if err != nil {
+					b.Fatal(err)
+				}
+				digest, err = ds.Digest()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start) / time.Duration(b.N)
+			if baseline == "" {
+				baseline = digest
+				serialTime = elapsed
+			} else if digest != baseline {
+				b.Fatalf("j=%d digest %s != j=1 digest %s; engine is not worker-independent", j, digest, baseline)
+			}
+			if serialTime > 0 {
+				b.ReportMetric(float64(serialTime)/float64(elapsed), "speedup-vs-serial")
+			}
+		})
+	}
+}
+
 // --- Ablation benches (DESIGN.md §5) ---
 
 // BenchmarkTransportModes compares the in-process transport against the

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	hbbtv-measure [-seed N] [-scale F] [-out flows.ndjson] [-run NAME]
+//	hbbtv-measure [-seed N] [-scale F] [-j N] [-out flows.ndjson] [-run NAME]
 package main
 
 import (
@@ -32,11 +32,21 @@ func run(args []string) error {
 	save := fs.String("save", "", "write the FULL dataset (gzip JSON) for later hbbtv-analyze -in")
 	har := fs.String("har", "", "write all flows as a HAR 1.2 archive")
 	runName := fs.String("run", "", "execute only this run (General, Red, Green, Blue, Yellow)")
+	jobs := fs.Int("j", 0, "worker goroutines for the sharded engine (0 = the paper's serial procedure; results are identical for every j >= 1)")
+	shards := fs.Int("shards", 0, "logical shard count of the sharded engine (0 = default; part of the experiment definition)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *jobs < 0 {
+		return fmt.Errorf("-j must be >= 0, got %d", *jobs)
+	}
+	if *shards != 0 && *jobs < 1 {
+		return fmt.Errorf("-shards requires the sharded engine; set -j >= 1")
+	}
 
-	study := hbbtvlab.NewStudy(hbbtvlab.Options{Seed: *seed, Scale: *scale})
+	study := hbbtvlab.NewStudy(hbbtvlab.Options{
+		Seed: *seed, Scale: *scale, Parallelism: *jobs, Shards: *shards,
+	})
 	funnel, err := study.SelectChannels()
 	if err != nil {
 		return err

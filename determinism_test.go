@@ -2,12 +2,17 @@ package hbbtvlab
 
 import (
 	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 	"time"
 
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
 
 // runSmallStudy executes a small study end-to-end and returns its report.
 func runSmallStudy(t *testing.T, seed int64) (*Results, string) {
@@ -38,6 +43,41 @@ func TestStudyDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(res1.Fig5.PartyChannels, res2.Fig5.PartyChannels) {
 		t.Error("Figure 5 differs")
+	}
+}
+
+// TestTableIGolden pins the rendered Table I for the default small-study
+// seed to a checked-in golden file. Unlike TestStudyDeterministic (which
+// only checks self-consistency within one binary), this catches drift
+// across commits: any change to the world generator, the measurement
+// procedure, or the analysis that alters the headline numbers fails here
+// until the golden is deliberately regenerated with -update.
+func TestTableIGolden(t *testing.T) {
+	res, _ := runSmallStudy(t, 321)
+	var buf bytes.Buffer
+	if err := RenderTableI(&buf, res.TableI); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	golden := filepath.Join("testdata", "table1_seed321.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Table I drifted from golden %s\n--- want\n%s--- got\n%s\n(run go test -run TestTableIGolden -update to accept)",
+			golden, want, got)
 	}
 }
 

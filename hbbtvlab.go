@@ -19,6 +19,7 @@
 package hbbtvlab
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -43,6 +44,19 @@ type Options struct {
 	// Runs overrides the measurement-run specs (default: the study's five
 	// runs with their real dates).
 	Runs []core.RunSpec
+	// Parallelism selects the measurement engine. 0 (the default) is the
+	// paper's exact procedure: one TV measures every channel serially on a
+	// single timeline. N >= 1 enables the sharded engine: the channel list
+	// is partitioned across Shards isolated frameworks (own virtual clock,
+	// recorder, TV, and synthetic world, seeded Seed ^ shard) and N worker
+	// goroutines execute the shards. For a fixed Shards value the sharded
+	// engine produces a byte-identical dataset for every N >= 1 — workers
+	// change wall-clock time only.
+	Parallelism int
+	// Shards is the logical shard count of the sharded engine (0 =
+	// core.DefaultShards). Changing it changes the shard partition and
+	// therefore the dataset; changing Parallelism never does.
+	Shards int
 }
 
 // Study bundles the synthetic world with the measurement framework.
@@ -82,10 +96,14 @@ func NewStudy(opts Options) *Study {
 func (s *Study) SelectChannels() (*core.FunnelReport, error) {
 	bouquet := dvb.NewReceiver().Scan(s.World.Universe)
 	report, err := core.SelectChannels(bouquet, s.Framework.Probe(s.opts.ProbeWatch))
-	if err != nil {
-		return nil, fmt.Errorf("hbbtvlab: funnel: %w", err)
+	if report != nil {
+		s.selected = report.Final
 	}
-	s.selected = report.Final
+	if err != nil {
+		// Probe errors are aggregated; the report still covers every
+		// candidate that probed cleanly.
+		return report, fmt.Errorf("hbbtvlab: funnel: %w", err)
+	}
 	return report, nil
 }
 
@@ -102,19 +120,59 @@ func (s *Study) Selected() ([]*dvb.Service, error) {
 // ExecuteRuns performs all configured measurement runs over the selected
 // channels and returns the full dataset.
 func (s *Study) ExecuteRuns() (*store.Dataset, error) {
+	return s.ExecuteRunsContext(context.Background())
+}
+
+// ExecuteRunsContext is ExecuteRuns with cooperative cancellation. When
+// Options.Parallelism >= 1, the sharded measurement engine executes the
+// runs (see Options.Parallelism); otherwise the single-TV serial procedure
+// of the paper runs on the study's own framework. In both modes a
+// cancelled context yields the well-formed partial dataset collected so
+// far together with the context's error.
+func (s *Study) ExecuteRunsContext(ctx context.Context) (*store.Dataset, error) {
 	channels, err := s.Selected()
 	if err != nil {
 		return nil, err
 	}
+	if s.opts.Parallelism >= 1 {
+		pool := &core.Pool{
+			Shards:  s.opts.Shards,
+			Workers: s.opts.Parallelism,
+			Factory: s.shardFramework,
+		}
+		ds, err := pool.ExecuteRuns(ctx, s.opts.Runs, channels)
+		if err != nil {
+			return ds, fmt.Errorf("hbbtvlab: sharded runs: %w", err)
+		}
+		return ds, nil
+	}
 	ds := &store.Dataset{}
 	for _, spec := range s.opts.Runs {
-		run, err := s.Framework.ExecuteRun(spec, channels)
-		if err != nil {
-			return nil, fmt.Errorf("hbbtvlab: run %s: %w", spec.Name, err)
+		run, err := s.Framework.ExecuteRunContext(ctx, spec, channels)
+		if run != nil {
+			ds.Runs = append(ds.Runs, run)
 		}
-		ds.Runs = append(ds.Runs, run)
+		if err != nil {
+			return ds, fmt.Errorf("hbbtvlab: run %s: %w", spec.Name, err)
+		}
 	}
 	return ds, nil
+}
+
+// shardFramework is the study's core.ShardFactory: it rebuilds the
+// synthetic world from the study seed on a shard-private virtual clock, so
+// every shard sees an identical Internet with fully isolated handler state
+// (tracker ID counters, timestamp cookies), and seeds the shard's
+// framework with Seed ^ shard for its channel-visit order and TV identity.
+func (s *Study) shardFramework(shard int) (*core.Framework, error) {
+	clk := clock.NewVirtual(time.Date(2023, 8, 21, 9, 0, 0, 0, time.UTC))
+	world := synth.Build(synth.Config{Seed: s.opts.Seed, Scale: s.opts.Scale}, clk)
+	return core.New(core.Config{
+		Internet:     world.Internet,
+		Seed:         s.opts.Seed ^ int64(shard),
+		Clock:        clk,
+		Availability: world.Availability,
+	}), nil
 }
 
 // Run executes a single named run (useful for examples and ablations).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -76,6 +77,44 @@ func TestSelectChannelsMetadataOnly(t *testing.T) {
 	}
 	if r.FinalCount() != 1 || r.Final[0].Name != "TV" {
 		t.Errorf("final = %v", r.Final)
+	}
+}
+
+// TestSelectChannelsAggregatesProbeErrors: a failing probe no longer
+// aborts the funnel; every candidate is still probed, each failure is
+// counted, and all errors come back joined.
+func TestSelectChannelsAggregatesProbeErrors(t *testing.T) {
+	b := &dvb.Bouquet{Services: []*dvb.Service{
+		{Name: "Alpha", ServiceID: 1},
+		{Name: "Beta", ServiceID: 2},
+		{Name: "Gamma", ServiceID: 3},
+		{Name: "Delta", ServiceID: 4},
+	}}
+	errBeta := errors.New("beta tuner fault")
+	errGamma := errors.New("gamma app timeout")
+	probed := 0
+	probe := func(svc *dvb.Service) (bool, error) {
+		probed++
+		switch svc.Name {
+		case "Beta":
+			return false, errBeta
+		case "Gamma":
+			return false, errGamma
+		}
+		return true, nil
+	}
+	r, err := SelectChannels(b, probe)
+	if probed != 4 {
+		t.Errorf("probed %d candidates, want all 4", probed)
+	}
+	if r.ProbeErrors != 2 {
+		t.Errorf("ProbeErrors = %d, want 2", r.ProbeErrors)
+	}
+	if !errors.Is(err, errBeta) || !errors.Is(err, errGamma) {
+		t.Errorf("err = %v, want both probe errors joined", err)
+	}
+	if r.FinalCount() != 2 || r.Final[0].Name != "Alpha" || r.Final[1].Name != "Delta" {
+		t.Errorf("final = %v, want the two healthy channels", r.Final)
 	}
 }
 

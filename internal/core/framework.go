@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -160,6 +161,17 @@ func (f *Framework) Probe(watch time.Duration) ProbeFunc {
 // visit every (available) channel in randomized order, collect, wipe,
 // power off.
 func (f *Framework) ExecuteRun(spec RunSpec, channels []*dvb.Service) (*store.RunData, error) {
+	return f.ExecuteRunContext(context.Background(), spec, channels)
+}
+
+// ExecuteRunContext is ExecuteRun with cooperative cancellation and
+// per-channel panic recovery. Cancellation is checked between channel
+// visits; when the context is done, the run is collected as usual and
+// returned alongside the context's error, so the caller always receives a
+// well-formed (possibly partial) RunData. A panic inside a channel's
+// application is recovered, logged to the TV's log stream, and counted in
+// RunData.RecoveredPanics; measurement continues with the next channel.
+func (f *Framework) ExecuteRunContext(ctx context.Context, spec RunSpec, channels []*dvb.Service) (*store.RunData, error) {
 	f.Clock.Set(spec.Date)
 	f.Recorder.Reset()
 	f.TV.WipeBrowserState()
@@ -169,25 +181,49 @@ func (f *Framework) ExecuteRun(spec RunSpec, channels []*dvb.Service) (*store.Ru
 	order := f.rng.Perm(len(channels))
 	run := &store.RunData{Name: spec.Name, Date: spec.Date}
 
+	var runErr error
 	for _, idx := range order {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
 		svc := channels[idx]
 		if avail != nil && !avail[svc.Name] {
 			continue // channel not broadcasting during this run
 		}
-		if err := f.visitChannel(spec, svc, run); err != nil {
-			return nil, err
+		if err := f.visitChannelRecovered(spec, svc, run); err != nil {
+			runErr = err
+			break
 		}
 	}
 
 	// Collection: flows, cookie jar, localStorage, logs — then wipe and
-	// power off, as after every run of the study.
+	// power off, as after every run of the study. Collection also happens
+	// for cancelled or failed runs so partial data stays well-formed.
 	run.Flows = f.Recorder.Flows()
 	run.Cookies = f.TV.CookieJar().All()
 	run.Storage = f.TV.Storage().All()
 	run.Logs = f.TV.Logs()
 	f.TV.WipeBrowserState()
 	f.TV.PowerOff()
+	if runErr != nil {
+		return run, runErr
+	}
 	return run, nil
+}
+
+// visitChannelRecovered runs one channel visit with panic recovery: a
+// misbehaving application (e.g. a malformed broadcast table or a crashing
+// app server) must not take down the whole run — the paper's setup would
+// simply move on to the next channel after a TV-side crash.
+func (f *Framework) visitChannelRecovered(spec RunSpec, svc *dvb.Service, run *store.RunData) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			run.RecoveredPanics++
+			f.TV.Log(webos.LogError, fmt.Sprintf("recovered panic on %s: %v", svc.Name, r))
+		}
+	}()
+	return f.visitChannel(spec, svc, run)
 }
 
 // visitChannel is one iteration of the remote-control script.

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"errors"
 	"time"
 
 	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
@@ -19,7 +20,11 @@ type FunnelReport struct {
 	AfterVisible int // step 3: visible, non-empty name
 	NoTraffic    int // step 5: no HTTP(S) traffic in the exploratory run
 	IPTV         int // step 6: delivered over the Internet only
-	Final        []*dvb.Service
+	// ProbeErrors counts candidates whose exploratory measurement failed;
+	// they are excluded from Final and their errors are aggregated into
+	// SelectChannels' returned error instead of aborting the funnel.
+	ProbeErrors int
+	Final       []*dvb.Service
 }
 
 // FinalCount returns the number of channels selected for analysis.
@@ -32,6 +37,12 @@ type ProbeFunc func(svc *dvb.Service) (sawTraffic bool, err error)
 // SelectChannels applies the funnel to a scanned bouquet. Steps 1-3 use
 // broadcast metadata; step 5 runs the exploratory measurement through
 // probe; step 6 removes IPTV channels.
+//
+// A probe failure no longer aborts the funnel: the failing candidate is
+// excluded (and counted in ProbeErrors), the remaining candidates are still
+// probed, and all probe errors are returned joined into one error alongside
+// the completed report. Callers that shard the exploratory measurement thus
+// get the full picture of which channels failed instead of only the first.
 func SelectChannels(b *dvb.Bouquet, probe ProbeFunc) (*FunnelReport, error) {
 	r := &FunnelReport{Received: len(b.Services)}
 	var candidates []*dvb.Service
@@ -56,10 +67,13 @@ func SelectChannels(b *dvb.Bouquet, probe ProbeFunc) (*FunnelReport, error) {
 	}
 	// Step 4/5: exploratory measurement — watch each candidate and keep
 	// only channels that initiate HTTP(S) traffic.
+	var probeErrs []error
 	for _, svc := range candidates {
 		saw, err := probe(svc)
 		if err != nil {
-			return nil, err
+			r.ProbeErrors++
+			probeErrs = append(probeErrs, err)
+			continue
 		}
 		if !saw {
 			r.NoTraffic++
@@ -72,7 +86,7 @@ func SelectChannels(b *dvb.Bouquet, probe ProbeFunc) (*FunnelReport, error) {
 		}
 		r.Final = append(r.Final, svc)
 	}
-	return r, nil
+	return r, errors.Join(probeErrs...)
 }
 
 // ExploratoryWatch is the paper's minimum per-channel watch time: previous

@@ -1,0 +1,92 @@
+package dvb
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseAIT throws arbitrary byte strings at the binary AIT decoder.
+// The decoder must never panic, and any section it accepts must survive
+// a re-encode/re-decode round trip (modulo fields the encoder rejects,
+// e.g. URL bases longer than its own envelope).
+func FuzzParseAIT(f *testing.F) {
+	// Seed corpus: the unit tests' sample section plus the mutations the
+	// table-driven tests already cover (wrong table id, bad CRC, flipped
+	// body byte, truncations) and some degenerate inputs.
+	valid := MustEncodeAIT(&AIT{
+		Version: 3,
+		Applications: []Application{
+			{
+				OrganizationID: 0x17,
+				ApplicationID:  10,
+				Control:        ControlAutostart,
+				URLBase:        "http://hbbtv.ard.de/",
+				InitialPath:    "red/index.html?sid=28106",
+			},
+			{
+				OrganizationID: 0x17,
+				ApplicationID:  11,
+				Control:        ControlPresent,
+				URLBase:        "http://hbbtv.ard.de/",
+				InitialPath:    "mediathek/",
+			},
+		},
+	})
+	f.Add(valid)
+	f.Add(MustEncodeAIT(&AIT{}))
+	f.Add(MustEncodeAIT(&AIT{Version: 31, Applications: []Application{{
+		Control: ControlAutostart, URLBase: "http://x.de/", InitialPath: "i",
+	}}}))
+
+	wrongTable := bytes.Clone(valid)
+	wrongTable[0] = 0x42
+	f.Add(wrongTable)
+
+	badCRC := bytes.Clone(valid)
+	badCRC[len(badCRC)-1] ^= 0xFF
+	f.Add(badCRC)
+
+	flipped := bytes.Clone(valid)
+	flipped[20] ^= 0x01
+	f.Add(flipped)
+
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:1])
+	f.Add([]byte{})
+	f.Add([]byte{aitTableID, 0xF0, 0x0D})
+
+	f.Fuzz(func(t *testing.T, section []byte) {
+		ait, err := DecodeAIT(section)
+		if err != nil {
+			if ait != nil {
+				t.Fatal("DecodeAIT returned both a table and an error")
+			}
+			return
+		}
+		if ait == nil {
+			t.Fatal("DecodeAIT returned neither a table nor an error")
+		}
+		// Accepted sections must round-trip. The encoder's envelope is
+		// narrower than the wire format's (it refuses URL bases that would
+		// not leave room for the descriptor framing), so an encode error is
+		// acceptable — but a successful encode must decode to the same
+		// table.
+		re, err := EncodeAIT(ait)
+		if err != nil {
+			return
+		}
+		back, err := DecodeAIT(re)
+		if err != nil {
+			t.Fatalf("re-encoded section rejected: %v", err)
+		}
+		if back.Version != ait.Version || len(back.Applications) != len(ait.Applications) {
+			t.Fatalf("round trip changed the table: %+v -> %+v", ait, back)
+		}
+		for i := range ait.Applications {
+			if back.Applications[i] != ait.Applications[i] {
+				t.Fatalf("round trip changed app[%d]: %+v -> %+v",
+					i, ait.Applications[i], back.Applications[i])
+			}
+		}
+	})
+}

@@ -2,6 +2,8 @@ package store
 
 import (
 	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,14 +29,15 @@ type datasetJSON struct {
 }
 
 type runJSON struct {
-	Name        RunName          `json:"name"`
-	Date        time.Time        `json:"date"`
-	Channels    []ChannelInfo    `json:"channels"`
-	Flows       []flowJSON       `json:"flows"`
-	Cookies     []cookieJSON     `json:"cookies"`
-	Storage     []storageJSON    `json:"storage"`
-	Screenshots []screenshotJSON `json:"screenshots"`
-	Logs        []logJSON        `json:"logs"`
+	Name            RunName          `json:"name"`
+	Date            time.Time        `json:"date"`
+	Channels        []ChannelInfo    `json:"channels"`
+	Flows           []flowJSON       `json:"flows"`
+	Cookies         []cookieJSON     `json:"cookies"`
+	Storage         []storageJSON    `json:"storage"`
+	Screenshots     []screenshotJSON `json:"screenshots"`
+	Logs            []logJSON        `json:"logs"`
+	RecoveredPanics int              `json:"recoveredPanics,omitempty"`
 }
 
 type flowJSON struct {
@@ -94,12 +97,34 @@ type logJSON struct {
 // Save writes the dataset as gzip-compressed JSON.
 func (d *Dataset) Save(w io.Writer) error {
 	gz := gzip.NewWriter(w)
-	enc := json.NewEncoder(gz)
+	if err := d.encodeJSON(gz); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// Digest returns a hex SHA-256 over the dataset's canonical JSON encoding
+// (the same encoding Save compresses). Two datasets with equal digests are
+// byte-identical under Save/ExportFlows and therefore analysis-identical;
+// the parallel measurement engine uses this to prove that sharded
+// execution matches for every worker count.
+func (d *Dataset) Digest() (string, error) {
+	h := sha256.New()
+	if err := d.encodeJSON(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// encodeJSON writes the canonical (deterministic) JSON form of the dataset.
+func (d *Dataset) encodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
 	out := datasetJSON{Version: 1}
 	for _, run := range d.Runs {
 		rj := runJSON{
 			Name: run.Name, Date: run.Date,
-			Channels: run.Channels,
+			Channels:        run.Channels,
+			RecoveredPanics: run.RecoveredPanics,
 		}
 		for _, f := range run.Flows {
 			rj.Flows = append(rj.Flows, encodeFlow(f))
@@ -133,7 +158,7 @@ func (d *Dataset) Save(w io.Writer) error {
 	if err := enc.Encode(&out); err != nil {
 		return fmt.Errorf("store: save: %w", err)
 	}
-	return gz.Close()
+	return nil
 }
 
 func encodeFlow(f *proxy.Flow) flowJSON {
@@ -190,7 +215,10 @@ func Load(r io.Reader) (*Dataset, error) {
 	}
 	d := &Dataset{}
 	for _, rj := range in.Runs {
-		run := &RunData{Name: rj.Name, Date: rj.Date, Channels: rj.Channels}
+		run := &RunData{
+			Name: rj.Name, Date: rj.Date, Channels: rj.Channels,
+			RecoveredPanics: rj.RecoveredPanics,
+		}
 		for _, fj := range rj.Flows {
 			f, err := decodeFlow(fj)
 			if err != nil {

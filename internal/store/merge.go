@@ -1,0 +1,147 @@
+package store
+
+import (
+	"sort"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/webos"
+)
+
+// This file is the deterministic merge layer of the sharded measurement
+// engine: each worker shard measures a disjoint subset of a run's channels
+// on its own isolated framework and produces one RunData; MergeRunShards
+// recombines those shard datasets into a single RunData whose contents are
+// ordered by the canonical channel list — never by shard completion order —
+// so the merged dataset is byte-identical for every worker count.
+
+// MergeRunShards combines per-shard RunData of the same logical run into
+// one RunData. order is the canonical channel-name order (the funnel's
+// output order); shards is indexed by shard number and may contain nil
+// entries for shards that produced nothing (cancelled or failed).
+//
+// Ordering rules:
+//   - Channels, attributed Flows, and Screenshots are grouped per channel
+//     and emitted in canonical channel order (within one channel, the
+//     shard-recorded order is preserved).
+//   - Unattributed flows, cookies, storage items, and logs are concatenated
+//     in shard-index order (each shard's slice is already deterministic).
+//   - Flow IDs are reassigned sequentially after the merge so they stay
+//     unique and independent of shard layout.
+//
+// Every rule depends only on shard index and canonical order, so the result
+// is independent of the order in which shards finished.
+func MergeRunShards(order []string, shards []*RunData) *RunData {
+	merged := &RunData{}
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		if merged.Name == "" {
+			merged.Name, merged.Date = s.Name, s.Date
+		}
+		merged.RecoveredPanics += s.RecoveredPanics
+	}
+
+	rank := make(map[string]int, len(order))
+	for i, name := range order {
+		rank[name] = i
+	}
+	pos := func(name string) int {
+		if i, ok := rank[name]; ok {
+			return i
+		}
+		return len(order) // unknown channels sort after the canonical list
+	}
+
+	// Channels in canonical order. Shards own disjoint subsets, so a stable
+	// sort by canonical rank fully determines the result.
+	for _, s := range shards {
+		if s != nil {
+			merged.Channels = append(merged.Channels, s.Channels...)
+		}
+	}
+	sort.SliceStable(merged.Channels, func(a, b int) bool {
+		return pos(merged.Channels[a].Name) < pos(merged.Channels[b].Name)
+	})
+
+	// Flows: attributed ones grouped by channel in canonical order,
+	// unattributed ones after, in shard-index order.
+	byChannel := make(map[string][]*proxy.Flow)
+	var unattributed []*proxy.Flow
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		for _, f := range s.Flows {
+			if f.Channel == "" {
+				unattributed = append(unattributed, f)
+				continue
+			}
+			byChannel[f.Channel] = append(byChannel[f.Channel], f)
+		}
+	}
+	for _, ci := range merged.Channels {
+		merged.Flows = append(merged.Flows, byChannel[ci.Name]...)
+		delete(byChannel, ci.Name)
+	}
+	// Flows attributed to a channel missing from the merged channel list
+	// (possible after mid-run cancellation) keep canonical order too.
+	if len(byChannel) > 0 {
+		rest := make([]string, 0, len(byChannel))
+		for name := range byChannel {
+			rest = append(rest, name)
+		}
+		sort.Slice(rest, func(a, b int) bool {
+			pa, pb := pos(rest[a]), pos(rest[b])
+			if pa != pb {
+				return pa < pb
+			}
+			return rest[a] < rest[b]
+		})
+		for _, name := range rest {
+			merged.Flows = append(merged.Flows, byChannel[name]...)
+		}
+	}
+	merged.Flows = append(merged.Flows, unattributed...)
+	for i, f := range merged.Flows {
+		f.ID = int64(i + 1)
+	}
+
+	// Screenshots grouped by channel in canonical order, like flows.
+	shotsByChannel := make(map[string][]webos.Screenshot)
+	var shotOrder []string
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		for _, shot := range s.Screenshots {
+			if _, seen := shotsByChannel[shot.Channel]; !seen {
+				shotOrder = append(shotOrder, shot.Channel)
+			}
+			shotsByChannel[shot.Channel] = append(shotsByChannel[shot.Channel], shot)
+		}
+	}
+	sort.SliceStable(shotOrder, func(a, b int) bool {
+		pa, pb := pos(shotOrder[a]), pos(shotOrder[b])
+		if pa != pb {
+			return pa < pb
+		}
+		return shotOrder[a] < shotOrder[b]
+	})
+	for _, name := range shotOrder {
+		merged.Screenshots = append(merged.Screenshots, shotsByChannel[name]...)
+	}
+
+	// Cookie jars, localStorage, and logs concatenate in shard-index order;
+	// each shard's snapshot is already sorted (jar/storage) or timeline-
+	// ordered (logs) deterministically.
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		merged.Cookies = append(merged.Cookies, s.Cookies...)
+		merged.Storage = append(merged.Storage, s.Storage...)
+		merged.Logs = append(merged.Logs, s.Logs...)
+	}
+	return merged
+}

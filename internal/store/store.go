@@ -69,6 +69,10 @@ type RunData struct {
 	Storage     []webos.StorageItem
 	Screenshots []webos.Screenshot
 	Logs        []webos.LogEntry
+	// RecoveredPanics counts channels whose application panicked during
+	// the run and was recovered by the measurement framework (the panic
+	// details are in Logs as error entries).
+	RecoveredPanics int
 }
 
 // Channel returns the metadata for the named channel, or nil.
@@ -228,14 +232,15 @@ func (d *Dataset) ExportFlows(w io.Writer) error {
 
 // Summary is a compact per-run description for reports and logs.
 type Summary struct {
-	Run          RunName `json:"run"`
-	Channels     int     `json:"channels"`
-	HTTPRequests int     `json:"httpRequests"`
-	HTTPSShare   float64 `json:"httpsShare"`
-	Cookies      int     `json:"cookies"`
-	Storage      int     `json:"localStorage"`
-	Screenshots  int     `json:"screenshots"`
-	LogEntries   int     `json:"logEntries"`
+	Run             RunName `json:"run"`
+	Channels        int     `json:"channels"`
+	HTTPRequests    int     `json:"httpRequests"`
+	HTTPSShare      float64 `json:"httpsShare"`
+	Cookies         int     `json:"cookies"`
+	Storage         int     `json:"localStorage"`
+	Screenshots     int     `json:"screenshots"`
+	LogEntries      int     `json:"logEntries"`
+	RecoveredPanics int     `json:"recoveredPanics,omitempty"`
 }
 
 // Summaries returns a per-run overview.
@@ -243,14 +248,15 @@ func (d *Dataset) Summaries() []Summary {
 	out := make([]Summary, 0, len(d.Runs))
 	for _, r := range d.Runs {
 		out = append(out, Summary{
-			Run:          r.Name,
-			Channels:     len(r.Channels),
-			HTTPRequests: len(r.Flows),
-			HTTPSShare:   r.HTTPSShare(),
-			Cookies:      len(r.Cookies),
-			Storage:      len(r.Storage),
-			Screenshots:  len(r.Screenshots),
-			LogEntries:   len(r.Logs),
+			Run:             r.Name,
+			Channels:        len(r.Channels),
+			HTTPRequests:    len(r.Flows),
+			HTTPSShare:      r.HTTPSShare(),
+			Cookies:         len(r.Cookies),
+			Storage:         len(r.Storage),
+			Screenshots:     len(r.Screenshots),
+			LogEntries:      len(r.Logs),
+			RecoveredPanics: r.RecoveredPanics,
 		})
 	}
 	return out

@@ -133,12 +133,26 @@ func (j *Jar) Cookies(u *url.URL) []*http.Cookie {
 		}
 		matched = append(matched, sc)
 	}
-	// RFC 6265 §5.4: longer paths first, then earlier creation times.
+	// RFC 6265 §5.4: longer paths first, then earlier creation times. On
+	// the virtual clock many cookies share one creation instant, so break
+	// remaining ties by (domain, path, name) — without this the header
+	// order inherits the map's random iteration order, which breaks the
+	// byte-level reproducibility the parallel engine's digests verify.
 	sort.Slice(matched, func(a, b int) bool {
-		if len(matched[a].Path) != len(matched[b].Path) {
-			return len(matched[a].Path) > len(matched[b].Path)
+		ca, cb := matched[a], matched[b]
+		if len(ca.Path) != len(cb.Path) {
+			return len(ca.Path) > len(cb.Path)
 		}
-		return matched[a].Created.Before(matched[b].Created)
+		if !ca.Created.Equal(cb.Created) {
+			return ca.Created.Before(cb.Created)
+		}
+		if ca.Domain != cb.Domain {
+			return ca.Domain < cb.Domain
+		}
+		if ca.Path != cb.Path {
+			return ca.Path < cb.Path
+		}
+		return ca.Name < cb.Name
 	})
 	out := make([]*http.Cookie, len(matched))
 	for i, sc := range matched {

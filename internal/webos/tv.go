@@ -211,6 +211,13 @@ func (tv *TV) Logs() []LogEntry {
 	return out
 }
 
+// Log appends an external log entry to the TV's log stream. The
+// measurement framework uses it to record events the TV itself cannot see,
+// such as a recovered panic in a channel's application.
+func (tv *TV) Log(kind LogKind, detail string) {
+	tv.logs = append(tv.logs, LogEntry{Time: tv.clk.Now(), Kind: kind, Detail: detail})
+}
+
 func (tv *TV) logf(kind LogKind, format string, args ...any) {
 	tv.logs = append(tv.logs, LogEntry{
 		Time:   tv.clk.Now(),
