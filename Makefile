@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race fuzz bench
+.PHONY: build test check race fuzz bench fmt lint bench-json
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,14 @@ test: build
 # check is the tier-1 gate: vet plus the full suite under the race
 # detector. The sharded measurement engine (internal/core.Pool) runs its
 # concurrency tests here, so any shared-state regression between shards
-# fails the build.
+# fails the build; the telemetry stress test exercises the lock-free
+# shard-local aggregation the same way.
 check: build
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/webos/ ./internal/proxy/
+	$(GO) test -race ./internal/core/ ./internal/webos/ ./internal/proxy/ ./internal/telemetry/
 
 # Short fuzzing pass over the binary AIT decoder (seeded corpus).
 fuzz:
@@ -25,3 +26,20 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# fmt rewrites the tree in place; lint is the read-only CI gate
+# (vet + a gofmt diff that fails when any file needs formatting).
+fmt:
+	gofmt -l -w .
+
+lint:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt required for:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# bench-json runs the paper-scale benchmark suite with machine-readable
+# (test2json) output for the CI artifact trail (BENCH_*.json trajectory).
+bench-json:
+	$(GO) test -json -bench . -benchtime 1x -run '^$$' . | tee bench.json

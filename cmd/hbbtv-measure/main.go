@@ -6,15 +6,29 @@
 // Usage:
 //
 //	hbbtv-measure [-seed N] [-scale F] [-j N] [-out flows.ndjson] [-run NAME]
+//	              [-telemetry] [-telemetry-json FILE] [-telemetry-http ADDR]
+//	              [-allow-panics]
+//
+// With -telemetry the engine is instrumented (live progress line on
+// stderr, final snapshot embedded in -save output); -telemetry-json
+// streams periodic JSON-line snapshots; -telemetry-http serves the
+// current snapshot over HTTP while the run executes.
+//
+// Exit status: non-zero when any channel's measurement panicked and was
+// recovered (RecoveredPanics > 0), unless -allow-panics is set — so CI
+// and unattended campaigns can trust the exit code.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	hbbtvlab "github.com/hbbtvlab/hbbtvlab"
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +48,10 @@ func run(args []string) error {
 	runName := fs.String("run", "", "execute only this run (General, Red, Green, Blue, Yellow)")
 	jobs := fs.Int("j", 0, "worker goroutines for the sharded engine (0 = the paper's serial procedure; results are identical for every j >= 1)")
 	shards := fs.Int("shards", 0, "logical shard count of the sharded engine (0 = default; part of the experiment definition)")
+	tele := fs.Bool("telemetry", false, "instrument the engine: live progress line on stderr, snapshot embedded in -save output")
+	teleJSON := fs.String("telemetry-json", "", "stream periodic telemetry snapshots as JSON lines to this file (implies -telemetry)")
+	teleHTTP := fs.String("telemetry-http", "", "serve the live telemetry snapshot over HTTP on this address, e.g. localhost:8377 (implies -telemetry)")
+	allowPanics := fs.Bool("allow-panics", false, "exit 0 even when channels panicked and were recovered during measurement")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,9 +62,15 @@ func run(args []string) error {
 		return fmt.Errorf("-shards requires the sharded engine; set -j >= 1")
 	}
 
-	study := hbbtvlab.NewStudy(hbbtvlab.Options{
+	opts := hbbtvlab.Options{
 		Seed: *seed, Scale: *scale, Parallelism: *jobs, Shards: *shards,
-	})
+	}
+	telemetryOn := *tele || *teleJSON != "" || *teleHTTP != ""
+	if telemetryOn {
+		opts.Telemetry = hbbtvlab.NewTelemetry(opts)
+	}
+
+	study := hbbtvlab.NewStudy(opts)
 	funnel, err := study.SelectChannels()
 	if err != nil {
 		return err
@@ -56,6 +80,39 @@ func run(args []string) error {
 	}
 	fmt.Println()
 
+	runs := 5
+	if *runName != "" {
+		runs = 1
+	}
+
+	var sink *telemetry.LineSink
+	if *teleJSON != "" {
+		f, err := os.Create(*teleJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = telemetry.NewLineSink(f)
+	}
+	var httpLn net.Listener
+	if *teleHTTP != "" {
+		httpLn, err = net.Listen("tcp", *teleHTTP)
+		if err != nil {
+			return fmt.Errorf("-telemetry-http: %w", err)
+		}
+		defer httpLn.Close()
+		mux := http.NewServeMux()
+		mux.Handle("/telemetry", telemetry.Handler(opts.Telemetry))
+		go func() { _ = http.Serve(httpLn, mux) }()
+		fmt.Fprintf(os.Stderr, "telemetry: serving snapshot on http://%s/telemetry\n", httpLn.Addr())
+	}
+	var progress *progressReporter
+	if telemetryOn {
+		total := uint64(len(funnel.Final) * runs)
+		progress = newProgressReporter(opts.Telemetry, os.Stderr, sink, total)
+		progress.start()
+	}
+
 	var ds *store.Dataset
 	if *runName != "" {
 		rd, err := study.Run(store.RunName(*runName))
@@ -63,17 +120,28 @@ func run(args []string) error {
 			return err
 		}
 		ds = &store.Dataset{Runs: []*store.RunData{rd}}
+		if opts.Telemetry != nil {
+			ds.Telemetry = opts.Telemetry.Snapshot()
+		}
 	} else {
 		ds, err = study.ExecuteRuns()
 		if err != nil {
 			return err
 		}
 	}
+	if progress != nil {
+		progress.finish()
+	}
 
 	for _, s := range ds.Summaries() {
 		fmt.Printf("%-8s channels=%-4d requests=%-7d https=%5.2f%% cookies=%-4d storage=%-4d screenshots=%-6d logs=%d\n",
 			s.Run, s.Channels, s.HTTPRequests, s.HTTPSShare*100,
 			s.Cookies, s.Storage, s.Screenshots, s.LogEntries)
+	}
+	if snap := ds.Telemetry; snap != nil {
+		fmt.Printf("telemetry: %d flows, %d channel visits, %d events (%d dropped)\n",
+			snap.Counters["proxy_flows_recorded"], snap.Counters["core_channels_visited"],
+			len(snap.Events), snap.DroppedEvents)
 	}
 
 	if *out != "" {
@@ -109,5 +177,24 @@ func run(args []string) error {
 		}
 		fmt.Printf("dataset written to %s\n", *save)
 	}
-	return nil
+	return panicsError(ds, *allowPanics)
+}
+
+// panicsError turns recovered measurement panics into a non-zero exit:
+// the data is still well-formed (the engine recovered and continued), but
+// an unattended campaign must not look green when channels crashed.
+// -allow-panics downgrades it to a warning on stderr.
+func panicsError(ds *store.Dataset, allow bool) error {
+	panics := 0
+	for _, r := range ds.Runs {
+		panics += r.RecoveredPanics
+	}
+	if panics == 0 {
+		return nil
+	}
+	if allow {
+		fmt.Fprintf(os.Stderr, "hbbtv-measure: warning: %d recovered panic(s) during measurement (-allow-panics set)\n", panics)
+		return nil
+	}
+	return fmt.Errorf("%d recovered panic(s) during measurement (rerun with -allow-panics to exit 0 anyway)", panics)
 }

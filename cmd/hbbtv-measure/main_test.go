@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
+)
+
+func TestFlagValidation(t *testing.T) {
+	if err := run([]string{"-j", "-1"}); err == nil {
+		t.Error("negative -j accepted")
+	}
+	if err := run([]string{"-shards", "4"}); err == nil {
+		t.Error("-shards without -j accepted")
+	}
+}
+
+// TestTelemetryEndToEnd drives the CLI the way the acceptance criteria
+// describe: a small sharded study with -telemetry, a JSON-line sink, and
+// -save; the saved dataset must carry the final snapshot and the sink
+// must have received valid snapshot lines.
+func TestTelemetryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	saved := filepath.Join(dir, "ds.json.gz")
+	lines := filepath.Join(dir, "telemetry.ndjson")
+
+	err := run([]string{
+		"-seed", "321", "-scale", "0.02", "-j", "2",
+		"-telemetry", "-telemetry-json", lines, "-save", saved,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(saved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := store.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Telemetry == nil {
+		t.Fatal("saved dataset has no telemetry snapshot")
+	}
+	if ds.Telemetry.Counters["core_channels_visited"] == 0 {
+		t.Error("snapshot counts no channel visits")
+	}
+	if ds.Telemetry.Counters["proxy_flows_recorded"] == 0 {
+		t.Error("snapshot counts no flows")
+	}
+
+	lf, err := os.Open(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	sc := bufio.NewScanner(lf)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	n := 0
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) == "" {
+			continue
+		}
+		var snap telemetry.Snapshot
+		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+			t.Fatalf("sink line %d invalid JSON: %v", n, err)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// At minimum the final snapshot written by finish().
+	if n < 1 {
+		t.Fatalf("sink received %d snapshot lines, want >= 1", n)
+	}
+}
+
+func TestPanicsError(t *testing.T) {
+	clean := &store.Dataset{Runs: []*store.RunData{{Name: store.RunGeneral}}}
+	if err := panicsError(clean, false); err != nil {
+		t.Errorf("clean run reported error: %v", err)
+	}
+	panicked := &store.Dataset{Runs: []*store.RunData{
+		{Name: store.RunGeneral, RecoveredPanics: 2},
+		{Name: store.RunRed, RecoveredPanics: 1},
+	}}
+	err := panicsError(panicked, false)
+	if err == nil {
+		t.Fatal("panic-bearing run exited clean")
+	}
+	if !strings.Contains(err.Error(), "3 recovered panic") {
+		t.Errorf("error does not count panics: %v", err)
+	}
+	if err := panicsError(panicked, true); err != nil {
+		t.Errorf("-allow-panics still errored: %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
+)
+
+// progressReporter renders a live progress line from the telemetry
+// registry while the measurement engine runs, and optionally streams
+// JSON-line snapshots to a sink.
+//
+// The reporter is the one place wall time appears in the telemetry
+// story: it paces the *display* (ticker cadence, flows/s rate) with the
+// real clock, but everything it reads — counters, per-shard values —
+// was published on virtual time. Display pacing cannot perturb the
+// measurement or its digest.
+type progressReporter struct {
+	reg      *telemetry.Registry
+	out      io.Writer // progress line target (stderr)
+	sink     *telemetry.LineSink
+	total    uint64 // channels x runs, the full work size
+	interval time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newProgressReporter(reg *telemetry.Registry, out io.Writer, sink *telemetry.LineSink, total uint64) *progressReporter {
+	return &progressReporter{
+		reg:      reg,
+		out:      out,
+		sink:     sink,
+		total:    total,
+		interval: 500 * time.Millisecond,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+func (p *progressReporter) start() {
+	go func() {
+		defer close(p.done)
+		ticker := time.NewTicker(p.interval)
+		defer ticker.Stop()
+		var lastFlows uint64
+		lastAt := time.Now()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-ticker.C:
+				now := time.Now()
+				flows := p.reg.Counter("proxy_flows_recorded").Value()
+				rate := float64(flows-lastFlows) / now.Sub(lastAt).Seconds()
+				lastFlows, lastAt = flows, now
+				fmt.Fprintf(p.out, "\r%s", p.line(flows, rate))
+				if p.sink != nil {
+					_ = p.sink.Emit(p.reg.Snapshot())
+				}
+			}
+		}
+	}()
+}
+
+// line formats the one-line live status: channels done / total, flow
+// throughput, per-shard spread (lag), and recovered panics.
+func (p *progressReporter) line(flows uint64, rate float64) string {
+	visited := p.reg.Counter("core_channels_visited")
+	// A channel is "done" whether it was measured or skipped (runs after
+	// General only revisit the channels that stayed available), so the
+	// counter sum reaches total when the engine finishes.
+	done := visited.Value() + p.reg.Counter("core_channels_skipped").Value()
+	s := fmt.Sprintf("progress: %d/%d channels · %d flows", done, p.total, flows)
+	if rate >= 0 {
+		s += fmt.Sprintf(" (%.0f flows/s)", rate)
+	}
+	if shards := p.reg.Shards(); shards > 1 {
+		minV, maxV := uint64(0), uint64(0)
+		for i := 0; i < shards; i++ {
+			v := visited.ShardValue(i)
+			if i == 0 || v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		s += fmt.Sprintf(" · shard lag %d (min %d, max %d)", maxV-minV, minV, maxV)
+	}
+	if panics := p.reg.Counter("core_panics_recovered").Value(); panics > 0 {
+		s += fmt.Sprintf(" · panics %d", panics)
+	}
+	return s
+}
+
+// finish stops the loop and prints the final state on its own line.
+func (p *progressReporter) finish() {
+	close(p.stop)
+	<-p.done
+	flows := p.reg.Counter("proxy_flows_recorded").Value()
+	fmt.Fprintf(p.out, "\r%s\n", p.line(flows, -1))
+	if p.sink != nil {
+		_ = p.sink.Emit(p.reg.Snapshot())
+	}
+}

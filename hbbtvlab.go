@@ -28,6 +28,7 @@ import (
 	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
 	"github.com/hbbtvlab/hbbtvlab/internal/synth"
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 )
 
 // Options configures a Study.
@@ -57,6 +58,27 @@ type Options struct {
 	// core.DefaultShards). Changing it changes the shard partition and
 	// therefore the dataset; changing Parallelism never does.
 	Shards int
+	// Telemetry, when non-nil, instruments the measurement engine with
+	// the given registry (build one with NewTelemetry). Telemetry reads
+	// the virtual clock only and is excluded from Dataset.Digest, so
+	// enabling it never changes results; the final snapshot is attached
+	// to the returned Dataset (and persisted by Dataset.Save).
+	Telemetry *telemetry.Registry
+}
+
+// NewTelemetry builds a telemetry registry correctly sized for the
+// measurement engine the options select: one shard slot for the paper's
+// serial procedure, Shards (or core.DefaultShards) slots for the sharded
+// engine.
+func NewTelemetry(opts Options) *telemetry.Registry {
+	shards := 1
+	if opts.Parallelism >= 1 {
+		shards = opts.Shards
+		if shards <= 0 {
+			shards = core.DefaultShards
+		}
+	}
+	return telemetry.New(telemetry.Options{Shards: shards})
 }
 
 // Study bundles the synthetic world with the measurement framework.
@@ -86,6 +108,9 @@ func NewStudy(opts Options) *Study {
 		Seed:         opts.Seed,
 		Clock:        clk,
 		Availability: world.Availability,
+		// The study's own framework (serial engine, funnel probes) is
+		// telemetry shard 0 on its virtual clock.
+		Telemetry: opts.Telemetry.Shard(0, clk.Now),
 	})
 	return &Study{opts: opts, World: world, Framework: fw}
 }
@@ -139,8 +164,14 @@ func (s *Study) ExecuteRunsContext(ctx context.Context) (*store.Dataset, error) 
 			Shards:  s.opts.Shards,
 			Workers: s.opts.Parallelism,
 			Factory: s.shardFramework,
+			// Merge phases are engine-controller work, timestamped on the
+			// study clock (which the sharded engine leaves untouched — the
+			// shards advance their own clocks — so controller events are as
+			// deterministic as the shards' own).
+			Telemetry: s.opts.Telemetry.Controller(s.Framework.Clock.Now),
 		}
 		ds, err := pool.ExecuteRuns(ctx, s.opts.Runs, channels)
+		s.attachTelemetry(ds)
 		if err != nil {
 			return ds, fmt.Errorf("hbbtvlab: sharded runs: %w", err)
 		}
@@ -153,11 +184,26 @@ func (s *Study) ExecuteRunsContext(ctx context.Context) (*store.Dataset, error) 
 			ds.Runs = append(ds.Runs, run)
 		}
 		if err != nil {
+			s.attachTelemetry(ds)
 			return ds, fmt.Errorf("hbbtvlab: run %s: %w", spec.Name, err)
 		}
 	}
+	s.attachTelemetry(ds)
 	return ds, nil
 }
+
+// attachTelemetry embeds the engine's final telemetry snapshot in the
+// dataset (a no-op when telemetry is disabled). The snapshot rides along
+// in Dataset.Save but is excluded from Dataset.Digest.
+func (s *Study) attachTelemetry(ds *store.Dataset) {
+	if ds != nil && s.opts.Telemetry != nil {
+		ds.Telemetry = s.opts.Telemetry.Snapshot()
+	}
+}
+
+// Telemetry returns the study's telemetry registry (nil unless
+// Options.Telemetry was set).
+func (s *Study) Telemetry() *telemetry.Registry { return s.opts.Telemetry }
 
 // shardFramework is the study's core.ShardFactory: it rebuilds the
 // synthetic world from the study seed on a shard-private virtual clock, so
@@ -172,6 +218,7 @@ func (s *Study) shardFramework(shard int) (*core.Framework, error) {
 		Seed:         s.opts.Seed ^ int64(shard),
 		Clock:        clk,
 		Availability: world.Availability,
+		Telemetry:    s.opts.Telemetry.Shard(shard, clk.Now),
 	}), nil
 }
 

@@ -12,8 +12,13 @@ import (
 	"github.com/hbbtvlab/hbbtvlab/internal/hostnet"
 	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 	"github.com/hbbtvlab/hbbtvlab/internal/webos"
 )
+
+// ChannelFlowBuckets are the histogram bucket bounds for flows recorded
+// per channel visit.
+var ChannelFlowBuckets = []int64{0, 1, 2, 5, 10, 20, 50, 100, 200, 500}
 
 // RunSpec configures one measurement run.
 type RunSpec struct {
@@ -55,8 +60,12 @@ type Framework struct {
 	Clock    *clock.Virtual
 	Recorder *proxy.Recorder
 	TV       *webos.TV
+	// Telemetry is the framework's shard-scoped telemetry handle (nil
+	// when telemetry is disabled; all uses are nil-safe no-ops).
+	Telemetry *telemetry.Shard
 
-	rng *rand.Rand
+	metrics fwMetrics
+	rng     *rand.Rand
 	// interaction is the fixed 10-press sequence used in all color runs,
 	// generated once with at least one ENTER.
 	interaction []appmodel.Key
@@ -79,6 +88,21 @@ type Config struct {
 	Clock *clock.Virtual
 	// Availability restricts per-run channel availability (nil = all).
 	Availability map[store.RunName]map[string]bool
+	// Telemetry, when non-nil, instruments this framework (and its
+	// recorder and TV) as one shard of the given registry.
+	Telemetry *telemetry.Shard
+}
+
+// fwMetrics are the framework's pre-resolved telemetry handles. Resolving
+// at wiring time keeps the hot path to one atomic add per update; all
+// fields are nil (no-ops) when telemetry is disabled.
+type fwMetrics struct {
+	channelsVisited *telemetry.BoundCounter
+	channelsSkipped *telemetry.BoundCounter
+	runsCompleted   *telemetry.BoundCounter
+	panicsRecovered *telemetry.BoundCounter
+	probes          *telemetry.BoundCounter
+	channelFlows    *telemetry.BoundHistogram
 }
 
 // New builds a Framework: virtual clock, recording proxy over an
@@ -92,18 +116,29 @@ func New(cfg Config) *Framework {
 		clk = clock.NewVirtual(cfg.Start)
 	}
 	rec := proxy.NewRecorder(&hostnet.Transport{Net: cfg.Internet}, clk)
+	rec.SetTelemetry(cfg.Telemetry)
 	tv := webos.New(webos.Config{
 		Clock:     clk,
 		Transport: rec,
 		Seed:      cfg.Seed,
 		OnSwitch:  rec.SwitchChannel,
+		Telemetry: cfg.Telemetry,
 	})
 	f := &Framework{
 		Clock:        clk,
 		Recorder:     rec,
 		TV:           tv,
+		Telemetry:    cfg.Telemetry,
 		rng:          rand.New(rand.NewSource(cfg.Seed ^ 0x5bd1e995)),
 		Availability: cfg.Availability,
+	}
+	f.metrics = fwMetrics{
+		channelsVisited: cfg.Telemetry.Counter("core_channels_visited"),
+		channelsSkipped: cfg.Telemetry.Counter("core_channels_skipped"),
+		runsCompleted:   cfg.Telemetry.Counter("core_runs_completed"),
+		panicsRecovered: cfg.Telemetry.Counter("core_panics_recovered"),
+		probes:          cfg.Telemetry.Counter("core_channels_probed"),
+		channelFlows:    cfg.Telemetry.Histogram("core_channel_flows", ChannelFlowBuckets),
 	}
 	f.interaction = fixedInteraction(f.rng)
 	return f
@@ -142,6 +177,7 @@ func (f *Framework) InteractionSequence() []appmodel.Key {
 // traffic never leaks into run data.
 func (f *Framework) Probe(watch time.Duration) ProbeFunc {
 	return func(svc *dvb.Service) (bool, error) {
+		f.metrics.probes.Inc()
 		f.Recorder.Reset()
 		f.TV.PowerOn()
 		if err := f.TV.TuneTo(svc); err != nil {
@@ -176,6 +212,7 @@ func (f *Framework) ExecuteRunContext(ctx context.Context, spec RunSpec, channel
 	f.Recorder.Reset()
 	f.TV.WipeBrowserState()
 	f.TV.PowerOn()
+	f.Telemetry.Event(telemetry.EventRunStart, string(spec.Name))
 
 	avail := f.Availability[spec.Name]
 	order := f.rng.Perm(len(channels))
@@ -189,6 +226,7 @@ func (f *Framework) ExecuteRunContext(ctx context.Context, spec RunSpec, channel
 		}
 		svc := channels[idx]
 		if avail != nil && !avail[svc.Name] {
+			f.metrics.channelsSkipped.Inc()
 			continue // channel not broadcasting during this run
 		}
 		if err := f.visitChannelRecovered(spec, svc, run); err != nil {
@@ -206,9 +244,11 @@ func (f *Framework) ExecuteRunContext(ctx context.Context, spec RunSpec, channel
 	run.Logs = f.TV.Logs()
 	f.TV.WipeBrowserState()
 	f.TV.PowerOff()
+	f.Telemetry.Event(telemetry.EventRunEnd, string(spec.Name))
 	if runErr != nil {
 		return run, runErr
 	}
+	f.metrics.runsCompleted.Inc()
 	return run, nil
 }
 
@@ -220,10 +260,23 @@ func (f *Framework) visitChannelRecovered(spec RunSpec, svc *dvb.Service, run *s
 	defer func() {
 		if r := recover(); r != nil {
 			run.RecoveredPanics++
+			f.metrics.panicsRecovered.Inc()
+			f.Telemetry.Event(telemetry.EventPanic, svc.Name)
 			f.TV.Log(webos.LogError, fmt.Sprintf("recovered panic on %s: %v", svc.Name, r))
 		}
 	}()
-	return f.visitChannel(spec, svc, run)
+	flowsBefore := 0
+	if f.Telemetry.Active() {
+		f.Telemetry.Event(telemetry.EventChannelBegin, svc.Name)
+		flowsBefore = f.Recorder.Len()
+	}
+	err = f.visitChannel(spec, svc, run)
+	f.metrics.channelsVisited.Inc()
+	if f.Telemetry.Active() {
+		f.metrics.channelFlows.Observe(int64(f.Recorder.Len() - flowsBefore))
+		f.Telemetry.Event(telemetry.EventChannelEnd, svc.Name)
+	}
+	return err
 }
 
 // visitChannel is one iteration of the remote-control script.

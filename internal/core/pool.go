@@ -9,6 +9,7 @@ import (
 
 	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 )
 
 // DefaultShards is the fixed logical shard count of the parallel
@@ -45,6 +46,11 @@ type Pool struct {
 	Workers int
 	// Factory builds one isolated Framework per shard.
 	Factory ShardFactory
+	// Telemetry is the engine-controller telemetry handle (from
+	// telemetry.Registry.Controller); nil disables engine-level events.
+	// Per-shard instrumentation is wired by the Factory through
+	// Config.Telemetry.
+	Telemetry *telemetry.Shard
 }
 
 // shardOutcome is what one shard contributes: one RunData per spec index
@@ -125,7 +131,7 @@ func (p *Pool) ExecuteRuns(ctx context.Context, specs []RunSpec, channels []*dvb
 		if !any {
 			continue
 		}
-		merged := store.MergeRunShards(order, shardRuns)
+		merged := store.MergeRunShardsObserved(order, shardRuns, p.Telemetry)
 		// Run identity comes from the spec even if every shard was cancelled
 		// before its first channel of this run.
 		merged.Name, merged.Date = specs[si].Name, specs[si].Date
@@ -162,6 +168,15 @@ func (p *Pool) runShard(ctx context.Context, shard, shards int, specs []RunSpec,
 	var subset []*dvb.Service
 	for i := shard; i < len(channels); i += shards {
 		subset = append(subset, channels[i])
+	}
+	if fw.Telemetry.Active() {
+		active := fw.Telemetry.Gauge("core_shards_active")
+		active.Set(1)
+		fw.Telemetry.Event(telemetry.EventShardStart, fmt.Sprintf("channels=%d", len(subset)))
+		defer func() {
+			fw.Telemetry.Event(telemetry.EventShardStop, "")
+			active.Set(0)
+		}()
 	}
 	for si, spec := range specs {
 		run, err := fw.ExecuteRunContext(ctx, spec, subset)

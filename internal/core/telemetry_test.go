@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/synth"
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
+)
+
+// telemetryFactory is poolFactory with a telemetry registry attached:
+// each shard publishes to its own slot on its own virtual clock.
+func telemetryFactory(seed int64, scale float64, reg *telemetry.Registry) ShardFactory {
+	return func(shard int) (*Framework, error) {
+		clk := clock.NewVirtual(time.Date(2023, 8, 21, 9, 0, 0, 0, time.UTC))
+		world := synth.Build(synth.Config{Seed: seed, Scale: scale}, clk)
+		return New(Config{
+			Internet:     world.Internet,
+			Seed:         seed ^ int64(shard),
+			Clock:        clk,
+			Availability: world.Availability,
+			Telemetry:    reg.Shard(shard, clk.Now),
+		}), nil
+	}
+}
+
+// TestPoolTelemetryCounters runs the sharded engine with telemetry and
+// checks that the counters and event trace reflect the work done.
+func TestPoolTelemetryCounters(t *testing.T) {
+	const seed, scale, shards = 7, 0.04, 4
+	channels := poolChannels(seed, scale)
+	if len(channels) < shards {
+		t.Fatalf("world too small: %d channels", len(channels))
+	}
+	specs := poolSpecs()
+
+	// A large trace capacity so early events (shard.start) survive the
+	// per-flow event volume for the assertions below.
+	reg := telemetry.New(telemetry.Options{Shards: shards, TraceCap: 1 << 16})
+	ctl := reg.Controller(clock.NewVirtual(time.Date(2023, 8, 21, 9, 0, 0, 0, time.UTC)).Now)
+	pool := &Pool{
+		Shards:    shards,
+		Workers:   shards,
+		Factory:   telemetryFactory(seed, scale, reg),
+		Telemetry: ctl,
+	}
+	ds, err := pool.ExecuteRuns(context.Background(), specs, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	// Every (run, available channel) pair is one visit; skips account for
+	// per-run availability gaps.
+	visited := snap.Counters["core_channels_visited"]
+	skipped := snap.Counters["core_channels_skipped"]
+	want := uint64(len(channels) * len(specs))
+	if visited+skipped != want {
+		t.Errorf("visited(%d)+skipped(%d) = %d, want %d", visited, skipped, visited+skipped, want)
+	}
+	measuredChannels := 0
+	for _, run := range ds.Runs {
+		measuredChannels += len(run.Channels)
+	}
+	if visited != uint64(measuredChannels) {
+		t.Errorf("core_channels_visited = %d, dataset has %d channel visits", visited, measuredChannels)
+	}
+	if got := snap.Counters["proxy_flows_recorded"]; got == 0 {
+		t.Error("proxy_flows_recorded = 0; recorder not instrumented")
+	}
+	if got := snap.Counters["webos_tunes"]; got < visited {
+		t.Errorf("webos_tunes = %d, want >= %d", got, visited)
+	}
+	if got := snap.Counters["merge_runs"]; got != uint64(len(specs)) {
+		t.Errorf("merge_runs = %d, want %d", got, len(specs))
+	}
+	if got := snap.Counters["core_runs_completed"]; got != uint64(shards*len(specs)) {
+		t.Errorf("core_runs_completed = %d, want %d", got, shards*len(specs))
+	}
+	if got := snap.Gauges["core_shards_active"]; got != 0 {
+		t.Errorf("core_shards_active = %d after completion, want 0", got)
+	}
+	if got := snap.Histograms["core_channel_flows"].Count; got != visited {
+		t.Errorf("core_channel_flows count = %d, want %d", got, visited)
+	}
+
+	kinds := make(map[telemetry.EventKind]int)
+	for _, ev := range snap.Events {
+		kinds[ev.Kind]++
+	}
+	if kinds[telemetry.EventShardStart] != shards || kinds[telemetry.EventShardStop] != shards {
+		t.Errorf("shard start/stop events = %d/%d, want %d/%d",
+			kinds[telemetry.EventShardStart], kinds[telemetry.EventShardStop], shards, shards)
+	}
+	if kinds[telemetry.EventMergeBegin] != len(specs) || kinds[telemetry.EventMergeEnd] != len(specs) {
+		t.Errorf("merge begin/end events = %d/%d, want %d/%d",
+			kinds[telemetry.EventMergeBegin], kinds[telemetry.EventMergeEnd], len(specs), len(specs))
+	}
+	// Per-shard breakdown must cover every shard (each measured channels).
+	if len(snap.Shards) != shards {
+		t.Errorf("per-shard breakdown has %d entries, want %d", len(snap.Shards), shards)
+	}
+}
+
+// TestPoolTelemetryDoesNotChangeDigest: at the pool level, running with a
+// registry attached must produce the byte-identical dataset.
+func TestPoolTelemetryDoesNotChangeDigest(t *testing.T) {
+	const seed, scale, shards = 7, 0.04, 4
+	channels := poolChannels(seed, scale)
+	specs := poolSpecs()
+
+	plain := &Pool{Shards: shards, Workers: 2, Factory: poolFactory(seed, scale, nil)}
+	dsPlain, err := plain.ExecuteRuns(context.Background(), specs, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.New(telemetry.Options{Shards: shards})
+	instrumented := &Pool{
+		Shards:    shards,
+		Workers:   2,
+		Factory:   telemetryFactory(seed, scale, reg),
+		Telemetry: reg.Controller(nil),
+	}
+	dsTele, err := instrumented.ExecuteRuns(context.Background(), specs, channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if a, b := datasetDigest(t, dsPlain), datasetDigest(t, dsTele); a != b {
+		t.Fatalf("telemetry changed the dataset digest: %s != %s", a, b)
+	}
+}

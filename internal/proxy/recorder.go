@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 )
 
 // AttributionWindow is how long after the last channel switch requests are
@@ -42,6 +43,13 @@ type Recorder struct {
 	// disableReferer turns off the Referer correction; used by the
 	// attribution ablation bench.
 	disableReferer bool
+
+	// Telemetry (all nil-safe when disabled): per-shard flow counters and
+	// the flow trace event.
+	tele           *telemetry.Shard
+	cFlows         *telemetry.BoundCounter
+	cUnattributed  *telemetry.BoundCounter
+	cResponseBytes *telemetry.BoundCounter
 }
 
 type channelEpoch struct {
@@ -58,6 +66,19 @@ func NewRecorder(inner http.RoundTripper, clk clock.Clock) *Recorder {
 		clk:            clk,
 		hostsByChannel: make(map[string]map[string]struct{}),
 	}
+}
+
+// SetTelemetry instruments the recorder as one shard of a telemetry
+// registry: every recorded flow increments shard-local counters and
+// appends a proxy.flow trace event. A nil handle (telemetry disabled)
+// leaves the hot path untouched.
+func (r *Recorder) SetTelemetry(sh *telemetry.Shard) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tele = sh
+	r.cFlows = sh.Counter("proxy_flows_recorded")
+	r.cUnattributed = sh.Counter("proxy_flows_unattributed")
+	r.cResponseBytes = sh.Counter("proxy_response_bytes")
 }
 
 // SetRefererCorrection enables or disables the Referer-based attribution
@@ -140,6 +161,14 @@ func (r *Recorder) record(f *Flow) {
 		hosts[f.Host()] = struct{}{}
 	}
 	r.flows = append(r.flows, f)
+	if r.tele.Active() {
+		r.cFlows.Inc()
+		r.cResponseBytes.Add(uint64(f.ResponseSize))
+		if f.Channel == "" {
+			r.cUnattributed.Inc()
+		}
+		r.tele.Event(telemetry.EventFlow, f.Method+" "+f.Host())
+	}
 }
 
 // attributeLocked maps a flow to a channel. Callers hold r.mu.

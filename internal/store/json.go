@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 	"github.com/hbbtvlab/hbbtvlab/internal/webos"
 )
 
@@ -26,6 +27,9 @@ import (
 type datasetJSON struct {
 	Version int       `json:"version"`
 	Runs    []runJSON `json:"runs"`
+	// Telemetry is the engine's final telemetry snapshot. Older datasets
+	// simply lack the field; Digest never covers it (see Dataset.Digest).
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 type runJSON struct {
@@ -94,32 +98,43 @@ type logJSON struct {
 	Detail string        `json:"detail"`
 }
 
-// Save writes the dataset as gzip-compressed JSON.
+// Save writes the dataset as gzip-compressed JSON, including the
+// telemetry snapshot when one is attached.
 func (d *Dataset) Save(w io.Writer) error {
 	gz := gzip.NewWriter(w)
-	if err := d.encodeJSON(gz); err != nil {
+	if err := d.encodeJSON(gz, true); err != nil {
 		return err
 	}
 	return gz.Close()
 }
 
 // Digest returns a hex SHA-256 over the dataset's canonical JSON encoding
-// (the same encoding Save compresses). Two datasets with equal digests are
-// byte-identical under Save/ExportFlows and therefore analysis-identical;
-// the parallel measurement engine uses this to prove that sharded
-// execution matches for every worker count.
+// of the measurement data (runs, flows, cookies, storage, screenshots,
+// logs). Two datasets with equal digests are measurement-identical and
+// therefore analysis-identical; the parallel measurement engine uses this
+// to prove that sharded execution matches for every worker count.
+//
+// The telemetry snapshot is deliberately excluded: it is observability
+// metadata about the engine, not measurement data, so running with
+// telemetry on or off yields the same digest (proven by
+// TestTelemetryDigestInvariance).
 func (d *Dataset) Digest() (string, error) {
 	h := sha256.New()
-	if err := d.encodeJSON(h); err != nil {
+	if err := d.encodeJSON(h, false); err != nil {
 		return "", err
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// encodeJSON writes the canonical (deterministic) JSON form of the dataset.
-func (d *Dataset) encodeJSON(w io.Writer) error {
+// encodeJSON writes the canonical (deterministic) JSON form of the
+// dataset; withTelemetry selects whether the telemetry snapshot is
+// included (Save) or stripped (Digest).
+func (d *Dataset) encodeJSON(w io.Writer, withTelemetry bool) error {
 	enc := json.NewEncoder(w)
 	out := datasetJSON{Version: 1}
+	if withTelemetry {
+		out.Telemetry = d.Telemetry
+	}
 	for _, run := range d.Runs {
 		rj := runJSON{
 			Name: run.Name, Date: run.Date,
@@ -213,7 +228,7 @@ func Load(r io.Reader) (*Dataset, error) {
 	if in.Version != 1 {
 		return nil, fmt.Errorf("store: unsupported dataset version %d", in.Version)
 	}
-	d := &Dataset{}
+	d := &Dataset{Telemetry: in.Telemetry}
 	for _, rj := range in.Runs {
 		run := &RunData{
 			Name: rj.Name, Date: rj.Date, Channels: rj.Channels,

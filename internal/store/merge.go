@@ -1,9 +1,11 @@
 package store
 
 import (
+	"fmt"
 	"sort"
 
 	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 	"github.com/hbbtvlab/hbbtvlab/internal/webos"
 )
 
@@ -31,6 +33,35 @@ import (
 // Every rule depends only on shard index and canonical order, so the result
 // is independent of the order in which shards finished.
 func MergeRunShards(order []string, shards []*RunData) *RunData {
+	return MergeRunShardsObserved(order, shards, nil)
+}
+
+// MergeRunShardsObserved is MergeRunShards with merge-phase telemetry:
+// tele (typically the engine-controller handle) receives merge.begin /
+// merge.end events and per-merge counters. A nil handle is a no-op, so
+// MergeRunShards simply delegates here.
+func MergeRunShardsObserved(order []string, shards []*RunData, tele *telemetry.Shard) *RunData {
+	if tele.Active() {
+		live := 0
+		for _, s := range shards {
+			if s != nil {
+				live++
+			}
+		}
+		tele.Event(telemetry.EventMergeBegin, fmt.Sprintf("shards=%d/%d", live, len(shards)))
+	}
+	merged := mergeRunShards(order, shards)
+	if tele.Active() {
+		tele.Counter("merge_runs").Inc()
+		tele.Counter("merge_channels").Add(uint64(len(merged.Channels)))
+		tele.Counter("merge_flows").Add(uint64(len(merged.Flows)))
+		tele.Event(telemetry.EventMergeEnd, fmt.Sprintf("run=%s channels=%d flows=%d",
+			merged.Name, len(merged.Channels), len(merged.Flows)))
+	}
+	return merged
+}
+
+func mergeRunShards(order []string, shards []*RunData) *RunData {
 	merged := &RunData{}
 	for _, s := range shards {
 		if s == nil {

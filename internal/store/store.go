@@ -14,6 +14,7 @@ import (
 
 	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
 	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 	"github.com/hbbtvlab/hbbtvlab/internal/webos"
 )
 
@@ -123,6 +124,12 @@ func (r *RunData) HTTPSShare() float64 {
 // Dataset is the complete study data set across all runs.
 type Dataset struct {
 	Runs []*RunData
+	// Telemetry is the final telemetry snapshot of the measurement engine
+	// that produced this dataset (nil when telemetry was disabled). It is
+	// persisted by Save/Load next to the run data but deliberately
+	// excluded from Digest: the digest fingerprints the measurement data
+	// itself, so enabling observability can never change it.
+	Telemetry *telemetry.Snapshot
 }
 
 // Run returns the named run, or nil.

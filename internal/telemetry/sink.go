@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+func atomicLoad(p *uint64) uint64 { return atomic.LoadUint64(p) }
+
+// LineSink writes snapshots as newline-delimited JSON — the periodic
+// sink behind `hbbtv-measure -telemetry-json`. Safe for concurrent use.
+type LineSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewLineSink returns a sink emitting one JSON object per line to w.
+func NewLineSink(w io.Writer) *LineSink {
+	return &LineSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one snapshot as a single JSON line.
+func (s *LineSink) Emit(snap *Snapshot) error {
+	if s == nil || snap == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enc.Encode(snap)
+}
+
+// Handler returns an expvar-style HTTP handler serving the registry's
+// current snapshot as JSON — the endpoint behind
+// `hbbtv-measure -telemetry-http`.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		snap := r.Snapshot()
+		if snap == nil {
+			snap = &Snapshot{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import "sort"
+
+// Snapshot is a point-in-time, JSON-serializable view of the registry:
+// aggregate counters/gauges/histograms, the per-shard counter breakdown
+// (feeding per-shard progress/lag displays), and the merged event trace.
+// A snapshot taken after a run completes is deterministic for a fixed
+// seed and shard count: all timestamps are virtual, event order is
+// (Time, Shard, Seq), and map keys serialize sorted.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	// Shards breaks the counters down per shard, indexed by shard number.
+	Shards []ShardCounters `json:"shards,omitempty"`
+	// Events is the merged ring contents across shards, oldest first.
+	Events []Event `json:"events,omitempty"`
+	// DroppedEvents counts ring overwrites (trace truncation, not data loss).
+	DroppedEvents uint64 `json:"droppedEvents,omitempty"`
+}
+
+// HistogramSnapshot is one histogram's aggregate state.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one cumulative-style bucket: Count observations were
+// <= UpperBound (the overflow bucket has UpperBound == -1 meaning +Inf).
+type BucketCount struct {
+	UpperBound int64  `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// ShardCounters is one shard's counter contributions.
+type ShardCounters struct {
+	Shard    int               `json:"shard"`
+	Counters map[string]uint64 `json:"counters,omitempty"`
+}
+
+// Snapshot captures the registry's current state. Safe to call while
+// shards are still publishing (the in-flight view is internally
+// consistent per metric, not across metrics); a snapshot taken after the
+// engine finishes is stable and deterministic. Returns nil on a nil
+// registry.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	snap := &Snapshot{}
+
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	if len(counters) > 0 {
+		snap.Counters = make(map[string]uint64, len(counters))
+		perShard := make([]map[string]uint64, r.shards)
+		for _, c := range counters {
+			snap.Counters[c.name] = c.Value()
+			for s := 0; s < r.shards; s++ {
+				if v := c.ShardValue(s); v > 0 {
+					if perShard[s] == nil {
+						perShard[s] = make(map[string]uint64)
+					}
+					perShard[s][c.name] = v
+				}
+			}
+		}
+		for s, m := range perShard {
+			if m != nil {
+				snap.Shards = append(snap.Shards, ShardCounters{Shard: s, Counters: m})
+			}
+		}
+	}
+	if len(gauges) > 0 {
+		snap.Gauges = make(map[string]int64, len(gauges))
+		for _, g := range gauges {
+			snap.Gauges[g.name] = g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for _, h := range hists {
+			snap.Histograms[h.name] = h.snapshot()
+		}
+	}
+
+	for _, rg := range r.rings {
+		events, dropped := rg.snapshot()
+		snap.Events = append(snap.Events, events...)
+		snap.DroppedEvents += dropped
+	}
+	sort.SliceStable(snap.Events, func(a, b int) bool {
+		ea, eb := snap.Events[a], snap.Events[b]
+		if !ea.Time.Equal(eb.Time) {
+			return ea.Time.Before(eb.Time)
+		}
+		if ea.Shard != eb.Shard {
+			return ea.Shard < eb.Shard
+		}
+		return ea.Seq < eb.Seq
+	})
+	return snap
+}
+
+// snapshot aggregates one histogram across shards.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{}
+	bucketTotals := make([]uint64, len(h.bounds)+1)
+	for s := range h.shards {
+		for i := range h.shards[s] {
+			bucketTotals[i] += atomicLoad(&h.shards[s][i])
+		}
+		out.Count += atomicLoad(&h.counts[s].v)
+		out.Sum += int64(atomicLoad(&h.sums[s].v))
+	}
+	for i, n := range bucketTotals {
+		bound := int64(-1) // +Inf overflow bucket
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		out.Buckets = append(out.Buckets, BucketCount{UpperBound: bound, Count: n})
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentShardPublishing is the race-detector stress test for the
+// lock-free aggregation design: many shards hammer the same counters,
+// gauges, histograms, and their own event rings while a reader goroutine
+// continuously snapshots the registry. Run under `-race` by `make check`.
+func TestConcurrentShardPublishing(t *testing.T) {
+	const shards = 8
+	const opsPerShard = 5000
+
+	r := New(Options{Shards: shards, TraceCap: 64})
+	base := time.Date(2023, 8, 21, 9, 0, 0, 0, time.UTC)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := r.Snapshot()
+				if snap == nil {
+					t.Error("nil snapshot from live registry")
+					return
+				}
+			}
+		}
+	}()
+
+	var writers sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		writers.Add(1)
+		go func(s int) {
+			defer writers.Done()
+			clk := base
+			sh := r.Shard(s, func() time.Time { return clk })
+			flows := sh.Counter("flows")
+			channels := sh.Counter("channels")
+			active := sh.Gauge("active")
+			hist := sh.Histogram("per_channel", []int64{1, 10, 100})
+			active.Set(1)
+			for i := 0; i < opsPerShard; i++ {
+				flows.Inc()
+				if i%10 == 0 {
+					channels.Inc()
+					hist.Observe(int64(i % 150))
+					sh.Event(EventChannelEnd, "ch")
+					clk = clk.Add(time.Second)
+				}
+			}
+			active.Set(0)
+		}(s)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	snap := r.Snapshot()
+	if got := snap.Counters["flows"]; got != shards*opsPerShard {
+		t.Fatalf("flows = %d, want %d", got, shards*opsPerShard)
+	}
+	if got := snap.Counters["channels"]; got != shards*opsPerShard/10 {
+		t.Fatalf("channels = %d, want %d", got, shards*opsPerShard/10)
+	}
+	if got := snap.Gauges["active"]; got != 0 {
+		t.Fatalf("active = %d, want 0", got)
+	}
+	if got := snap.Histograms["per_channel"].Count; got != shards*opsPerShard/10 {
+		t.Fatalf("histogram count = %d, want %d", got, shards*opsPerShard/10)
+	}
+	if len(snap.Shards) != shards {
+		t.Fatalf("per-shard entries = %d, want %d", len(snap.Shards), shards)
+	}
+	for _, sc := range snap.Shards {
+		if sc.Counters["flows"] != opsPerShard {
+			t.Fatalf("shard %d flows = %d, want %d", sc.Shard, sc.Counters["flows"], opsPerShard)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind classifies a trace event.
+type EventKind string
+
+// The event kinds emitted by the instrumented measurement engine.
+const (
+	EventShardStart   EventKind = "shard.start"
+	EventShardStop    EventKind = "shard.stop"
+	EventRunStart     EventKind = "run.start"
+	EventRunEnd       EventKind = "run.end"
+	EventChannelBegin EventKind = "channel.begin"
+	EventChannelEnd   EventKind = "channel.end"
+	EventFlow         EventKind = "proxy.flow"
+	EventPanic        EventKind = "panic.recovered"
+	EventMergeBegin   EventKind = "merge.begin"
+	EventMergeEnd     EventKind = "merge.end"
+)
+
+// Event is one structured trace record. Time is virtual time (the
+// emitting shard's measurement timeline), Seq is the shard-local emission
+// sequence number — both deterministic for a fixed seed and shard count.
+type Event struct {
+	Seq    uint64    `json:"seq"`
+	Time   time.Time `json:"time"`
+	Shard  int       `json:"shard"` // -1: the engine controller
+	Kind   EventKind `json:"kind"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// ring is one shard's bounded event buffer. Only the shard's own
+// goroutine writes (so the mutex is uncontended on the hot path); the
+// lock exists for snapshot readers, which may run concurrently.
+type ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    uint64 // events ever written; write position is next % cap
+	dropped uint64 // events overwritten before being snapshotted
+}
+
+func (rg *ring) record(ev Event) {
+	rg.mu.Lock()
+	ev.Seq = rg.next
+	rg.buf[rg.next%uint64(len(rg.buf))] = ev
+	rg.next++
+	if rg.next > uint64(len(rg.buf)) {
+		rg.dropped++
+	}
+	rg.mu.Unlock()
+}
+
+// snapshot copies the ring's surviving events, oldest first.
+func (rg *ring) snapshot() (events []Event, dropped uint64) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	n := rg.next
+	capacity := uint64(len(rg.buf))
+	start := uint64(0)
+	if n > capacity {
+		start = n - capacity
+	}
+	for seq := start; seq < n; seq++ {
+		events = append(events, rg.buf[seq%capacity])
+	}
+	return events, rg.dropped
+}
+
+// Event appends a trace event to the shard's ring, timestamped on the
+// shard's virtual clock.
+func (s *Shard) Event(kind EventKind, detail string) {
+	if s == nil {
+		return
+	}
+	var at time.Time
+	if s.now != nil {
+		at = s.now()
+	}
+	s.reg.rings[s.idx].record(Event{
+		Time:   at,
+		Shard:  s.Index(),
+		Kind:   kind,
+		Detail: detail,
+	})
+}

@@ -17,6 +17,7 @@ import (
 // "Accept". Otherwise the key is dispatched through the application's key
 // map (colored buttons navigate, per the HbbTV standard).
 func (tv *TV) Press(key appmodel.Key) {
+	tv.metrics.keyPresses.Inc()
 	tv.logf(LogKey, "press %s", key)
 	app := tv.app
 	if app == nil {

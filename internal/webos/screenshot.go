@@ -9,6 +9,7 @@ import (
 // the study took one every 60 seconds. The returned overlay is a deep
 // enough copy that later runtime state changes do not mutate it.
 func (tv *TV) Screenshot() Screenshot {
+	tv.metrics.screenshots.Inc()
 	shot := Screenshot{Time: tv.clk.Now()}
 	if !tv.powered || tv.current == nil {
 		return shot

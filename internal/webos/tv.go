@@ -22,6 +22,7 @@ import (
 	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
 	"github.com/hbbtvlab/hbbtvlab/internal/clock"
 	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 )
 
 // DeviceInfo is the technical identity of the TV — the values the paper
@@ -54,6 +55,19 @@ type Config struct {
 	// PlatformTraffic enables the TV's own phone-home traffic to lge.com.
 	// The study disabled all configurable platform communication.
 	PlatformTraffic bool
+	// Telemetry, when non-nil, counts tunes, key presses, screenshots,
+	// and app loads on the shard's telemetry slot.
+	Telemetry *telemetry.Shard
+}
+
+// tvMetrics are the TV's pre-resolved telemetry handles (nil-safe no-ops
+// when telemetry is disabled).
+type tvMetrics struct {
+	tunes       *telemetry.BoundCounter
+	keyPresses  *telemetry.BoundCounter
+	screenshots *telemetry.BoundCounter
+	appsLoaded  *telemetry.BoundCounter
+	beacons     *telemetry.BoundCounter
 }
 
 // LogKind classifies TV log entries.
@@ -107,7 +121,8 @@ type TV struct {
 	sessionID string
 	rng       *rand.Rand
 
-	logs []LogEntry
+	metrics tvMetrics
+	logs    []LogEntry
 }
 
 // runningApp is the state of the loaded HbbTV application.
@@ -145,6 +160,13 @@ func New(cfg Config) *TV {
 	}
 	tv.userID = tv.newID("u")
 	tv.client = &http.Client{Transport: cfg.Transport, Jar: tv.jar}
+	tv.metrics = tvMetrics{
+		tunes:       cfg.Telemetry.Counter("webos_tunes"),
+		keyPresses:  cfg.Telemetry.Counter("webos_key_presses"),
+		screenshots: cfg.Telemetry.Counter("webos_screenshots"),
+		appsLoaded:  cfg.Telemetry.Counter("webos_apps_loaded"),
+		beacons:     cfg.Telemetry.Counter("webos_beacons_fired"),
+	}
 	return tv
 }
 
@@ -234,6 +256,7 @@ func (tv *TV) TuneTo(svc *dvb.Service) error {
 	if !tv.powered {
 		return fmt.Errorf("webos: TV is powered off")
 	}
+	tv.metrics.tunes.Inc()
 	tv.exitApp()
 	tv.current = svc
 	tv.currentEvent = nil
@@ -326,6 +349,7 @@ func (tv *TV) loadApp(entry string) error {
 	}
 	app := &runningApp{doc: doc, baseURL: base, started: tv.clk.Now()}
 	tv.app = app
+	tv.metrics.appsLoaded.Inc()
 	app.vars = tv.appVars()
 
 	// Load markup subresources in document order with the document as
@@ -483,6 +507,7 @@ func (tv *TV) fireBeacon(b appmodel.BeaconSpec) {
 	if app == nil {
 		return
 	}
+	tv.metrics.beacons.Inc()
 	vars := tv.appVars() // refresh local time / unix time per request
 	q := url.Values{}
 	for k, v := range b.Params {
