@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race fuzz bench fmt lint bench-json
+.PHONY: build test check race fuzz bench fmt lint bench-json bench-analyze
 
 build:
 	$(GO) build ./...
@@ -43,3 +43,10 @@ lint:
 # (test2json) output for the CI artifact trail (BENCH_*.json trajectory).
 bench-json:
 	$(GO) test -json -bench . -benchtime 1x -run '^$$' . | tee bench.json
+
+# bench-analyze runs the analysis-engine benchmarks only — serial vs
+# parallel AnalyzeContext at paper scale (ns/op per -j, byte-identity
+# asserted) plus the single-pass-vs-multipass comparison — and records
+# the test2json stream as BENCH_analyze.json for the CI artifact trail.
+bench-analyze:
+	$(GO) test -json -bench 'BenchmarkAnalyze' -benchtime 1x -run '^$$' . | tee BENCH_analyze.json

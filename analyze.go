@@ -6,7 +6,6 @@ import (
 
 	"github.com/hbbtvlab/hbbtvlab/internal/consent"
 	"github.com/hbbtvlab/hbbtvlab/internal/cookies"
-	"github.com/hbbtvlab/hbbtvlab/internal/filterlist"
 	"github.com/hbbtvlab/hbbtvlab/internal/graphx"
 	"github.com/hbbtvlab/hbbtvlab/internal/policy"
 	"github.com/hbbtvlab/hbbtvlab/internal/stats"
@@ -159,7 +158,9 @@ type StatFindings struct {
 	CategoryTrackers stats.KruskalWallisResult // category -> tracking requests
 }
 
-// Results bundles every reproduced table, figure, and finding.
+// Results bundles every reproduced table, figure, and finding. When
+// AnalyzeContext ran with a section selection, only the selected sections'
+// fields are populated (FirstParties — an index byproduct — is always set).
 type Results struct {
 	TableI   []TableIRow
 	TableII  []cookies.ThirdPartyUsage
@@ -188,129 +189,65 @@ type Results struct {
 	Extension    tracking.ExtensionResult
 }
 
-// Analyze runs the complete Section V/VI/VII analysis suite over a dataset.
-func Analyze(ds *store.Dataset) *Results {
-	res := &Results{}
-	cls := tracking.NewClassifier()
+// --- Section analyzers -------------------------------------------------
+//
+// Each analyzer reads the shared dataset index and writes its own,
+// disjoint slice of Results; the engine in analyze_engine.go may run any
+// subset of them concurrently. None of them re-walks ds.Runs for
+// classification — that happened exactly once, in store.BuildIndex.
 
-	// First-party identification (Section V-A) with the filter-list
-	// correction.
-	res.FirstParties = tracking.FirstParties(ds.Runs, cls.EasyList)
-
-	windowStart, windowEnd := measurementWindow(ds)
-
-	// Table I.
-	var allEvents []cookies.SetEvent
-	for _, run := range ds.Runs {
-		events := cookies.SetEvents(run, res.FirstParties)
-		allEvents = append(allEvents, events...)
-		plain, https := run.CountHTTPS()
-		first, third := cookies.FirstThirdCounts(events)
-		localStorage := len(run.Storage)
+// analyzeTableI reproduces Table I (per-run data overview).
+func analyzeTableI(env *analysisEnv, res *Results) {
+	for i, run := range env.ds.Runs {
+		ri := &env.ix.Runs[i]
+		first, third := cookies.FirstThirdCounts(ri.SetEvents)
 		res.TableI = append(res.TableI, TableIRow{
 			Run: run.Name, Date: run.Date,
 			Channels: len(run.Channels),
-			HTTPReq:  plain, HTTPSReq: https,
-			HTTPSShare:   run.HTTPSShare(),
+			HTTPReq:  ri.PlainRequests, HTTPSReq: ri.HTTPSRequests,
+			HTTPSShare:   ri.HTTPSShare(),
 			Cookies:      len(run.Cookies),
 			FirstParty:   first,
 			ThirdParty:   third,
-			LocalStorage: localStorage,
+			LocalStorage: len(run.Storage),
 		})
 	}
+}
 
-	// Table II.
-	for _, run := range ds.Runs {
+// analyzeTableII reproduces Table II (cookie-setting third parties).
+func analyzeTableII(env *analysisEnv, res *Results) {
+	for _, run := range env.ds.Runs {
 		res.TableII = append(res.TableII,
-			cookies.AnalyzeThirdParty(run.Name, allEvents))
+			cookies.AnalyzeThirdParty(run.Name, env.ix.SetEvents))
 	}
-
-	// Table III + smart-TV list comparison.
-	for _, run := range ds.Runs {
-		res.TableIII = append(res.TableIII, cls.ListStats(run))
-	}
-	res.SmartTVLists = smartTVComparison(ds)
-
-	// Figure 5.
-	res.Fig5 = figure5(allEvents)
-
-	// Figures 6 and 7.
-	byChannel := cls.PerChannel(ds.Runs)
-	res.Fig6 = figure6(byChannel)
-	res.Fig7 = tracking.PerCategory(byChannel, ds, 10)
-
-	// Figure 8.
-	g := graphx.FromDataset(ds, res.FirstParties)
-	res.Fig8 = figure8(g)
-
-	// Section V-B leakage.
-	leaks := tracking.FindLeaks(ds, res.FirstParties, tracking.LGNeedles)
-	res.Leaks = tracking.Summarize(leaks, res.FirstParties)
-
-	// Section V-C cookies.
-	res.Cookies = cookieFindings(ds, cls, allEvents, windowStart, windowEnd)
-
-	// Section V-D5 children.
-	res.Children = childrenFindings(ds, cls, byChannel, allEvents)
-
-	// Section VI consent.
-	res.Consent = consentFindings(ds)
-
-	// Section VII policies.
-	res.Policies = policyFindings(ds, cls)
-
-	// Statistical tests.
-	res.Stats = statFindings(ds, cls, allEvents)
-
-	// Future-work extension: derive HbbTV filter rules from the traffic
-	// and measure the coverage gain over the Pi-hole base list.
-	res.DerivedRules = cls.DeriveFilterRules(ds, res.FirstParties, cls.PiHole)
-	if ext, err := cls.EvaluateExtension(ds, cls.PiHole, res.DerivedRules); err == nil {
-		res.Extension = ext
-	}
-
-	return res
 }
 
-func measurementWindow(ds *store.Dataset) (time.Time, time.Time) {
-	var lo, hi time.Time
-	for _, run := range ds.Runs {
-		for _, f := range run.Flows {
-			if lo.IsZero() || f.Time.Before(lo) {
-				lo = f.Time
-			}
-			if f.Time.After(hi) {
-				hi = f.Time
-			}
-		}
+// analyzeTableIII reproduces Table III plus the smart-TV list comparison,
+// entirely from the index's per-run hit counters.
+func analyzeTableIII(env *analysisEnv, res *Results) {
+	var piHole, perflyst, kamran int
+	for i, run := range env.ds.Runs {
+		ri := &env.ix.Runs[i]
+		res.TableIII = append(res.TableIII, tracking.RunListStats{
+			Run:          run.Name,
+			OnPiHole:     ri.OnPiHole,
+			OnEasyList:   ri.OnEasyList,
+			OnEasyPriv:   ri.OnEasyPrivacy,
+			TrackingPxl:  ri.TrackingPixels,
+			Fingerprints: ri.FingerprintScripts,
+		})
+		piHole += ri.OnPiHole
+		perflyst += ri.OnPerflyst
+		kamran += ri.OnKamran
 	}
-	if lo.IsZero() {
-		lo = time.Date(2023, 8, 1, 0, 0, 0, 0, time.UTC)
-		hi = time.Date(2023, 12, 31, 0, 0, 0, 0, time.UTC)
+	res.SmartTVLists = map[string]int{
+		"Pi-hole": piHole, "Perflyst": perflyst, "Kamran": kamran,
 	}
-	return lo, hi
 }
 
-func smartTVComparison(ds *store.Dataset) map[string]int {
-	lists := []*filterlist.List{
-		filterlist.PiHole(), filterlist.PerflystSmartTV(), filterlist.KamranSmartTV(),
-	}
-	out := make(map[string]int, len(lists))
-	for _, run := range ds.Runs {
-		for _, f := range run.Flows {
-			u := f.URL.String()
-			for _, l := range lists {
-				if l.MatchURL(u) {
-					out[l.Name()]++
-				}
-			}
-		}
-	}
-	return out
-}
-
-func figure5(events []cookies.SetEvent) Figure5 {
-	counts := cookies.PartyChannelCounts(events)
+// analyzeFig5 reproduces Fig. 5.
+func analyzeFig5(env *analysisEnv, res *Results) {
+	counts := cookies.PartyChannelCounts(env.ix.SetEvents)
 	f := Figure5{PartyChannels: counts}
 	for p, n := range counts {
 		f.Top = append(f.Top, graphx.NodeDegree{Node: p, Degree: n})
@@ -327,10 +264,12 @@ func figure5(events []cookies.SetEvent) Figure5 {
 		}
 		return f.Top[a].Node < f.Top[b].Node
 	})
-	return f
+	res.Fig5 = f
 }
 
-func figure6(byChannel map[string]*tracking.ChannelStats) Figure6 {
+// analyzeFig6 reproduces Fig. 6.
+func analyzeFig6(env *analysisEnv, res *Results) {
+	byChannel := env.ix.PerChannelTracking
 	f := Figure6{PerChannel: make(map[string]int, len(byChannel))}
 	var reqs, trackers []float64
 	type chReq struct {
@@ -369,10 +308,17 @@ func figure6(byChannel map[string]*tracking.ChannelStats) Figure6 {
 	if total > 0 {
 		f.Top10Share = float64(top10) / float64(total)
 	}
-	return f
+	res.Fig6 = f
 }
 
-func figure8(g *graphx.Graph) Figure8 {
+// analyzeFig7 reproduces Fig. 7.
+func analyzeFig7(env *analysisEnv, res *Results) {
+	res.Fig7 = tracking.PerCategory(env.ix.PerChannelTracking, env.ds, 10)
+}
+
+// analyzeFig8 reproduces Fig. 8 (Section V-E ecosystem graph).
+func analyzeFig8(env *analysisEnv, res *Results) {
+	g := graphx.FromDataset(env.ds, env.ix.FirstParty)
 	mean, sd := g.DegreeStats()
 	f := Figure8{
 		Nodes:              g.NodeCount(),
@@ -392,7 +338,7 @@ func figure8(g *graphx.Graph) Figure8 {
 			f.SingleEdgeDomains++
 		}
 	}
-	return f
+	res.Fig8 = f
 }
 
 // topDomains ranks domain (non-channel) nodes by degree.
@@ -415,7 +361,16 @@ func topDomains(g *graphx.Graph, n int) []graphx.NodeDegree {
 	return all[:n]
 }
 
-func cookieFindings(ds *store.Dataset, cls *tracking.Classifier, events []cookies.SetEvent, lo, hi time.Time) CookieFindings {
+// analyzeLeaks reproduces the Section V-B leakage search.
+func analyzeLeaks(env *analysisEnv, res *Results) {
+	leaks := tracking.FindLeaks(env.ds, env.ix.FirstParty, tracking.LGNeedles)
+	res.Leaks = tracking.Summarize(leaks, env.ix.FirstParty)
+}
+
+// analyzeCookies reproduces Section V-C.
+func analyzeCookies(env *analysisEnv, res *Results) {
+	events := env.ix.SetEvents
+	lo, hi := env.ix.Window.Start, env.ix.Window.End
 	f := CookieFindings{
 		DistinctCookies: cookies.DistinctCookies(events),
 		PotentialIDs:    cookies.PotentialIDs(events, lo, hi),
@@ -441,27 +396,21 @@ func cookieFindings(ds *store.Dataset, cls *tracking.Classifier, events []cookie
 	if classified > 0 {
 		f.TargetingShare = float64(targeting) / float64(classified)
 	}
-	// Share of Set-Cookie responses arriving on tracking-labeled requests.
+	// Share of Set-Cookie responses arriving on tracking-labeled requests
+	// (counted by the index across all flows, attributed or not).
 	setTotal, setTracking := 0, 0
-	for _, run := range ds.Runs {
-		for _, flow := range run.Flows {
-			if len(flow.SetCookies()) == 0 {
-				continue
-			}
-			setTotal++
-			if cls.IsTracking(flow) {
-				setTracking++
-			}
-		}
+	for i := range env.ix.Runs {
+		setTotal += env.ix.Runs[i].SetCookieFlows
+		setTracking += env.ix.Runs[i].SetCookieTrackingFlows
 	}
 	if setTotal > 0 {
 		f.SetByTrackingShare = float64(setTracking) / float64(setTotal)
 	}
-	for _, run := range ds.Runs {
+	for _, run := range env.ds.Runs {
 		f.Purposes = append(f.Purposes, cookies.AnalyzePurposes(run.Name, events))
 	}
 	// Cookie syncing.
-	f.SyncEvents = cookies.DetectSyncing(ds.Runs, events, lo, hi)
+	f.SyncEvents = cookies.DetectSyncing(env.ds.Runs, events, lo, hi)
 	parties := make(map[string]struct{})
 	channels := make(map[string]struct{})
 	for _, s := range f.SyncEvents {
@@ -473,14 +422,16 @@ func cookieFindings(ds *store.Dataset, cls *tracking.Classifier, events []cookie
 	}
 	f.SyncParties = len(parties)
 	f.SyncChannels = len(channels)
-	return f
+	res.Cookies = f
 }
 
-func childrenFindings(ds *store.Dataset, cls *tracking.Classifier, byChannel map[string]*tracking.ChannelStats, events []cookies.SetEvent) ChildrenFindings {
+// analyzeChildren reproduces the Section V-D5 case study.
+func analyzeChildren(env *analysisEnv, res *Results) {
+	byChannel := env.ix.PerChannelTracking
 	f := ChildrenFindings{}
 	isChild := make(map[string]bool)
-	for _, name := range ds.ChannelNames() {
-		if info := ds.ChannelInfo(name); info != nil && info.TargetsChildren() {
+	for _, name := range env.ix.Channels {
+		if info := env.ds.ChannelInfo(name); info != nil && info.TargetsChildren() {
 			isChild[name] = true
 			f.Channels = append(f.Channels, name)
 		}
@@ -492,7 +443,7 @@ func childrenFindings(ds *store.Dataset, cls *tracking.Classifier, byChannel map
 		}
 	}
 	seen := make(map[[3]string]struct{})
-	for _, e := range events {
+	for _, e := range env.ix.SetEvents {
 		if !isChild[e.Channel] || !e.ThirdParty {
 			continue
 		}
@@ -506,7 +457,7 @@ func childrenFindings(ds *store.Dataset, cls *tracking.Classifier, byChannel map
 	}
 	// MWU on per-channel tracker counts: children vs all others.
 	var child, other []float64
-	for _, name := range ds.ChannelNames() {
+	for _, name := range env.ix.Channels {
 		n := 0.0
 		if cs := byChannel[name]; cs != nil {
 			n = float64(cs.TrackerCount())
@@ -520,10 +471,12 @@ func childrenFindings(ds *store.Dataset, cls *tracking.Classifier, byChannel map
 	if mwu, err := stats.MannWhitney(child, other); err == nil {
 		f.MWU = mwu
 	}
-	return f
+	res.Children = f
 }
 
-func consentFindings(ds *store.Dataset) ConsentFindings {
+// analyzeConsent reproduces Section VI.
+func analyzeConsent(env *analysisEnv, res *Results) {
+	ds := env.ds
 	f := ConsentFindings{
 		ChannelsWithPrivacy: consent.ChannelsWithPrivacyInfo(ds),
 		Styles:              consent.NoticeInventory(ds),
@@ -541,11 +494,12 @@ func consentFindings(ds *store.Dataset) ConsentFindings {
 		}
 	}
 	f.LocationAds = consent.FindLocationTargetedAds(ds, synth.MeasurementCity)
-	return f
+	res.Consent = f
 }
 
-func policyFindings(ds *store.Dataset, cls *tracking.Classifier) PolicyFindings {
-	corpus := policy.Collect(ds)
+// analyzePolicies reproduces Section VII.
+func analyzePolicies(env *analysisEnv, res *Results) {
+	corpus := policy.Collect(env.ds)
 	f := PolicyFindings{
 		Corpus:         corpus,
 		RightsCoverage: policy.RightsCoverage(corpus.Texts()),
@@ -586,28 +540,30 @@ func policyFindings(ds *store.Dataset, cls *tracking.Classifier) PolicyFindings 
 		covered = append(covered, d.Channels...)
 	}
 	if f.AdWindowDeclared && len(covered) > 0 {
-		f.WindowViolations = policy.CheckAdWindow(ds, covered, f.AdWindow, cls.IsTracking)
+		f.WindowViolations = policy.CheckAdWindow(env.ds, covered, f.AdWindow, env.ix.IsTracking)
 	}
-	return f
+	res.Policies = f
 }
 
-func statFindings(ds *store.Dataset, cls *tracking.Classifier, events []cookies.SetEvent) StatFindings {
+// analyzeStats reproduces the study's statistical tests. Every map-keyed
+// grouping sorts its keys first: Kruskal-Wallis is mathematically
+// order-invariant, but floating-point summation is not, so unsorted map
+// iteration would make the reported H/p values drift across processes.
+func analyzeStats(env *analysisEnv, res *Results) {
 	f := StatFindings{}
 	// Run -> per-channel request volume.
 	var trafficGroups [][]float64
 	var cookieGroups [][]float64
-	for _, run := range ds.Runs {
-		byChan := run.FlowsByChannel()
+	for i, run := range env.ds.Runs {
+		byChan := env.ix.Runs[i].FlowsByChannel
 		var g []float64
-		for _, flows := range byChan {
-			g = append(g, float64(len(flows)))
+		for _, ch := range sortedKeys(byChan) {
+			g = append(g, float64(len(byChan[ch])))
 		}
 		trafficGroups = append(trafficGroups, g)
 		perChanCookies := make(map[string]int)
-		for _, e := range events {
-			if e.Run == run.Name {
-				perChanCookies[e.Channel]++
-			}
+		for _, e := range env.ix.Runs[i].SetEvents {
+			perChanCookies[e.Channel]++
 		}
 		var cg []float64
 		for _, ch := range run.Channels {
@@ -623,45 +579,59 @@ func statFindings(ds *store.Dataset, cls *tracking.Classifier, events []cookies.
 	}
 	// Channel -> tracking requests, one observation per run.
 	perChannelPerRun := make(map[string][]float64)
-	for _, run := range ds.Runs {
-		counts := make(map[string]int)
-		for _, flow := range run.Flows {
-			if flow.Channel != "" && cls.IsTracking(flow) {
-				counts[flow.Channel]++
-			}
-		}
+	for i, run := range env.ds.Runs {
+		counts := env.ix.Runs[i].TrackingByChannel
 		for _, ch := range run.Channels {
 			perChannelPerRun[ch.Name] = append(perChannelPerRun[ch.Name], float64(counts[ch.Name]))
 		}
 	}
 	var chanGroups [][]float64
-	for _, obs := range perChannelPerRun {
-		chanGroups = append(chanGroups, obs)
+	for _, ch := range sortedKeys(perChannelPerRun) {
+		chanGroups = append(chanGroups, perChannelPerRun[ch])
 	}
 	if r, err := stats.KruskalWallis(chanGroups...); err == nil {
 		f.ChannelTrackers = r
 	}
 	// Category -> per-channel tracking requests.
 	catGroups := make(map[string][]float64)
-	byChannel := cls.PerChannel(ds.Runs)
-	for _, name := range ds.ChannelNames() {
-		info := ds.ChannelInfo(name)
+	for _, name := range env.ix.Channels {
+		info := env.ds.ChannelInfo(name)
 		cat := "Other"
 		if info != nil && info.PrimaryCategory() != "" {
 			cat = string(info.PrimaryCategory())
 		}
 		n := 0.0
-		if cs := byChannel[name]; cs != nil {
+		if cs := env.ix.PerChannelTracking[name]; cs != nil {
 			n = float64(cs.TrackingRequests)
 		}
 		catGroups[cat] = append(catGroups[cat], n)
 	}
 	var cgs [][]float64
-	for _, g := range catGroups {
-		cgs = append(cgs, g)
+	for _, cat := range sortedKeys(catGroups) {
+		cgs = append(cgs, catGroups[cat])
 	}
 	if r, err := stats.KruskalWallis(cgs...); err == nil {
 		f.CategoryTrackers = r
 	}
-	return f
+	res.Stats = f
+}
+
+// analyzeExtension reproduces the future-work extension: filter rules
+// derived from the observed traffic and the coverage gain they add over
+// the Pi-hole base list.
+func analyzeExtension(env *analysisEnv, res *Results) {
+	res.DerivedRules = tracking.DeriveRulesFromIndex(env.ix)
+	if ext, err := tracking.EvaluateExtensionFromIndex(env.ix, res.DerivedRules); err == nil {
+		res.Extension = ext
+	}
+}
+
+// sortedKeys returns a map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -1,0 +1,220 @@
+package hbbtvlab
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
+	"github.com/hbbtvlab/hbbtvlab/internal/tracking"
+)
+
+// Section identifies one independently computable slice of Results. Each
+// section corresponds to a table, figure, or findings block of the paper
+// and owns a disjoint set of Results fields, so any subset can be computed
+// — serially or concurrently — without affecting the others.
+type Section string
+
+// The analysis sections.
+const (
+	SectionTableI    Section = "table1"    // Table I: per-run data overview
+	SectionTableII   Section = "table2"    // Table II: cookie-setting third parties
+	SectionTableIII  Section = "table3"    // Table III + smart-TV list comparison
+	SectionFig5      Section = "fig5"      // Fig. 5: third-party long tail
+	SectionFig6      Section = "fig6"      // Fig. 6: per-channel tracking
+	SectionFig7      Section = "fig7"      // Fig. 7: per-category tracking
+	SectionFig8      Section = "fig8"      // Fig. 8: ecosystem graph
+	SectionLeaks     Section = "leaks"     // Section V-B: personal-data leakage
+	SectionCookies   Section = "cookies"   // Section V-C: cookie analysis
+	SectionChildren  Section = "children"  // Section V-D5: children's channels
+	SectionConsent   Section = "consent"   // Section VI: consent dialogs
+	SectionPolicies  Section = "policies"  // Section VII: privacy policies
+	SectionStats     Section = "stats"     // statistical tests
+	SectionExtension Section = "extension" // future work: derived filter rules
+)
+
+// sectionAnalyzer pairs a section name with its implementation.
+type sectionAnalyzer struct {
+	name Section
+	run  func(env *analysisEnv, res *Results)
+}
+
+// analysisEnv is the read-only context shared by all section analyzers.
+type analysisEnv struct {
+	ds  *store.Dataset
+	ix  *store.Index
+	cls *tracking.Classifier
+}
+
+// sectionRegistry lists every analyzer, heaviest first: the worker pool
+// dequeues in order, so long-running sections (policy corpus, ecosystem
+// graph, cookie syncing, filter-rule derivation) start before the cheap
+// table scans — classic longest-processing-time packing.
+var sectionRegistry = []sectionAnalyzer{
+	{SectionPolicies, analyzePolicies},
+	{SectionFig8, analyzeFig8},
+	{SectionCookies, analyzeCookies},
+	{SectionExtension, analyzeExtension},
+	{SectionLeaks, analyzeLeaks},
+	{SectionConsent, analyzeConsent},
+	{SectionStats, analyzeStats},
+	{SectionTableII, analyzeTableII},
+	{SectionChildren, analyzeChildren},
+	{SectionFig6, analyzeFig6},
+	{SectionFig7, analyzeFig7},
+	{SectionFig5, analyzeFig5},
+	{SectionTableIII, analyzeTableIII},
+	{SectionTableI, analyzeTableI},
+}
+
+// AllSections returns every known section, in scheduling order.
+func AllSections() []Section {
+	out := make([]Section, len(sectionRegistry))
+	for i, s := range sectionRegistry {
+		out[i] = s.name
+	}
+	return out
+}
+
+// AnalyzeOptions configures AnalyzeContext.
+type AnalyzeOptions struct {
+	// Parallelism bounds the worker goroutines used for both the index
+	// build and the section pool. <= 1 analyzes serially. The produced
+	// Results are identical for every value.
+	Parallelism int
+	// Sections selects which analyzers run; nil or empty runs all of
+	// them. Unknown sections are an error. Unselected sections leave
+	// their Results fields zero.
+	Sections []Section
+	// Telemetry, when non-nil, receives per-section counters
+	// ("analyze.section.<name>.runs") and duration histograms under the
+	// controller slot, plus index-build metrics.
+	Telemetry *telemetry.Registry
+}
+
+// analyzeDurationBuckets spans 100us..10s in decades (values in
+// microseconds).
+var analyzeDurationBuckets = []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+
+// AnalyzeContext reproduces the paper's evaluation over a measured
+// dataset: it builds the shared single-pass index (store.BuildIndex) and
+// then runs the selected section analyzers on a bounded worker pool.
+//
+// Determinism contract: for a given dataset, the returned Results are
+// identical — byte-for-byte under encoding/json — for every Parallelism
+// value. Sections write disjoint Results fields and read only the
+// immutable index, so concurrent execution cannot reorder anything
+// observable.
+//
+// Cancellation is cooperative: the index build aborts between
+// classification chunks, and the pool skips sections not yet started.
+// On cancellation the context error is returned; a partially filled
+// Results may accompany it (sections already finished remain valid).
+func AnalyzeContext(ctx context.Context, ds *store.Dataset, opts AnalyzeOptions) (*Results, error) {
+	if ds == nil {
+		return nil, errors.New("hbbtvlab: AnalyzeContext: nil dataset")
+	}
+	selected, err := selectSections(opts.Sections)
+	if err != nil {
+		return nil, err
+	}
+	tel := opts.Telemetry.Controller(time.Now)
+
+	cls := tracking.NewClassifier()
+	cfg := cls.IndexConfig()
+	cfg.Parallelism = opts.Parallelism
+	start := time.Now()
+	ix, err := store.BuildIndex(ctx, ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	tel.Counter("analyze.index.builds").Inc()
+	tel.Counter("analyze.index.flows").Add(uint64(ix.FlowCount()))
+	tel.Histogram("analyze.index.build_us", analyzeDurationBuckets).
+		Observe(time.Since(start).Microseconds())
+
+	// FirstParties is a byproduct of the index and is always populated,
+	// whatever the section selection — several renderers key off it.
+	res := &Results{FirstParties: ix.FirstParty}
+	env := &analysisEnv{ds: ds, ix: ix, cls: cls}
+
+	workers := opts.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	jobs := make(chan sectionAnalyzer)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range jobs {
+				if ctx.Err() != nil {
+					continue // drain without running
+				}
+				t0 := time.Now()
+				s.run(env, res)
+				tel.Counter("analyze.section." + string(s.name) + ".runs").Inc()
+				tel.Histogram("analyze.section."+string(s.name)+".us", analyzeDurationBuckets).
+					Observe(time.Since(t0).Microseconds())
+				tel.Counter("analyze.sections.completed").Inc()
+			}
+		}()
+	}
+	for _, s := range selected {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// selectSections resolves a requested section set against the registry,
+// preserving scheduling order and dropping duplicates. nil/empty selects
+// everything.
+func selectSections(req []Section) ([]sectionAnalyzer, error) {
+	if len(req) == 0 {
+		return sectionRegistry, nil
+	}
+	known := make(map[Section]bool, len(sectionRegistry))
+	for _, s := range sectionRegistry {
+		known[s.name] = true
+	}
+	want := make(map[Section]bool, len(req))
+	for _, s := range req {
+		if !known[s] {
+			return nil, fmt.Errorf("hbbtvlab: unknown analysis section %q (known: %v)", s, AllSections())
+		}
+		want[s] = true
+	}
+	out := make([]sectionAnalyzer, 0, len(want))
+	for _, s := range sectionRegistry {
+		if want[s.name] {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Analyze reproduces the full evaluation serially. It is the
+// compatibility wrapper over AnalyzeContext; new callers wanting
+// parallelism, section selection, telemetry, or cancellation should call
+// AnalyzeContext directly.
+func Analyze(ds *store.Dataset) *Results {
+	res, err := AnalyzeContext(context.Background(), ds, AnalyzeOptions{})
+	if err != nil {
+		// Unreachable for a non-nil dataset: the background context never
+		// cancels and the default section set is always valid.
+		panic("hbbtvlab: Analyze: " + err.Error())
+	}
+	return res
+}

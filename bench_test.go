@@ -8,6 +8,9 @@ package hbbtvlab
 // the paper-vs-measured comparison is part of the bench output.
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -311,6 +314,101 @@ func BenchmarkDerivedRules(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = cls.DeriveFilterRules(ds, res.FirstParties, cls.PiHole)
 	}
+}
+
+// BenchmarkAnalyze measures the full analysis engine at paper scale for
+// increasing worker counts. Every parallel sub-benchmark hard-asserts
+// that its Results JSON equals the j=1 bytes — the engine's determinism
+// contract — and reports its wall-clock speedup against j=1.
+func BenchmarkAnalyze(b *testing.B) {
+	ds, _ := benchFixture(b)
+	var (
+		baseline   []byte
+		serialTime time.Duration
+	)
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			var encoded []byte
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				res, err := AnalyzeContext(context.Background(), ds, AnalyzeOptions{Parallelism: j})
+				if err != nil {
+					b.Fatal(err)
+				}
+				encoded, err = json.Marshal(res)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed := time.Since(start) / time.Duration(b.N)
+			if baseline == nil {
+				baseline = encoded
+				serialTime = elapsed
+			} else if !bytes.Equal(encoded, baseline) {
+				b.Fatalf("j=%d Results differ from j=1; engine is not worker-independent", j)
+			}
+			if serialTime > 0 {
+				b.ReportMetric(float64(serialTime)/float64(elapsed), "speedup-vs-serial")
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeSections measures a single-section analysis — the cost
+// a caller pays for one table instead of the full evaluation.
+func BenchmarkAnalyzeSections(b *testing.B) {
+	ds, _ := benchFixture(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeContext(context.Background(), ds, AnalyzeOptions{
+			Parallelism: 4,
+			Sections:    []Section{SectionTableI},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeSinglePass quantifies the engine's core optimisation —
+// classifying every flow once in the shared index instead of once per
+// analysis — by comparing the indexed engine against the multi-pass
+// equivalent built from the retained standalone helpers (each of which
+// re-classifies the flows it needs, as the pre-engine Analyze did). The
+// speedup-vs-multipass metric holds on any core count: it measures work
+// eliminated, not work overlapped.
+func BenchmarkAnalyzeSinglePass(b *testing.B) {
+	ds, _ := benchFixture(b)
+	var indexedTime time.Duration
+	b.Run("indexed", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			if _, err := AnalyzeContext(context.Background(), ds, AnalyzeOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		indexedTime = time.Since(start) / time.Duration(b.N)
+	})
+	b.Run("multipass", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			cls := tracking.NewClassifier()
+			fp := tracking.FirstParties(ds.Runs, cls.EasyList)
+			var events []cookies.SetEvent
+			for _, run := range ds.Runs {
+				events = append(events, cookies.SetEvents(run, fp)...)
+				_ = cls.ListStats(run) // Table III: one list pass per run
+			}
+			byChannel := cls.PerChannel(ds.Runs) // Fig. 6/7: classify again
+			_ = tracking.PerCategory(byChannel, ds, 10)
+			rules := cls.DeriveFilterRules(ds, fp, cls.PiHole) // classify again
+			if _, err := cls.EvaluateExtension(ds, cls.PiHole, rules); err != nil {
+				b.Fatal(err) // and again
+			}
+		}
+		elapsed := time.Since(start) / time.Duration(b.N)
+		if indexedTime > 0 {
+			b.ReportMetric(float64(elapsed)/float64(indexedTime), "speedup-vs-multipass")
+		}
+	})
 }
 
 // BenchmarkPoolParallelism measures the sharded measurement engine at

@@ -1,14 +1,17 @@
 // Command hbbtv-analyze runs the measurement study and prints a selected
-// table or figure from the paper's evaluation.
+// table or figure from the paper's evaluation. Only the analysis sections
+// the selected target needs are computed (see hbbtvlab.AnalyzeContext).
 //
 // Usage:
 //
-//	hbbtv-analyze [-seed N] [-scale F] -t table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|findings|all
+//	hbbtv-analyze [-seed N] [-scale F] [-j N] -t table1|table2|table3|table4|table5|fig5|fig6|fig7|fig8|findings|all
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	hbbtvlab "github.com/hbbtvlab/hbbtvlab"
@@ -17,20 +20,46 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hbbtv-analyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// targetSections maps each print target to the analysis sections it
+// renders; a nil entry computes everything.
+var targetSections = map[string][]hbbtvlab.Section{
+	"table1": {hbbtvlab.SectionTableI},
+	"table2": {hbbtvlab.SectionTableII},
+	"table3": {hbbtvlab.SectionTableIII},
+	"table4": {hbbtvlab.SectionConsent},
+	"table5": {hbbtvlab.SectionConsent},
+	"fig5":   {hbbtvlab.SectionFig5},
+	"fig6":   {hbbtvlab.SectionFig5, hbbtvlab.SectionFig6, hbbtvlab.SectionFig7, hbbtvlab.SectionFig8},
+	"fig7":   {hbbtvlab.SectionFig5, hbbtvlab.SectionFig6, hbbtvlab.SectionFig7, hbbtvlab.SectionFig8},
+	"fig8":   {hbbtvlab.SectionFig5, hbbtvlab.SectionFig6, hbbtvlab.SectionFig7, hbbtvlab.SectionFig8},
+	"findings": {
+		hbbtvlab.SectionLeaks, hbbtvlab.SectionCookies, hbbtvlab.SectionChildren,
+		hbbtvlab.SectionConsent, hbbtvlab.SectionPolicies, hbbtvlab.SectionStats,
+		hbbtvlab.SectionExtension,
+	},
+	"all": nil,
+}
+
+func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("hbbtv-analyze", flag.ContinueOnError)
 	seed := fs.Int64("seed", 1, "world seed")
 	scale := fs.Float64("scale", 1.0, "world scale (1.0 = paper scale)")
 	target := fs.String("t", "all", "what to print: table1..table5, fig5..fig8, findings, all")
 	in := fs.String("in", "", "analyze a dataset saved by hbbtv-measure -save instead of re-measuring")
+	par := fs.Int("j", 0, "analysis parallelism (0 or 1 = serial; results are identical)")
+	probe := fs.Duration("probewatch", 0, "override the exploratory per-channel watch time (0 = paper's 910s)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	sections, ok := targetSections[*target]
+	if !ok {
+		return fmt.Errorf("unknown target %q", *target)
 	}
 
 	var ds *store.Dataset
@@ -45,16 +74,25 @@ func run(args []string) error {
 			return err
 		}
 	} else {
-		study := hbbtvlab.NewStudy(hbbtvlab.Options{Seed: *seed, Scale: *scale})
-		var err error
+		study, err := hbbtvlab.NewStudyChecked(hbbtvlab.Options{
+			Seed: *seed, Scale: *scale, ProbeWatch: *probe,
+		})
+		if err != nil {
+			return err
+		}
 		ds, err = study.ExecuteRuns()
 		if err != nil {
 			return err
 		}
 	}
-	res := hbbtvlab.Analyze(ds)
+	res, err := hbbtvlab.AnalyzeContext(context.Background(), ds, hbbtvlab.AnalyzeOptions{
+		Parallelism: *par,
+		Sections:    sections,
+	})
+	if err != nil {
+		return err
+	}
 
-	w := os.Stdout
 	switch *target {
 	case "table1":
 		return hbbtvlab.RenderTableI(w, res.TableI)
@@ -76,9 +114,7 @@ func run(args []string) error {
 		return hbbtvlab.RenderFigures(w, res)
 	case "findings":
 		return hbbtvlab.RenderFindings(w, res)
-	case "all":
+	default: // "all"
 		return hbbtvlab.RenderAll(w, res)
-	default:
-		return fmt.Errorf("unknown target %q", *target)
 	}
 }

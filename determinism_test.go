@@ -2,6 +2,8 @@ package hbbtvlab
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
@@ -78,6 +80,52 @@ func TestTableIGolden(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Errorf("Table I drifted from golden %s\n--- want\n%s--- got\n%s\n(run go test -run TestTableIGolden -update to accept)",
 			golden, want, got)
+	}
+}
+
+// TestAnalyzeParallelDeterminism: AnalyzeContext must produce
+// byte-identical Results (under encoding/json) for every Parallelism
+// value — the determinism contract of the section engine. Results.Stats
+// is covered explicitly: its Kruskal-Wallis groupings are built from
+// maps, and an unsorted iteration there once made H/p values drift.
+func TestAnalyzeParallelDeterminism(t *testing.T) {
+	study := NewStudy(Options{Seed: 321, Scale: 0.04, ProbeWatch: 20 * time.Second})
+	ds, err := study.ExecuteRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode := func(parallelism int) []byte {
+		t.Helper()
+		res, err := AnalyzeContext(context.Background(), ds, AnalyzeOptions{Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	serial := encode(1)
+	for _, n := range []int{2, 4} {
+		if got := encode(n); !bytes.Equal(serial, got) {
+			t.Fatalf("Results differ between Parallelism=1 and Parallelism=%d", n)
+		}
+	}
+	// Repeated serial runs agree too (guards the in-process map-order
+	// fixes independently of the worker pool).
+	var a, b Results
+	if err := json.Unmarshal(serial, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(encode(1), &b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Errorf("Results.Stats not reproducible:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+	if a.Stats.ChannelTrackers.Groups == 0 && len(ds.ChannelNames()) > 1 {
+		t.Error("Stats.ChannelTrackers empty — statFindings did not run")
 	}
 }
 

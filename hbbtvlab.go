@@ -16,11 +16,21 @@
 // lists, tracking heuristics, ecosystem graph, consent-notice annotation,
 // and the privacy-policy pipeline with policy-vs-traffic contradiction
 // checks).
+//
+// # Context pairing
+//
+// Every long-running entry point comes in a convenience/context pair:
+// ExecuteRuns and ExecuteRunsContext, Run and RunContext, Analyze and
+// AnalyzeContext. The convenience form is the context form called with
+// context.Background(); the context form supports cooperative
+// cancellation and — where noted — returns the well-formed partial
+// result collected so far together with the context's error.
 package hbbtvlab
 
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/hbbtvlab/hbbtvlab/internal/clock"
@@ -66,6 +76,27 @@ type Options struct {
 	Telemetry *telemetry.Registry
 }
 
+// Validate checks the options for values that are neither meaningful nor
+// defaultable. The zero value of every field is valid (it selects the
+// documented default); Validate rejects values that silently clamping
+// would misinterpret: negative Parallelism or Shards, and a negative or
+// non-finite Scale.
+func (o Options) Validate() error {
+	if o.Parallelism < 0 {
+		return fmt.Errorf("hbbtvlab: Options.Parallelism must be >= 0, got %d", o.Parallelism)
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("hbbtvlab: Options.Shards must be >= 0, got %d", o.Shards)
+	}
+	if math.IsNaN(o.Scale) || math.IsInf(o.Scale, 0) {
+		return fmt.Errorf("hbbtvlab: Options.Scale must be finite, got %v", o.Scale)
+	}
+	if o.Scale < 0 {
+		return fmt.Errorf("hbbtvlab: Options.Scale must be >= 0, got %v", o.Scale)
+	}
+	return nil
+}
+
 // NewTelemetry builds a telemetry registry correctly sized for the
 // measurement engine the options select: one shard slot for the paper's
 // serial procedure, Shards (or core.DefaultShards) slots for the sharded
@@ -91,8 +122,23 @@ type Study struct {
 }
 
 // NewStudy builds the world and wires the measurement framework to it.
+// Invalid options (see Options.Validate) panic with a descriptive
+// message; use NewStudyChecked to handle them as errors instead.
 func NewStudy(opts Options) *Study {
-	if opts.Scale <= 0 {
+	s, err := NewStudyChecked(opts)
+	if err != nil {
+		panic("hbbtvlab: NewStudy: " + err.Error())
+	}
+	return s
+}
+
+// NewStudyChecked is NewStudy returning option-validation errors instead
+// of panicking — the form for callers wiring user-supplied configuration.
+func NewStudyChecked(opts Options) (*Study, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Scale == 0 {
 		opts.Scale = 1.0
 	}
 	if opts.ProbeWatch <= 0 {
@@ -112,7 +158,7 @@ func NewStudy(opts Options) *Study {
 		// telemetry shard 0 on its virtual clock.
 		Telemetry: opts.Telemetry.Shard(0, clk.Now),
 	})
-	return &Study{opts: opts, World: world, Framework: fw}
+	return &Study{opts: opts, World: world, Framework: fw}, nil
 }
 
 // SelectChannels runs the Section IV-B funnel: scan the satellites, apply
@@ -224,13 +270,19 @@ func (s *Study) shardFramework(shard int) (*core.Framework, error) {
 
 // Run executes a single named run (useful for examples and ablations).
 func (s *Study) Run(name store.RunName) (*store.RunData, error) {
+	return s.RunContext(context.Background(), name)
+}
+
+// RunContext is Run with cooperative cancellation: a cancelled context
+// yields the partial run data collected so far with the context's error.
+func (s *Study) RunContext(ctx context.Context, name store.RunName) (*store.RunData, error) {
 	channels, err := s.Selected()
 	if err != nil {
 		return nil, err
 	}
 	for _, spec := range s.opts.Runs {
 		if spec.Name == name {
-			return s.Framework.ExecuteRun(spec, channels)
+			return s.Framework.ExecuteRunContext(ctx, spec, channels)
 		}
 	}
 	return nil, fmt.Errorf("hbbtvlab: unknown run %q", name)

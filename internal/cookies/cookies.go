@@ -8,6 +8,7 @@
 package cookies
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -16,6 +17,16 @@ import (
 	"github.com/hbbtvlab/hbbtvlab/internal/stats"
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
 )
+
+// sortedKeys returns a map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Purpose is a cookie purpose category, following Cookiepedia's taxonomy.
 type Purpose string
@@ -112,17 +123,10 @@ func IsLikelyIDLenOnly(value string) bool {
 }
 
 // SetEvent is one observed Set-Cookie, attributed to a channel and party.
-type SetEvent struct {
-	Run     store.RunName
-	Channel string
-	// Party is the eTLD+1 of the setting host.
-	Party string
-	Host  string
-	Name  string
-	Value string
-	// ThirdParty is true when Party differs from the channel's first party.
-	ThirdParty bool
-}
+// It is an alias of store.CookieSetEvent so the single-pass dataset index
+// (store.BuildIndex) can collect events directly; SetEvents remains the
+// standalone extractor for callers without an index.
+type SetEvent = store.CookieSetEvent
 
 // SetEvents extracts every Set-Cookie observation from a run's flows,
 // classifying each as first- or third-party relative to the channel's
@@ -223,12 +227,15 @@ func AnalyzeThirdParty(run store.RunName, events []SetEvent) ThirdPartyUsage {
 		Cookies:   cookieCount,
 		ByChannel: make(map[string]int, len(byChannel)),
 	}
+	// Iterate sorted keys: stats.Describe sums floats, so map-order
+	// iteration would let the SD drift by an ulp between runs.
 	var perParty []float64
-	for _, set := range parties {
-		perParty = append(perParty, float64(len(set)))
+	for _, p := range sortedKeys(parties) {
+		perParty = append(perParty, float64(len(parties[p])))
 	}
 	var perChan []float64
-	for ch, set := range byChannel {
+	for _, ch := range sortedKeys(byChannel) {
+		set := byChannel[ch]
 		perChan = append(perChan, float64(len(set)))
 		u.ByChannel[ch] = len(set)
 	}

@@ -1,0 +1,419 @@
+package store
+
+// This file is the analysis side's answer to the sharded measurement
+// engine: a single indexing pass over the dataset that every section
+// analyzer shares. The paper's evaluation (Sections V-VII) asks a dozen
+// independent questions of the same 457k-request corpus; answering each
+// question with its own dataset walk re-classifies every flow against the
+// filter lists a dozen times. BuildIndex instead classifies each flow
+// exactly once — optionally fanning the pure per-flow work out over
+// worker goroutines — and assembles every shared aggregate (first
+// parties, Set-Cookie events, per-channel tracking statistics, per-run
+// traffic and list-hit counts, the measurement window) in one
+// deterministic serial sweep, so an Index built with any worker count is
+// identical.
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/etld"
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+)
+
+// FlowKind is a bit set recording why (and by which list) a flow was
+// flagged during indexing. The bits cover both the paper's tracking
+// definition (pixel/fingerprint heuristics plus the three Web filter
+// lists) and the smart-TV comparison lists of Section V-D, so one
+// classification pass serves Table III, the smart-TV comparison, and
+// every downstream "is this tracking?" question.
+type FlowKind uint32
+
+// FlowKind bits.
+const (
+	FlowPixel FlowKind = 1 << iota
+	FlowFingerprint
+	FlowOnEasyList
+	FlowOnEasyPrivacy
+	FlowOnPiHole
+	FlowOnPerflyst
+	FlowOnKamran
+)
+
+// flowTrackingMask is the paper's tracking definition: any heuristic hit
+// or a hit on one of the three Web filter lists. The smart-TV lists are
+// comparison baselines and deliberately excluded.
+const flowTrackingMask = FlowPixel | FlowFingerprint | FlowOnEasyList | FlowOnEasyPrivacy | FlowOnPiHole
+
+// Tracking reports whether the flow counts as a tracking request under
+// the paper's definition (Section V-D).
+func (k FlowKind) Tracking() bool { return k&flowTrackingMask != 0 }
+
+// IndexConfig wires the analysis classifiers into BuildIndex without a
+// package cycle: the tracking package (which imports store) supplies the
+// per-flow classification as a closure.
+type IndexConfig struct {
+	// Classify returns the FlowKind bits of a flow. url is the flow's
+	// pre-rendered URL string (computed once per flow by the index).
+	// Must be safe for concurrent use; nil classifies every flow as 0.
+	Classify func(f *proxy.Flow, url string) FlowKind
+	// KnownTrackerMask excludes flows from first-party candidacy: a flow
+	// whose kind intersects the mask is skipped by the Section V-A
+	// first-party rule (the filter-list correction for trackers encoded
+	// directly into the broadcast signal).
+	KnownTrackerMask FlowKind
+	// Parallelism bounds the worker goroutines of the classification
+	// phase (<= 1 runs it on the calling goroutine). The assembled index
+	// is byte-identical for every value.
+	Parallelism int
+}
+
+// TimeWindow is the measurement window spanned by the dataset's flows.
+type TimeWindow struct {
+	Start, End time.Time
+}
+
+// CookieSetEvent is one observed Set-Cookie, attributed to a channel and
+// party. It lives in store (rather than the cookies package) so the index
+// can collect events during its single pass; internal/cookies aliases it
+// as cookies.SetEvent.
+type CookieSetEvent struct {
+	Run     RunName
+	Channel string
+	// Party is the eTLD+1 of the setting host.
+	Party string
+	Host  string
+	Name  string
+	Value string
+	// ThirdParty is true when Party differs from the channel's first party.
+	ThirdParty bool
+}
+
+// ChannelTracking aggregates tracking per channel — the basis of Fig. 6
+// and the channel-level analyses. internal/tracking aliases it as
+// tracking.ChannelStats.
+type ChannelTracking struct {
+	Channel          string
+	TrackingRequests int
+	Trackers         map[string]struct{} // distinct tracker eTLD+1s
+}
+
+// TrackerCount returns the number of distinct trackers contacted.
+func (cs *ChannelTracking) TrackerCount() int { return len(cs.Trackers) }
+
+// RunIndex holds one run's share of the index.
+type RunIndex struct {
+	// PlainRequests/HTTPSRequests split the run's flows by scheme.
+	PlainRequests int
+	HTTPSRequests int
+	// Per-list hit counts and heuristic detections (Table III and the
+	// smart-TV list comparison).
+	OnPiHole           int
+	OnEasyList         int
+	OnEasyPrivacy      int
+	OnPerflyst         int
+	OnKamran           int
+	TrackingPixels     int
+	FingerprintScripts int
+	// SetCookieFlows counts flows carrying at least one Set-Cookie;
+	// SetCookieTrackingFlows those among them labeled tracking.
+	SetCookieFlows         int
+	SetCookieTrackingFlows int
+	// FlowsByChannel groups the run's attributed flows by channel.
+	FlowsByChannel map[string][]*proxy.Flow
+	// TrackingByChannel counts the run's tracking requests per channel.
+	TrackingByChannel map[string]int
+	// SetEvents are the run's attributed Set-Cookie observations, in flow
+	// order.
+	SetEvents []CookieSetEvent
+}
+
+// HTTPSShare returns the fraction of the run's requests that were HTTPS.
+func (r *RunIndex) HTTPSShare() float64 {
+	total := r.PlainRequests + r.HTTPSRequests
+	if total == 0 {
+		return 0
+	}
+	return float64(r.HTTPSRequests) / float64(total)
+}
+
+// flowMeta is the per-flow result of the (parallelizable) classification
+// phase: everything derivable from the flow alone.
+type flowMeta struct {
+	url     string
+	host    string
+	party   string
+	kind    FlowKind
+	cookies []*http.Cookie
+}
+
+// Index is the shared single-pass view of a dataset that the section
+// analyzers consume instead of re-walking Dataset.Runs. All exported
+// collections are read-only after BuildIndex returns and safe for
+// concurrent readers.
+type Index struct {
+	Dataset *Dataset
+	// Window spans the earliest and latest flow timestamps (falling back
+	// to the paper's measurement period for flow-less datasets).
+	Window TimeWindow
+	// FirstParty maps channel name -> first-party eTLD+1 (Section V-A
+	// rule with the filter-list correction).
+	FirstParty map[string]string
+	// Channels is the union of channel names across runs, in dataset
+	// order (first appearance wins), matching Dataset.ChannelNames.
+	Channels []string
+	// Runs holds the per-run aggregates, aligned with Dataset.Runs.
+	Runs []RunIndex
+	// SetEvents concatenates every run's attributed Set-Cookie events in
+	// dataset order.
+	SetEvents []CookieSetEvent
+	// PerChannelTracking aggregates tracking per channel across runs;
+	// only channels with at least one tracking request appear.
+	PerChannelTracking map[string]*ChannelTracking
+	// FlowsByParty groups every flow (attributed or not) by the eTLD+1
+	// of its request host.
+	FlowsByParty map[string][]*proxy.Flow
+
+	flowIdx map[*proxy.Flow]int32
+	meta    []flowMeta
+}
+
+// indexChunk is the flow-count granularity of the parallel classification
+// phase: large enough to amortize scheduling, small enough to balance the
+// tail.
+const indexChunk = 512
+
+// BuildIndex classifies every flow once and assembles the shared
+// aggregates in a single deterministic pass over the dataset. A cancelled
+// context aborts the build and returns the context's error.
+func BuildIndex(ctx context.Context, ds *Dataset, cfg IndexConfig) (*Index, error) {
+	var flows []*proxy.Flow
+	for _, r := range ds.Runs {
+		flows = append(flows, r.Flows...)
+	}
+	meta := make([]flowMeta, len(flows))
+
+	classify := func(i int) {
+		f := flows[i]
+		m := &meta[i]
+		m.url = f.URL.String()
+		m.host = f.Host()
+		m.party = etld.MustRegistrableDomain(m.host)
+		if cfg.Classify != nil {
+			m.kind = cfg.Classify(f, m.url)
+		}
+		m.cookies = f.SetCookies()
+	}
+
+	workers := cfg.Parallelism
+	if max := (len(flows) + indexChunk - 1) / indexChunk; workers > max {
+		workers = max
+	}
+	if workers > runtime.GOMAXPROCS(0) {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > 1 {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					lo := int(next.Add(1)-1) * indexChunk
+					if lo >= len(flows) {
+						return
+					}
+					hi := lo + indexChunk
+					if hi > len(flows) {
+						hi = len(flows)
+					}
+					for i := lo; i < hi; i++ {
+						classify(i)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range flows {
+			if i%indexChunk == 0 && ctx.Err() != nil {
+				break
+			}
+			classify(i)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Serial assembly in dataset order: every aggregate below is a pure
+	// fold over (flows, meta), so the index is independent of the worker
+	// count above.
+	ix := &Index{
+		Dataset:            ds,
+		FirstParty:         make(map[string]string),
+		PerChannelTracking: make(map[string]*ChannelTracking),
+		FlowsByParty:       make(map[string][]*proxy.Flow),
+		flowIdx:            make(map[*proxy.Flow]int32, len(flows)),
+		meta:               meta,
+	}
+	type fpCand struct {
+		t     int64
+		party string
+	}
+	best := make(map[string]fpCand)
+	seenChan := make(map[string]struct{})
+	var lo, hi time.Time
+	i := int32(0)
+	for _, run := range ds.Runs {
+		ri := RunIndex{
+			FlowsByChannel:    make(map[string][]*proxy.Flow),
+			TrackingByChannel: make(map[string]int),
+		}
+		for _, c := range run.Channels {
+			if _, ok := seenChan[c.Name]; !ok {
+				seenChan[c.Name] = struct{}{}
+				ix.Channels = append(ix.Channels, c.Name)
+			}
+		}
+		for _, f := range run.Flows {
+			m := &meta[i]
+			ix.flowIdx[f] = i
+			i++
+			if lo.IsZero() || f.Time.Before(lo) {
+				lo = f.Time
+			}
+			if f.Time.After(hi) {
+				hi = f.Time
+			}
+			if f.HTTPS {
+				ri.HTTPSRequests++
+			} else {
+				ri.PlainRequests++
+			}
+			if m.kind&FlowOnPiHole != 0 {
+				ri.OnPiHole++
+			}
+			if m.kind&FlowOnEasyList != 0 {
+				ri.OnEasyList++
+			}
+			if m.kind&FlowOnEasyPrivacy != 0 {
+				ri.OnEasyPrivacy++
+			}
+			if m.kind&FlowOnPerflyst != 0 {
+				ri.OnPerflyst++
+			}
+			if m.kind&FlowOnKamran != 0 {
+				ri.OnKamran++
+			}
+			if m.kind&FlowPixel != 0 {
+				ri.TrackingPixels++
+			}
+			if m.kind&FlowFingerprint != 0 {
+				ri.FingerprintScripts++
+			}
+			if len(m.cookies) > 0 {
+				ri.SetCookieFlows++
+				if m.kind.Tracking() {
+					ri.SetCookieTrackingFlows++
+				}
+			}
+			ix.FlowsByParty[m.party] = append(ix.FlowsByParty[m.party], f)
+			if f.Channel == "" {
+				continue
+			}
+			ri.FlowsByChannel[f.Channel] = append(ri.FlowsByChannel[f.Channel], f)
+			if m.kind&cfg.KnownTrackerMask == 0 {
+				ts := f.Time.UnixNano()
+				if b, ok := best[f.Channel]; !ok || ts < b.t {
+					best[f.Channel] = fpCand{t: ts, party: m.party}
+				}
+			}
+			if m.kind.Tracking() {
+				cs := ix.PerChannelTracking[f.Channel]
+				if cs == nil {
+					cs = &ChannelTracking{Channel: f.Channel, Trackers: make(map[string]struct{})}
+					ix.PerChannelTracking[f.Channel] = cs
+				}
+				cs.TrackingRequests++
+				cs.Trackers[m.party] = struct{}{}
+				ri.TrackingByChannel[f.Channel]++
+			}
+			for _, c := range m.cookies {
+				ri.SetEvents = append(ri.SetEvents, CookieSetEvent{
+					Run:     run.Name,
+					Channel: f.Channel,
+					Party:   m.party,
+					Host:    m.host,
+					Name:    c.Name,
+					Value:   c.Value,
+				})
+			}
+		}
+		ix.Runs = append(ix.Runs, ri)
+	}
+	if lo.IsZero() {
+		lo = time.Date(2023, 8, 1, 0, 0, 0, 0, time.UTC)
+		hi = time.Date(2023, 12, 31, 0, 0, 0, 0, time.UTC)
+	}
+	ix.Window = TimeWindow{Start: lo, End: hi}
+	for ch, c := range best {
+		ix.FirstParty[ch] = c.party
+	}
+	// Third-party flags resolve only after the full first-party map is
+	// known; patch them in per run, then expose the concatenation.
+	for r := range ix.Runs {
+		events := ix.Runs[r].SetEvents
+		for j := range events {
+			fp := ix.FirstParty[events[j].Channel]
+			events[j].ThirdParty = fp != "" && events[j].Party != fp
+		}
+		ix.SetEvents = append(ix.SetEvents, events...)
+	}
+	return ix, nil
+}
+
+// FlowCount returns the number of indexed flows.
+func (ix *Index) FlowCount() int { return len(ix.meta) }
+
+// Kind returns the classification bits of an indexed flow (0 for flows
+// not part of the indexed dataset).
+func (ix *Index) Kind(f *proxy.Flow) FlowKind {
+	if i, ok := ix.flowIdx[f]; ok {
+		return ix.meta[i].kind
+	}
+	return 0
+}
+
+// IsTracking reports whether the flow was labeled a tracking request.
+// Usable wherever a func(*proxy.Flow) bool predicate is expected.
+func (ix *Index) IsTracking(f *proxy.Flow) bool { return ix.Kind(f).Tracking() }
+
+// URL returns the flow's memoized URL string ("" if unindexed).
+func (ix *Index) URL(f *proxy.Flow) string {
+	if i, ok := ix.flowIdx[f]; ok {
+		return ix.meta[i].url
+	}
+	return ""
+}
+
+// Party returns the flow's memoized request-host eTLD+1 ("" if unindexed).
+func (ix *Index) Party(f *proxy.Flow) string {
+	if i, ok := ix.flowIdx[f]; ok {
+		return ix.meta[i].party
+	}
+	return ""
+}
+
+// Host returns the flow's memoized request host ("" if unindexed).
+func (ix *Index) Host(f *proxy.Flow) string {
+	if i, ok := ix.flowIdx[f]; ok {
+		return ix.meta[i].host
+	}
+	return ""
+}

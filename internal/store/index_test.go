@@ -1,0 +1,187 @@
+package store
+
+import (
+	"context"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+)
+
+// mkCookieFlow is mkFlow plus a Set-Cookie response header.
+func mkCookieFlow(rawURL, channel, setCookie string) *proxy.Flow {
+	f := mkFlow(rawURL, channel, false)
+	f.ResponseHeaders = http.Header{
+		"Content-Type": []string{"text/html"},
+		"Set-Cookie":   []string{setCookie},
+	}
+	f.ResponseSize = 2048
+	return f
+}
+
+// indexDataset exercises every aggregate: mixed schemes, an unattributed
+// flow, cookies from first and third parties, and a "tracker" host whose
+// flows the test classifier flags.
+func indexDataset() *Dataset {
+	ds := sampleDataset()
+	run := ds.Runs[0]
+	run.Flows = append(run.Flows,
+		mkCookieFlow("http://tracker.example/c", "KiKA", "uid=abc123"),
+		mkCookieFlow("http://a.de/first", "KiKA", "sess=1"),
+		mkCookieFlow("http://tracker.example/u", "", "ghost=1"), // unattributed
+	)
+	return ds
+}
+
+// testIndexConfig flags every flow on host tracker.example as a tracking
+// request (Pi-hole bit) and as a known tracker for first-party candidacy.
+func testIndexConfig(parallelism int) IndexConfig {
+	return IndexConfig{
+		Classify: func(f *proxy.Flow, url string) FlowKind {
+			if strings.Contains(url, "tracker.example") {
+				return FlowOnPiHole
+			}
+			return 0
+		},
+		KnownTrackerMask: FlowOnPiHole,
+		Parallelism:      parallelism,
+	}
+}
+
+func TestBuildIndexAggregates(t *testing.T) {
+	ds := indexDataset()
+	ix, err := BuildIndex(context.Background(), ds, testIndexConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.FlowCount(); got != 8 {
+		t.Fatalf("FlowCount = %d, want 8", got)
+	}
+	if !reflect.DeepEqual(ix.Channels, ds.ChannelNames()) {
+		t.Errorf("Channels %v != ChannelNames %v", ix.Channels, ds.ChannelNames())
+	}
+	r0 := ix.Runs[0]
+	if r0.PlainRequests != 6 || r0.HTTPSRequests != 1 {
+		t.Errorf("scheme split = %d/%d, want 6/1", r0.PlainRequests, r0.HTTPSRequests)
+	}
+	if r0.OnPiHole != 2 {
+		t.Errorf("OnPiHole = %d, want 2 (tracker flows incl. unattributed)", r0.OnPiHole)
+	}
+	// Set-Cookie counting includes the unattributed flow…
+	if r0.SetCookieFlows != 3 || r0.SetCookieTrackingFlows != 2 {
+		t.Errorf("set-cookie flows = %d/%d, want 3/2", r0.SetCookieFlows, r0.SetCookieTrackingFlows)
+	}
+	// …but SetEvents only cover attributed flows.
+	if len(r0.SetEvents) != 2 {
+		t.Fatalf("SetEvents = %d, want 2", len(r0.SetEvents))
+	}
+	// First party of KiKA is a.de (tracker.example is masked out even
+	// though its flows exist); so the tracker cookie is third-party and
+	// the a.de cookie first-party.
+	if fp := ix.FirstParty["KiKA"]; fp != "a.de" {
+		t.Errorf("FirstParty[KiKA] = %q, want a.de", fp)
+	}
+	var tp, fpc int
+	for _, e := range ix.SetEvents {
+		if e.ThirdParty {
+			tp++
+		} else {
+			fpc++
+		}
+	}
+	if tp != 1 || fpc != 1 {
+		t.Errorf("third/first cookie events = %d/%d, want 1/1", tp, fpc)
+	}
+	// Tracking aggregates: only the attributed tracker flow counts.
+	cs := ix.PerChannelTracking["KiKA"]
+	if cs == nil || cs.TrackingRequests != 1 || cs.TrackerCount() != 1 {
+		t.Errorf("PerChannelTracking[KiKA] = %+v, want 1 request / 1 tracker", cs)
+	}
+	if got := ix.Runs[0].TrackingByChannel["KiKA"]; got != 1 {
+		t.Errorf("TrackingByChannel[KiKA] = %d, want 1", got)
+	}
+	// Memoized per-flow lookups.
+	f := ds.Runs[0].Flows[0]
+	if ix.URL(f) != f.URL.String() || ix.Host(f) != f.Host() {
+		t.Error("memoized URL/Host mismatch")
+	}
+	if ix.Party(f) != "a.de" {
+		t.Errorf("Party = %q, want a.de", ix.Party(f))
+	}
+	if ix.IsTracking(f) {
+		t.Error("a.de flow should not be tracking")
+	}
+	// Unindexed flows resolve to zero values.
+	other := mkFlow("http://zzz.de/", "KiKA", false)
+	if ix.Kind(other) != 0 || ix.URL(other) != "" {
+		t.Error("unindexed flow should yield zero values")
+	}
+}
+
+// TestBuildIndexDeterministicAcrossParallelism: the assembled index must
+// be identical for every worker count.
+func TestBuildIndexDeterministicAcrossParallelism(t *testing.T) {
+	ds := indexDataset()
+	base, err := BuildIndex(context.Background(), ds, testIndexConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 8} {
+		ix, err := BuildIndex(context.Background(), ds, testIndexConfig(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base.Runs, ix.Runs) {
+			t.Errorf("Runs differ at Parallelism=%d", n)
+		}
+		if !reflect.DeepEqual(base.SetEvents, ix.SetEvents) {
+			t.Errorf("SetEvents differ at Parallelism=%d", n)
+		}
+		if !reflect.DeepEqual(base.FirstParty, ix.FirstParty) {
+			t.Errorf("FirstParty differs at Parallelism=%d", n)
+		}
+		if !reflect.DeepEqual(base.Window, ix.Window) {
+			t.Errorf("Window differs at Parallelism=%d", n)
+		}
+	}
+}
+
+func TestBuildIndexCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildIndex(ctx, indexDataset(), testIndexConfig(4)); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestBuildIndexEmptyDataset(t *testing.T) {
+	ix, err := BuildIndex(context.Background(), &Dataset{}, IndexConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.FlowCount() != 0 {
+		t.Fatal("expected empty index")
+	}
+	// Flow-less datasets fall back to the paper's measurement period.
+	if ix.Window.Start.IsZero() || !ix.Window.End.After(ix.Window.Start) {
+		t.Errorf("fallback window not set: %+v", ix.Window)
+	}
+	if ix.IsTracking(mkFlow("http://x.de/", "", false)) {
+		t.Error("unindexed flow reported as tracking")
+	}
+}
+
+func TestFlowKindTracking(t *testing.T) {
+	for _, k := range []FlowKind{FlowPixel, FlowFingerprint, FlowOnEasyList, FlowOnEasyPrivacy, FlowOnPiHole} {
+		if !k.Tracking() {
+			t.Errorf("kind %b should be tracking", k)
+		}
+	}
+	for _, k := range []FlowKind{0, FlowOnPerflyst, FlowOnKamran} {
+		if k.Tracking() {
+			t.Errorf("kind %b should not be tracking (comparison lists are baselines)", k)
+		}
+	}
+}

@@ -87,6 +87,64 @@ func (c *Classifier) DeriveFilterRules(ds *store.Dataset, firstParty map[string]
 	return rules
 }
 
+// DeriveRulesFromIndex is DeriveFilterRules over a prebuilt dataset index:
+// the per-flow classification and the Pi-hole base-list coverage come from
+// the index's single pass instead of being recomputed per flow.
+func DeriveRulesFromIndex(ix *store.Index) []DerivedRule {
+	firstParties := make(map[string]struct{}, len(ix.FirstParty))
+	for _, fp := range ix.FirstParty {
+		firstParties[fp] = struct{}{}
+	}
+	type evidence struct {
+		requests int
+		kinds    Kind
+	}
+	byScope := make(map[string]*evidence)
+	for _, run := range ix.Dataset.Runs {
+		for _, f := range run.Flows {
+			k := ix.Kind(f)
+			if k&(store.FlowPixel|store.FlowFingerprint) == 0 {
+				continue // only heuristic detections feed derivation
+			}
+			if k&store.FlowOnPiHole != 0 {
+				continue // already covered by the base list
+			}
+			party := ix.Party(f)
+			scope := party
+			if _, isFP := firstParties[party]; isFP {
+				// Block only the measurement host, never the app platform.
+				scope = hostScope(ix.Host(f))
+				if scope == "" {
+					continue
+				}
+			}
+			ev := byScope[scope]
+			if ev == nil {
+				ev = &evidence{}
+				byScope[scope] = ev
+			}
+			ev.requests++
+			ev.kinds |= KindOf(k)
+		}
+	}
+	rules := make([]DerivedRule, 0, len(byScope))
+	for scope, ev := range byScope {
+		rules = append(rules, DerivedRule{
+			Rule:     fmt.Sprintf("||%s^", scope),
+			Domain:   scope,
+			Requests: ev.requests,
+			Kinds:    ev.kinds,
+		})
+	}
+	sort.Slice(rules, func(a, b int) bool {
+		if rules[a].Requests != rules[b].Requests {
+			return rules[a].Requests > rules[b].Requests
+		}
+		return rules[a].Domain < rules[b].Domain
+	})
+	return rules
+}
+
 // hostScope reduces a first-party tracking host to a blockable subdomain
 // scope ("stats.ard.de"); hosts with no dedicated subdomain return "".
 func hostScope(host string) string {
@@ -128,6 +186,34 @@ func (r ExtensionResult) CoverageAfter() float64 {
 		return 0
 	}
 	return float64(r.BlockedAfter) / float64(r.TrackingRequests)
+}
+
+// EvaluateExtensionFromIndex is EvaluateExtension over a prebuilt dataset
+// index, with the base list fixed to Pi-hole (the index's FlowOnPiHole
+// bit): only the derived rules are matched per flow.
+func EvaluateExtensionFromIndex(ix *store.Index, rules []DerivedRule) (ExtensionResult, error) {
+	extended := filterlist.MustParseHosts("base-copy", "")
+	if err := extended.Append(RulesText(rules)); err != nil {
+		return ExtensionResult{}, err
+	}
+	var res ExtensionResult
+	for _, run := range ix.Dataset.Runs {
+		for _, f := range run.Flows {
+			k := ix.Kind(f)
+			if k&(store.FlowPixel|store.FlowFingerprint) == 0 {
+				continue
+			}
+			res.TrackingRequests++
+			inBase := k&store.FlowOnPiHole != 0
+			if inBase {
+				res.BlockedBefore++
+			}
+			if inBase || extended.MatchURL(ix.URL(f)) {
+				res.BlockedAfter++
+			}
+		}
+	}
+	return res, nil
 }
 
 // EvaluateExtension measures base-list coverage of heuristic tracking

@@ -153,6 +153,62 @@ func (c *Classifier) Classify(f *proxy.Flow) Kind {
 // heuristic or list.
 func (c *Classifier) IsTracking(f *proxy.Flow) bool { return c.Classify(f) != 0 }
 
+// IndexConfig wires this classifier into store.BuildIndex: one per-flow
+// classification covering the heuristics, the three Web filter lists, and
+// the two smart-TV comparison lists, plus the Section V-A first-party
+// correction (candidates flagged by EasyList are excluded). The returned
+// Classify closure is safe for concurrent use — the lists are read-only
+// after construction.
+func (c *Classifier) IndexConfig() store.IndexConfig {
+	perflyst := filterlist.PerflystSmartTV()
+	kamran := filterlist.KamranSmartTV()
+	return store.IndexConfig{
+		Classify: func(f *proxy.Flow, u string) store.FlowKind {
+			var k store.FlowKind
+			if IsTrackingPixel(f) {
+				k |= store.FlowPixel
+			}
+			if IsFingerprintScript(f) {
+				k |= store.FlowFingerprint
+			}
+			if c.EasyList != nil && c.EasyList.MatchURL(u) {
+				k |= store.FlowOnEasyList
+			}
+			if c.EasyPrivacy != nil && c.EasyPrivacy.MatchURL(u) {
+				k |= store.FlowOnEasyPrivacy
+			}
+			if c.PiHole != nil && c.PiHole.MatchURL(u) {
+				k |= store.FlowOnPiHole
+			}
+			if perflyst.MatchURL(u) {
+				k |= store.FlowOnPerflyst
+			}
+			if kamran.MatchURL(u) {
+				k |= store.FlowOnKamran
+			}
+			return k
+		},
+		KnownTrackerMask: store.FlowOnEasyList,
+	}
+}
+
+// KindOf converts indexed FlowKind bits back to the classifier's Kind
+// flags (the smart-TV comparison bits do not map — they are baselines,
+// not part of the tracking definition).
+func KindOf(k store.FlowKind) Kind {
+	var out Kind
+	if k&store.FlowPixel != 0 {
+		out |= KindPixel
+	}
+	if k&store.FlowFingerprint != 0 {
+		out |= KindFingerprint
+	}
+	if k&(store.FlowOnEasyList|store.FlowOnEasyPrivacy|store.FlowOnPiHole) != 0 {
+		out |= KindListed
+	}
+	return out
+}
+
 // RunListStats is one row of Table III: filter-list hits and heuristic
 // detections for one measurement run.
 type RunListStats struct {
@@ -189,15 +245,10 @@ func (c *Classifier) ListStats(run *store.RunData) RunListStats {
 }
 
 // ChannelStats aggregates tracking per channel — the basis of Fig. 6 and
-// the channel-level analysis.
-type ChannelStats struct {
-	Channel          string
-	TrackingRequests int
-	Trackers         map[string]struct{} // distinct tracker eTLD+1s
-}
-
-// TrackerCount returns the number of distinct trackers contacted.
-func (cs *ChannelStats) TrackerCount() int { return len(cs.Trackers) }
+// the channel-level analysis. It is an alias of store.ChannelTracking so
+// the single-pass dataset index computes the same aggregate; PerChannel
+// remains the standalone computation for callers without an index.
+type ChannelStats = store.ChannelTracking
 
 // PerChannel computes tracking statistics for every channel with at least
 // one tracking request, across the given runs.
@@ -228,6 +279,16 @@ type CategoryStats struct {
 	PerChannel       []float64 // tracking requests per channel, for tests/stats
 }
 
+// sortedMapKeys returns a map's keys in ascending order.
+func sortedMapKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // PerCategory groups PerChannel results by the channels' primary category.
 // Channels in categories with fewer than minChannels channels are folded
 // into "Other/Unknown", as in Fig. 7.
@@ -241,9 +302,12 @@ func PerCategory(byChannel map[string]*ChannelStats, ds *store.Dataset, minChann
 		}
 		catChannels[cat] = append(catChannels[cat], name)
 	}
-	// Fold small categories.
+	// Fold small categories. Both fold and output iterate sorted keys:
+	// the folded channel order (and with it the PerChannel slices) must
+	// not depend on map iteration order.
 	folded := make(map[string][]string)
-	for cat, chans := range catChannels {
+	for _, cat := range sortedMapKeys(catChannels) {
+		chans := catChannels[cat]
 		if cat != "Other/Unknown" && len(chans) < minChannels {
 			folded["Other/Unknown"] = append(folded["Other/Unknown"], chans...)
 			continue
@@ -251,7 +315,8 @@ func PerCategory(byChannel map[string]*ChannelStats, ds *store.Dataset, minChann
 		folded[cat] = append(folded[cat], chans...)
 	}
 	var out []CategoryStats
-	for cat, chans := range folded {
+	for _, cat := range sortedMapKeys(folded) {
+		chans := folded[cat]
 		cs := CategoryStats{Category: cat, Channels: len(chans)}
 		for _, ch := range chans {
 			n := 0
