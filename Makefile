@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race fuzz bench fmt lint bench-json bench-analyze
+.PHONY: build test check race chaos fuzz bench fmt lint bench-json bench-analyze
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,17 @@ check: build
 
 race:
 	$(GO) test -race ./internal/core/ ./internal/webos/ ./internal/proxy/ ./internal/telemetry/
+
+# chaos runs the fault-injection suite under the race detector: a scaled
+# study executed under deterministic faults must produce a byte-identical
+# dataset for every worker count, record per-channel outcomes, keep its
+# telemetry counters worker-invariant, and stay analyzable when degraded.
+# The resilience unit tests (retry, quarantine, deadline, fault transport)
+# ride along.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v .
+	$(GO) test -race ./internal/faults/ ./internal/hostnet/
+	$(GO) test -race -run 'TestRunContinues|TestQuarantine|TestSuccessResets|TestProbeFailure|TestDegradedOnly|TestRetryPolicy|TestVisitDeadline|TestPoolCancellation' ./internal/core/
 
 # Short fuzzing pass over the binary AIT decoder (seeded corpus).
 fuzz:

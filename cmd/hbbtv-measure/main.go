@@ -7,16 +7,26 @@
 //
 //	hbbtv-measure [-seed N] [-scale F] [-j N] [-out flows.ndjson] [-run NAME]
 //	              [-telemetry] [-telemetry-json FILE] [-telemetry-http ADDR]
-//	              [-allow-panics]
+//	              [-fault-seed N] [-fault-rate F] [-retries N]
+//	              [-max-channel-failures N] [-allow-panics]
 //
 // With -telemetry the engine is instrumented (live progress line on
 // stderr, final snapshot embedded in -save output); -telemetry-json
 // streams periodic JSON-line snapshots; -telemetry-http serves the
 // current snapshot over HTTP while the run executes.
 //
+// With -fault-rate > 0 the run executes under deterministic fault
+// injection (chaos mode): the virtual network and broadcast layer fail
+// with the given probability, scheduled purely by (-fault-seed, host,
+// channel, attempt), and the resilience layer retries, records, and
+// quarantines instead of aborting. The same (-seed, -fault-seed) pair
+// reproduces the identical degraded campaign for every -j.
+//
 // Exit status: non-zero when any channel's measurement panicked and was
-// recovered (RecoveredPanics > 0), unless -allow-panics is set — so CI
-// and unattended campaigns can trust the exit code.
+// recovered (RecoveredPanics > 0), unless -allow-panics is set, and
+// non-zero when more channels ended failed or quarantined than
+// -max-channel-failures allows — so CI and unattended campaigns can trust
+// the exit code.
 package main
 
 import (
@@ -25,8 +35,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	hbbtvlab "github.com/hbbtvlab/hbbtvlab"
+	"github.com/hbbtvlab/hbbtvlab/internal/core"
+	"github.com/hbbtvlab/hbbtvlab/internal/faults"
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
 	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 )
@@ -52,6 +65,10 @@ func run(args []string) error {
 	teleJSON := fs.String("telemetry-json", "", "stream periodic telemetry snapshots as JSON lines to this file (implies -telemetry)")
 	teleHTTP := fs.String("telemetry-http", "", "serve the live telemetry snapshot over HTTP on this address, e.g. localhost:8377 (implies -telemetry)")
 	allowPanics := fs.Bool("allow-panics", false, "exit 0 even when channels panicked and were recovered during measurement")
+	faultSeed := fs.Int64("fault-seed", 0, "fault-injection seed (0 = derive from -seed); meaningful with -fault-rate")
+	faultRate := fs.Float64("fault-rate", 0, "per-decision fault probability in [0, 1] (0 = reliable world)")
+	retries := fs.Int("retries", 0, "per-channel visit attempts (0 = default: 3 with faults on, 1 otherwise)")
+	maxChanFail := fs.Int("max-channel-failures", -1, "exit non-zero when more than N channels end failed or quarantined (-1 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,19 +78,49 @@ func run(args []string) error {
 	if *shards != 0 && *jobs < 1 {
 		return fmt.Errorf("-shards requires the sharded engine; set -j >= 1")
 	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
+	}
 
 	opts := hbbtvlab.Options{
 		Seed: *seed, Scale: *scale, Parallelism: *jobs, Shards: *shards,
+	}
+	if *faultRate > 0 {
+		opts.Faults = &faults.Config{Seed: *faultSeed, Rate: *faultRate}
+	} else if *faultSeed != 0 {
+		return fmt.Errorf("-fault-seed is meaningless without -fault-rate > 0")
+	}
+	attempts := *retries
+	if attempts == 0 {
+		attempts = 1
+		if opts.Faults != nil {
+			attempts = 3
+		}
+	}
+	opts.Retry = core.RetryPolicy{
+		MaxAttempts:     attempts,
+		Backoff:         2 * time.Second,
+		VisitDeadline:   5 * time.Minute,
+		QuarantineAfter: 3,
 	}
 	telemetryOn := *tele || *teleJSON != "" || *teleHTTP != ""
 	if telemetryOn {
 		opts.Telemetry = hbbtvlab.NewTelemetry(opts)
 	}
 
-	study := hbbtvlab.NewStudy(opts)
-	funnel, err := study.SelectChannels()
+	study, err := hbbtvlab.NewStudyChecked(opts)
 	if err != nil {
 		return err
+	}
+	funnel, err := study.SelectChannels()
+	if err != nil {
+		// Probe-level degradation excluded the failing candidates; the
+		// funnel output is still usable and the campaign proceeds.
+		if funnel == nil || !hbbtvlab.DegradedOnly(err) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hbbtv-measure: warning: %d probe failure(s) during channel selection\n",
+			funnel.ProbeErrors)
 	}
 	if err := hbbtvlab.RenderFunnel(os.Stdout, funnel); err != nil {
 		return err
@@ -114,29 +161,44 @@ func run(args []string) error {
 	}
 
 	var ds *store.Dataset
+	var degradedErr error
 	if *runName != "" {
 		rd, err := study.Run(store.RunName(*runName))
-		if err != nil {
+		if err != nil && (rd == nil || !hbbtvlab.DegradedOnly(err)) {
 			return err
 		}
+		degradedErr = err
 		ds = &store.Dataset{Runs: []*store.RunData{rd}}
 		if opts.Telemetry != nil {
 			ds.Telemetry = opts.Telemetry.Snapshot()
 		}
 	} else {
+		var err error
 		ds, err = study.ExecuteRuns()
-		if err != nil {
+		if err != nil && (ds == nil || !hbbtvlab.DegradedOnly(err)) {
 			return err
 		}
+		degradedErr = err
+	}
+	if degradedErr != nil {
+		// Purely per-channel degradation: the dataset is well-formed and the
+		// failures are recorded as outcomes; -max-channel-failures decides
+		// the exit code below.
+		fmt.Fprintf(os.Stderr, "hbbtv-measure: warning: degraded campaign: %v\n", degradedErr)
 	}
 	if progress != nil {
 		progress.finish()
 	}
 
 	for _, s := range ds.Summaries() {
-		fmt.Printf("%-8s channels=%-4d requests=%-7d https=%5.2f%% cookies=%-4d storage=%-4d screenshots=%-6d logs=%d\n",
+		fmt.Printf("%-8s channels=%-4d requests=%-7d https=%5.2f%% cookies=%-4d storage=%-4d screenshots=%-6d logs=%d",
 			s.Run, s.Channels, s.HTTPRequests, s.HTTPSShare*100,
 			s.Cookies, s.Storage, s.Screenshots, s.LogEntries)
+		if s.FailedChannels+s.SkippedChannels+s.QuarantinedChannels+s.RetriedChannels > 0 {
+			fmt.Printf(" failed=%d skipped=%d quarantined=%d retried=%d",
+				s.FailedChannels, s.SkippedChannels, s.QuarantinedChannels, s.RetriedChannels)
+		}
+		fmt.Println()
 	}
 	if snap := ds.Telemetry; snap != nil {
 		fmt.Printf("telemetry: %d flows, %d channel visits, %d events (%d dropped)\n",
@@ -177,7 +239,36 @@ func run(args []string) error {
 		}
 		fmt.Printf("dataset written to %s\n", *save)
 	}
-	return panicsError(ds, *allowPanics)
+	if err := panicsError(ds, *allowPanics); err != nil {
+		return err
+	}
+	return failuresError(ds, *maxChanFail)
+}
+
+// failuresError enforces the -max-channel-failures budget: it counts every
+// channel visit that ended failed or quarantined across all runs and turns
+// a budget overrun into a non-zero exit. With no budget (-1) failures are
+// only warned about — the degraded dataset is still the campaign's result.
+func failuresError(ds *store.Dataset, budget int) error {
+	failed := 0
+	for _, r := range ds.Runs {
+		if r == nil {
+			continue
+		}
+		for _, o := range r.Outcomes {
+			if o.Status == store.OutcomeFailed || o.Status == store.OutcomeQuarantined {
+				failed++
+			}
+		}
+	}
+	if failed == 0 {
+		return nil
+	}
+	if budget >= 0 && failed > budget {
+		return fmt.Errorf("%d channel visit(s) ended failed or quarantined, exceeding -max-channel-failures=%d", failed, budget)
+	}
+	fmt.Fprintf(os.Stderr, "hbbtv-measure: warning: %d channel visit(s) ended failed or quarantined\n", failed)
+	return nil
 }
 
 // panicsError turns recovered measurement panics into a non-zero exit:

@@ -19,6 +19,15 @@ func TestFlagValidation(t *testing.T) {
 	if err := run([]string{"-shards", "4"}); err == nil {
 		t.Error("-shards without -j accepted")
 	}
+	if err := run([]string{"-retries", "-1"}); err == nil {
+		t.Error("negative -retries accepted")
+	}
+	if err := run([]string{"-fault-seed", "7"}); err == nil {
+		t.Error("-fault-seed without -fault-rate accepted")
+	}
+	if err := run([]string{"-fault-rate", "1.5"}); err == nil {
+		t.Error("out-of-range -fault-rate accepted")
+	}
 }
 
 // TestTelemetryEndToEnd drives the CLI the way the acceptance criteria
@@ -102,5 +111,35 @@ func TestPanicsError(t *testing.T) {
 	}
 	if err := panicsError(panicked, true); err != nil {
 		t.Errorf("-allow-panics still errored: %v", err)
+	}
+}
+
+func TestFailuresError(t *testing.T) {
+	degraded := &store.Dataset{Runs: []*store.RunData{
+		{Name: store.RunGeneral, Outcomes: []store.ChannelOutcome{
+			{Channel: "a", Status: store.OutcomeOK, Attempts: 1},
+			{Channel: "b", Status: store.OutcomeFailed, Attempts: 3},
+			{Channel: "c", Status: store.OutcomeSkipped},
+		}},
+		{Name: store.RunRed, Outcomes: []store.ChannelOutcome{
+			{Channel: "b", Status: store.OutcomeQuarantined},
+		}},
+	}}
+	if err := failuresError(degraded, -1); err != nil {
+		t.Errorf("no budget (-1) still errored: %v", err)
+	}
+	if err := failuresError(degraded, 2); err != nil {
+		t.Errorf("within budget still errored: %v", err)
+	}
+	err := failuresError(degraded, 1)
+	if err == nil {
+		t.Fatal("budget overrun exited clean")
+	}
+	if !strings.Contains(err.Error(), "2 channel visit(s)") {
+		t.Errorf("error does not count failures: %v", err)
+	}
+	clean := &store.Dataset{Runs: []*store.RunData{{Name: store.RunGeneral}}}
+	if err := failuresError(clean, 0); err != nil {
+		t.Errorf("clean run with zero budget errored: %v", err)
 	}
 }

@@ -29,6 +29,7 @@ package hbbtvlab
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -36,6 +37,7 @@ import (
 	"github.com/hbbtvlab/hbbtvlab/internal/clock"
 	"github.com/hbbtvlab/hbbtvlab/internal/core"
 	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+	"github.com/hbbtvlab/hbbtvlab/internal/faults"
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
 	"github.com/hbbtvlab/hbbtvlab/internal/synth"
 	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
@@ -74,13 +76,30 @@ type Options struct {
 	// enabling it never changes results; the final snapshot is attached
 	// to the returned Dataset (and persisted by Dataset.Save).
 	Telemetry *telemetry.Registry
+	// Faults, when non-nil, enables deterministic fault injection: dead
+	// hosts, timeouts, hangs, 5xx bursts, truncated/reset bodies, tune
+	// failures, and AIT corruption, scheduled purely by (Faults.Seed,
+	// host, channel, attempt). A Faults.Seed of 0 derives the fault seed
+	// from Options.Seed. The zero value (nil) runs the perfectly reliable
+	// world. For a fixed (Seed, Faults.Seed, Shards) the fault schedule —
+	// and therefore the dataset — is identical for every Parallelism.
+	Faults *faults.Config
+	// Retry is the per-channel resilience policy: visit attempt budget,
+	// virtual-clock backoff with deterministic jitter, per-visit setup
+	// deadline, and run-streak quarantine. The zero value means one
+	// attempt, no backoff, no deadline, no quarantine — the engine's
+	// historical behaviour, except that a failed channel is now recorded
+	// as a store.ChannelOutcome and never aborts the run.
+	Retry core.RetryPolicy
 }
 
 // Validate checks the options for values that are neither meaningful nor
-// defaultable. The zero value of every field is valid (it selects the
-// documented default); Validate rejects values that silently clamping
-// would misinterpret: negative Parallelism or Shards, and a negative or
-// non-finite Scale.
+// defaultable. The zero value of every field is valid and selects the
+// documented default; values that would otherwise have to be silently
+// clamped are rejected instead, so a typo cannot masquerade as a default:
+// negative Parallelism or Shards, a negative or non-finite Scale, an
+// out-of-range fault rate or unknown fault kind in Faults, and negative
+// attempt budgets or durations in Retry.
 func (o Options) Validate() error {
 	if o.Parallelism < 0 {
 		return fmt.Errorf("hbbtvlab: Options.Parallelism must be >= 0, got %d", o.Parallelism)
@@ -93,6 +112,14 @@ func (o Options) Validate() error {
 	}
 	if o.Scale < 0 {
 		return fmt.Errorf("hbbtvlab: Options.Scale must be >= 0, got %v", o.Scale)
+	}
+	if o.Faults != nil {
+		if err := o.Faults.Validate(); err != nil {
+			return fmt.Errorf("hbbtvlab: Options.Faults: %w", err)
+		}
+	}
+	if err := o.Retry.Validate(); err != nil {
+		return fmt.Errorf("hbbtvlab: Options.Retry: %w", err)
 	}
 	return nil
 }
@@ -117,6 +144,11 @@ type Study struct {
 	opts      Options
 	World     *synth.World
 	Framework *core.Framework
+
+	// injector is the study's fault injector (nil when faults are off).
+	// Injectors are stateless and shard-agnostic, so one instance serves
+	// the serial framework and every shard alike.
+	injector *faults.Injector
 
 	selected []*dvb.Service
 }
@@ -147,6 +179,19 @@ func NewStudyChecked(opts Options) (*Study, error) {
 	if opts.Runs == nil {
 		opts.Runs = core.DefaultRuns()
 	}
+	var injector *faults.Injector
+	if opts.Faults != nil {
+		fc := *opts.Faults
+		if fc.Seed == 0 {
+			// Derive a distinct fault seed from the study seed so that
+			// enabling faults with default settings still varies by study.
+			fc.Seed = opts.Seed ^ 0x6661756c74 // "fault"
+		}
+		var err error
+		if injector, err = faults.New(fc); err != nil {
+			return nil, fmt.Errorf("hbbtvlab: Options.Faults: %w", err)
+		}
+	}
 	clk := clock.NewVirtual(time.Date(2023, 8, 21, 9, 0, 0, 0, time.UTC))
 	world := synth.Build(synth.Config{Seed: opts.Seed, Scale: opts.Scale}, clk)
 	fw := core.New(core.Config{
@@ -154,11 +199,13 @@ func NewStudyChecked(opts Options) (*Study, error) {
 		Seed:         opts.Seed,
 		Clock:        clk,
 		Availability: world.Availability,
+		Faults:       injector,
+		Retry:        opts.Retry,
 		// The study's own framework (serial engine, funnel probes) is
 		// telemetry shard 0 on its virtual clock.
 		Telemetry: opts.Telemetry.Shard(0, clk.Now),
 	})
-	return &Study{opts: opts, World: world, Framework: fw}, nil
+	return &Study{opts: opts, World: world, Framework: fw, injector: injector}, nil
 }
 
 // SelectChannels runs the Section IV-B funnel: scan the satellites, apply
@@ -179,9 +226,12 @@ func (s *Study) SelectChannels() (*core.FunnelReport, error) {
 }
 
 // Selected returns the funnel's output (running the funnel on demand).
+// Pure probe-level degradation (failed candidates excluded by the funnel,
+// see core.DegradedOnly) does not fail Selected: the study proceeds with
+// the channels that probed cleanly, as the field campaign would.
 func (s *Study) Selected() ([]*dvb.Service, error) {
 	if s.selected == nil {
-		if _, err := s.SelectChannels(); err != nil {
+		if _, err := s.SelectChannels(); err != nil && !core.DegradedOnly(err) {
 			return nil, err
 		}
 	}
@@ -224,18 +274,26 @@ func (s *Study) ExecuteRunsContext(ctx context.Context) (*store.Dataset, error) 
 		return ds, nil
 	}
 	ds := &store.Dataset{}
+	var degraded []error
 	for _, spec := range s.opts.Runs {
 		run, err := s.Framework.ExecuteRunContext(ctx, spec, channels)
 		if run != nil {
 			ds.Runs = append(ds.Runs, run)
 		}
 		if err != nil {
+			// Per-channel degradation (visits recorded as failed outcomes)
+			// must not abort the campaign's remaining runs; anything else
+			// — cancellation above all — still stops here.
+			if core.DegradedOnly(err) {
+				degraded = append(degraded, fmt.Errorf("hbbtvlab: run %s: %w", spec.Name, err))
+				continue
+			}
 			s.attachTelemetry(ds)
 			return ds, fmt.Errorf("hbbtvlab: run %s: %w", spec.Name, err)
 		}
 	}
 	s.attachTelemetry(ds)
-	return ds, nil
+	return ds, errors.Join(degraded...)
 }
 
 // attachTelemetry embeds the engine's final telemetry snapshot in the
@@ -251,6 +309,14 @@ func (s *Study) attachTelemetry(ds *store.Dataset) {
 // Options.Telemetry was set).
 func (s *Study) Telemetry() *telemetry.Registry { return s.opts.Telemetry }
 
+// DegradedOnly reports whether err consists purely of per-channel
+// degradation — failed channel visits and failed funnel probes that the
+// resilient engine recorded (as store.ChannelOutcome entries and funnel
+// exclusions) before continuing. A degraded dataset is well-formed and
+// analyzable; any other error (cancellation above all) means the campaign
+// actually stopped.
+func DegradedOnly(err error) bool { return core.DegradedOnly(err) }
+
 // shardFramework is the study's core.ShardFactory: it rebuilds the
 // synthetic world from the study seed on a shard-private virtual clock, so
 // every shard sees an identical Internet with fully isolated handler state
@@ -264,6 +330,8 @@ func (s *Study) shardFramework(shard int) (*core.Framework, error) {
 		Seed:         s.opts.Seed ^ int64(shard),
 		Clock:        clk,
 		Availability: world.Availability,
+		Faults:       s.injector,
+		Retry:        s.opts.Retry,
 		Telemetry:    s.opts.Telemetry.Shard(shard, clk.Now),
 	}), nil
 }

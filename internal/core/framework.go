@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
 	"github.com/hbbtvlab/hbbtvlab/internal/clock"
 	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+	"github.com/hbbtvlab/hbbtvlab/internal/faults"
 	"github.com/hbbtvlab/hbbtvlab/internal/hostnet"
 	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
@@ -72,6 +74,23 @@ type Framework struct {
 	// Availability optionally restricts which channels are on air per run
 	// (some channels only broadcast during parts of the day).
 	Availability map[store.RunName]map[string]bool
+
+	// retry bounds per-channel visit attempts, backoff, deadline, and
+	// quarantine (zero value = one attempt, never quarantine).
+	retry RetryPolicy
+	// seed is the framework seed, reused for deterministic backoff jitter.
+	seed int64
+	// scopeChannel/scopeAttempt identify the visit attempt in progress;
+	// the transport and TV read them (same goroutine) to key fault
+	// decisions, so a retry attempt rolls a fresh fault schedule.
+	scopeChannel string
+	scopeAttempt int
+	// failStreak counts consecutive failed runs per channel; quarantined
+	// benches channels for the rest of this framework's study. Both are
+	// per-framework: under the sharded engine a channel always lives on
+	// the same shard, so streaks accumulate deterministically.
+	failStreak  map[string]int
+	quarantined map[string]bool
 }
 
 // Config configures a Framework.
@@ -91,22 +110,36 @@ type Config struct {
 	// Telemetry, when non-nil, instruments this framework (and its
 	// recorder and TV) as one shard of the given registry.
 	Telemetry *telemetry.Shard
+	// Faults, when non-nil, injects deterministic faults into the
+	// framework's transport and TV (see internal/faults). Injectors are
+	// stateless, so the same instance may be shared across shards.
+	Faults *faults.Injector
+	// Retry is the per-channel resilience policy (zero value = one
+	// attempt, no backoff, no deadline, no quarantine).
+	Retry RetryPolicy
 }
 
 // fwMetrics are the framework's pre-resolved telemetry handles. Resolving
 // at wiring time keeps the hot path to one atomic add per update; all
 // fields are nil (no-ops) when telemetry is disabled.
 type fwMetrics struct {
-	channelsVisited *telemetry.BoundCounter
-	channelsSkipped *telemetry.BoundCounter
-	runsCompleted   *telemetry.BoundCounter
-	panicsRecovered *telemetry.BoundCounter
-	probes          *telemetry.BoundCounter
-	channelFlows    *telemetry.BoundHistogram
+	channelsVisited     *telemetry.BoundCounter
+	channelsSkipped     *telemetry.BoundCounter
+	channelsFailed      *telemetry.BoundCounter
+	channelsRetried     *telemetry.BoundCounter
+	channelsQuarantined *telemetry.BoundCounter
+	faultsInjected      *telemetry.BoundCounter
+	runsCompleted       *telemetry.BoundCounter
+	panicsRecovered     *telemetry.BoundCounter
+	probes              *telemetry.BoundCounter
+	channelFlows        *telemetry.BoundHistogram
 }
 
 // New builds a Framework: virtual clock, recording proxy over an
-// in-process transport, and the TV wired to both.
+// in-process transport, and the TV wired to both. When cfg.Faults is set,
+// the transport and TV additionally consult the injector, scoped to the
+// framework's current (channel, attempt) so retries roll fresh fault
+// decisions.
 func New(cfg Config) *Framework {
 	if cfg.Start.IsZero() {
 		cfg.Start = time.Date(2023, 8, 21, 9, 0, 0, 0, time.UTC)
@@ -115,33 +148,59 @@ func New(cfg Config) *Framework {
 	if clk == nil {
 		clk = clock.NewVirtual(cfg.Start)
 	}
-	rec := proxy.NewRecorder(&hostnet.Transport{Net: cfg.Internet}, clk)
-	rec.SetTelemetry(cfg.Telemetry)
-	tv := webos.New(webos.Config{
-		Clock:     clk,
-		Transport: rec,
-		Seed:      cfg.Seed,
-		OnSwitch:  rec.SwitchChannel,
-		Telemetry: cfg.Telemetry,
-	})
 	f := &Framework{
 		Clock:        clk,
-		Recorder:     rec,
-		TV:           tv,
 		Telemetry:    cfg.Telemetry,
 		rng:          rand.New(rand.NewSource(cfg.Seed ^ 0x5bd1e995)),
 		Availability: cfg.Availability,
+		retry:        cfg.Retry,
+		seed:         cfg.Seed,
+		failStreak:   make(map[string]int),
+		quarantined:  make(map[string]bool),
 	}
+	rec := proxy.NewRecorder(&hostnet.Transport{
+		Net:        cfg.Internet,
+		Clock:      clk,
+		Faults:     cfg.Faults,
+		FaultScope: func() (string, int) { return f.scopeChannel, f.scopeAttempt },
+		OnFault:    f.onFault,
+	}, clk)
+	rec.SetTelemetry(cfg.Telemetry)
+	tv := webos.New(webos.Config{
+		Clock:        clk,
+		Transport:    rec,
+		Seed:         cfg.Seed,
+		OnSwitch:     rec.SwitchChannel,
+		Telemetry:    cfg.Telemetry,
+		Faults:       cfg.Faults,
+		FaultAttempt: func() int { return f.scopeAttempt },
+		OnFault:      f.onFault,
+	})
+	f.Recorder = rec
+	f.TV = tv
 	f.metrics = fwMetrics{
-		channelsVisited: cfg.Telemetry.Counter("core_channels_visited"),
-		channelsSkipped: cfg.Telemetry.Counter("core_channels_skipped"),
-		runsCompleted:   cfg.Telemetry.Counter("core_runs_completed"),
-		panicsRecovered: cfg.Telemetry.Counter("core_panics_recovered"),
-		probes:          cfg.Telemetry.Counter("core_channels_probed"),
-		channelFlows:    cfg.Telemetry.Histogram("core_channel_flows", ChannelFlowBuckets),
+		channelsVisited:     cfg.Telemetry.Counter("core_channels_visited"),
+		channelsSkipped:     cfg.Telemetry.Counter("core_channels_skipped"),
+		channelsFailed:      cfg.Telemetry.Counter("core_channels_failed"),
+		channelsRetried:     cfg.Telemetry.Counter("core_channels_retried"),
+		channelsQuarantined: cfg.Telemetry.Counter("core_channels_quarantined"),
+		faultsInjected:      cfg.Telemetry.Counter("core_faults_injected"),
+		runsCompleted:       cfg.Telemetry.Counter("core_runs_completed"),
+		panicsRecovered:     cfg.Telemetry.Counter("core_panics_recovered"),
+		probes:              cfg.Telemetry.Counter("core_channels_probed"),
+		channelFlows:        cfg.Telemetry.Histogram("core_channel_flows", ChannelFlowBuckets),
 	}
 	f.interaction = fixedInteraction(f.rng)
 	return f
+}
+
+// onFault records one injected fault (transport- or broadcast-level) in
+// the shard's telemetry.
+func (f *Framework) onFault(kind faults.Kind, target string) {
+	f.metrics.faultsInjected.Inc()
+	if f.Telemetry.Active() {
+		f.Telemetry.Event(telemetry.EventFault, kind.String()+" "+target)
+	}
 }
 
 // fixedInteraction generates the study's fixed sequence of 10 random
@@ -175,21 +234,65 @@ func (f *Framework) InteractionSequence() []appmodel.Key {
 // Probe implements the exploratory measurement: tune, watch, and report
 // whether any traffic appeared. The recorder is reset afterwards so probe
 // traffic never leaks into run data.
+//
+// Probes share the framework's RetryPolicy: a failing probe is retried
+// with backoff up to the attempt budget, and a persistently failing
+// candidate is reported as a *ProbeError — SelectChannels then excludes
+// it and carries on, as the field study would for a dead channel.
 func (f *Framework) Probe(watch time.Duration) ProbeFunc {
 	return func(svc *dvb.Service) (bool, error) {
 		f.metrics.probes.Inc()
-		f.Recorder.Reset()
-		f.TV.PowerOn()
-		if err := f.TV.TuneTo(svc); err != nil {
-			return false, fmt.Errorf("core: probe %s: %w", svc.Name, err)
+		var err error
+		for attempt := 1; attempt <= f.retry.attempts(); attempt++ {
+			if attempt > 1 {
+				f.backoff(svc.Name, attempt-1)
+			}
+			f.scopeChannel, f.scopeAttempt = svc.Name, attempt
+			var saw bool
+			saw, err = f.probeOnce(svc, watch)
+			if err == nil {
+				return saw, nil
+			}
 		}
-		f.TV.Watch(watch)
-		saw := f.Recorder.Len() > 0
+		return false, &ProbeError{Channel: svc.Name, Err: err}
+	}
+}
+
+// probeOnce is one attempt of the exploratory measurement, leaving the TV
+// powered off and the recorder clean regardless of outcome.
+func (f *Framework) probeOnce(svc *dvb.Service, watch time.Duration) (saw bool, err error) {
+	f.Recorder.Reset()
+	f.TV.PowerOn()
+	defer func() {
 		f.TV.PowerOff()
 		f.TV.WipeBrowserState()
 		f.Recorder.Reset()
-		return saw, nil
+	}()
+	if err := f.TV.TuneTo(svc); err != nil {
+		return false, fmt.Errorf("core: probe %s: %w", svc.Name, err)
 	}
+	f.TV.Watch(watch)
+	return f.Recorder.Len() > 0, nil
+}
+
+// backoff burns the deterministic retry delay before attempt (attempt+1)
+// on the virtual clock: exponential base delay plus a jittered component
+// derived from (seed, channel, attempt) — never from a shared RNG, so the
+// schedule is identical for every shard layout and worker count.
+func (f *Framework) backoff(channel string, attempt int) {
+	f.metrics.channelsRetried.Inc()
+	if f.Telemetry.Active() {
+		f.Telemetry.Event(telemetry.EventRetry, fmt.Sprintf("%s attempt=%d", channel, attempt+1))
+	}
+	delay := f.retry.backoff(attempt)
+	if delay <= 0 {
+		return
+	}
+	// Jitter is keyed on (seed, channel, attempt) rather than drawn from
+	// f.rng: consuming RNG state per retry would entangle the channel-order
+	// permutation with how many retries earlier channels needed.
+	delay += visitJitter(f.seed, channel, attempt, delay)
+	f.Clock.Sleep(delay)
 }
 
 // ExecuteRun performs one measurement run over the given channels,
@@ -200,13 +303,22 @@ func (f *Framework) ExecuteRun(spec RunSpec, channels []*dvb.Service) (*store.Ru
 	return f.ExecuteRunContext(context.Background(), spec, channels)
 }
 
-// ExecuteRunContext is ExecuteRun with cooperative cancellation and
-// per-channel panic recovery. Cancellation is checked between channel
-// visits; when the context is done, the run is collected as usual and
-// returned alongside the context's error, so the caller always receives a
-// well-formed (possibly partial) RunData. A panic inside a channel's
-// application is recovered, logged to the TV's log stream, and counted in
-// RunData.RecoveredPanics; measurement continues with the next channel.
+// ExecuteRunContext is ExecuteRun with cooperative cancellation,
+// per-channel panic recovery, and per-channel resilience. Cancellation is
+// checked between channel visits; when the context is done, the remaining
+// channels are marked skipped, the run is collected as usual, and the
+// well-formed (possibly partial) RunData is returned alongside the
+// context's error. A panic inside a channel's application is recovered,
+// logged to the TV's log stream, and counted in RunData.RecoveredPanics.
+//
+// A failed channel visit no longer aborts the run: the visit is retried
+// per the RetryPolicy, a persistent failure is recorded as a failed
+// store.ChannelOutcome, and measurement continues with the next channel.
+// All visit failures come back joined as *VisitError values (see
+// DegradedOnly); cancellation is the only early exit. Channels that failed
+// in RetryPolicy.QuarantineAfter consecutive runs are quarantined for the
+// remainder of this framework's study. RunData.Outcomes records one entry
+// per considered channel, in the canonical order of the channels argument.
 func (f *Framework) ExecuteRunContext(ctx context.Context, spec RunSpec, channels []*dvb.Service) (*store.RunData, error) {
 	f.Clock.Set(spec.Date)
 	f.Recorder.Reset()
@@ -218,26 +330,67 @@ func (f *Framework) ExecuteRunContext(ctx context.Context, spec RunSpec, channel
 	order := f.rng.Perm(len(channels))
 	run := &store.RunData{Name: spec.Name, Date: spec.Date}
 
-	var runErr error
+	// Outcomes are indexed by canonical position so the record stays in
+	// canonical channel order no matter the visit permutation.
+	outcomes := make([]store.ChannelOutcome, len(channels))
+	var cancelErr error
+	var visitErrs []error
 	for _, idx := range order {
-		if err := ctx.Err(); err != nil {
-			runErr = err
-			break
-		}
 		svc := channels[idx]
+		if cancelErr == nil {
+			if err := ctx.Err(); err != nil {
+				cancelErr = err
+			}
+		}
+		if cancelErr != nil {
+			outcomes[idx] = store.ChannelOutcome{
+				Channel: svc.Name, Status: store.OutcomeSkipped, Error: "run cancelled",
+			}
+			continue
+		}
+		if f.quarantined[svc.Name] {
+			outcomes[idx] = store.ChannelOutcome{
+				Channel: svc.Name, Status: store.OutcomeQuarantined,
+				Error: fmt.Sprintf("quarantined after %d consecutive failed runs", f.retry.QuarantineAfter),
+			}
+			continue
+		}
 		if avail != nil && !avail[svc.Name] {
 			f.metrics.channelsSkipped.Inc()
+			outcomes[idx] = store.ChannelOutcome{
+				Channel: svc.Name, Status: store.OutcomeSkipped, Error: "off-air",
+			}
 			continue // channel not broadcasting during this run
 		}
-		if err := f.visitChannelRecovered(spec, svc, run); err != nil {
-			runErr = err
-			break
+		attempts, err := f.visitWithRetry(ctx, spec, svc, run)
+		if err != nil {
+			visitErrs = append(visitErrs, &VisitError{
+				Run: spec.Name, Channel: svc.Name, Attempts: attempts, Err: err,
+			})
+			outcomes[idx] = store.ChannelOutcome{
+				Channel: svc.Name, Status: store.OutcomeFailed,
+				Attempts: attempts, Error: err.Error(),
+			}
+			f.metrics.channelsFailed.Inc()
+			f.Telemetry.Event(telemetry.EventChannelFail, svc.Name)
+			f.failStreak[svc.Name]++
+			if q := f.retry.QuarantineAfter; q > 0 && f.failStreak[svc.Name] >= q {
+				f.quarantined[svc.Name] = true
+				f.metrics.channelsQuarantined.Inc()
+				f.Telemetry.Event(telemetry.EventQuarantine, svc.Name)
+			}
+			continue
+		}
+		delete(f.failStreak, svc.Name)
+		outcomes[idx] = store.ChannelOutcome{
+			Channel: svc.Name, Status: store.OutcomeOK, Attempts: attempts,
 		}
 	}
+	run.Outcomes = outcomes
 
 	// Collection: flows, cookie jar, localStorage, logs — then wipe and
 	// power off, as after every run of the study. Collection also happens
-	// for cancelled or failed runs so partial data stays well-formed.
+	// for cancelled or degraded runs so partial data stays well-formed.
 	run.Flows = f.Recorder.Flows()
 	run.Cookies = f.TV.CookieJar().All()
 	run.Storage = f.TV.Storage().All()
@@ -245,11 +398,32 @@ func (f *Framework) ExecuteRunContext(ctx context.Context, spec RunSpec, channel
 	f.TV.WipeBrowserState()
 	f.TV.PowerOff()
 	f.Telemetry.Event(telemetry.EventRunEnd, string(spec.Name))
-	if runErr != nil {
-		return run, runErr
+	if cancelErr != nil {
+		return run, cancelErr
 	}
 	f.metrics.runsCompleted.Inc()
-	return run, nil
+	return run, errors.Join(visitErrs...)
+}
+
+// visitWithRetry drives one channel through the retry loop, returning the
+// number of attempts consumed and the final attempt's error (nil once an
+// attempt succeeds). The attempt number is published as the fault scope
+// for the duration of the attempt — including its watch phase — so every
+// fault decision keys on (host, channel, attempt).
+func (f *Framework) visitWithRetry(ctx context.Context, spec RunSpec, svc *dvb.Service, run *store.RunData) (int, error) {
+	f.metrics.channelsVisited.Inc()
+	var err error
+	for attempt := 1; attempt <= f.retry.attempts(); attempt++ {
+		if attempt > 1 {
+			f.backoff(svc.Name, attempt-1)
+		}
+		f.scopeChannel, f.scopeAttempt = svc.Name, attempt
+		err = f.visitChannelRecovered(spec, svc, run)
+		if err == nil || ctx.Err() != nil {
+			return attempt, err
+		}
+	}
+	return f.retry.attempts(), err
 }
 
 // visitChannelRecovered runs one channel visit with panic recovery: a
@@ -271,7 +445,6 @@ func (f *Framework) visitChannelRecovered(spec RunSpec, svc *dvb.Service, run *s
 		flowsBefore = f.Recorder.Len()
 	}
 	err = f.visitChannel(spec, svc, run)
-	f.metrics.channelsVisited.Inc()
 	if f.Telemetry.Active() {
 		f.metrics.channelFlows.Observe(int64(f.Recorder.Len() - flowsBefore))
 		f.Telemetry.Event(telemetry.EventChannelEnd, svc.Name)
@@ -281,8 +454,19 @@ func (f *Framework) visitChannelRecovered(spec RunSpec, svc *dvb.Service, run *s
 
 // visitChannel is one iteration of the remote-control script.
 func (f *Framework) visitChannel(spec RunSpec, svc *dvb.Service, run *store.RunData) error {
+	setupStart := f.Clock.Now()
 	if err := f.TV.TuneTo(svc); err != nil {
 		return fmt.Errorf("core: run %s: tune %s: %w", spec.Name, svc.Name, err)
+	}
+	// The per-visit deadline bounds the setup phase (tune + app load),
+	// where injected hangs burn virtual time. It is checked before the
+	// channel is committed to the run, so an abandoned attempt leaves no
+	// ChannelInfo/screenshot residue and a retry cannot duplicate data.
+	if dl := f.retry.VisitDeadline; dl > 0 {
+		if took := f.Clock.Now().Sub(setupStart); took > dl {
+			return fmt.Errorf("core: run %s: channel %s: setup took %v: %w",
+				spec.Name, svc.Name, took, ErrVisitDeadline)
+		}
 	}
 	run.Channels = append(run.Channels, store.ChannelInfo{
 		Name:       svc.Name,

@@ -178,16 +178,23 @@ func (p *Pool) runShard(ctx context.Context, shard, shards int, specs []RunSpec,
 			active.Set(0)
 		}()
 	}
+	var errs []error
 	for si, spec := range specs {
 		run, err := fw.ExecuteRunContext(ctx, spec, subset)
 		out.runs[si] = run // partial data is kept even on error
 		if err != nil {
 			// Cancellation is reported once by ExecuteRuns, not per shard.
 			if cerr := ctx.Err(); cerr == nil || !errors.Is(err, cerr) {
-				out.err = fmt.Errorf("run %s: %w", spec.Name, err)
+				errs = append(errs, fmt.Errorf("run %s: %w", spec.Name, err))
 			}
-			return out
+			// Per-channel degradation (failed visits recorded as outcomes)
+			// does not stop the shard's remaining runs; anything else —
+			// cancellation, shard-level failure — does.
+			if !DegradedOnly(err) {
+				break
+			}
 		}
 	}
+	out.err = errors.Join(errs...)
 	return out
 }

@@ -184,6 +184,10 @@ func TestPoolCancellationPartialDataset(t *testing.T) {
 	for _, svc := range channels {
 		known[svc.Name] = true
 	}
+	rank := make(map[string]int, len(channels))
+	for i, svc := range channels {
+		rank[svc.Name] = i
+	}
 	for _, run := range ds.Runs {
 		if run.Name == "" {
 			t.Fatal("partial run lost its identity")
@@ -193,6 +197,45 @@ func TestPoolCancellationPartialDataset(t *testing.T) {
 				t.Fatalf("partial run %s: flow attributed to unknown channel %q", run.Name, f.Channel)
 			}
 		}
+		// Per-channel outcomes: every outcome names a known channel, in
+		// canonical order, and the channels the cancelled engine never
+		// reached are recorded as skipped — not silently absent.
+		last := -1
+		skipped := 0
+		for _, o := range run.Outcomes {
+			r, ok := rank[o.Channel]
+			if !ok {
+				t.Fatalf("partial run %s: outcome for unknown channel %q", run.Name, o.Channel)
+			}
+			if r <= last {
+				t.Fatalf("partial run %s: outcomes not in canonical channel order", run.Name)
+			}
+			last = r
+			if o.Status == store.OutcomeSkipped {
+				skipped++
+				if strings.Contains(o.Error, "cancelled") && o.Attempts != 0 {
+					t.Fatalf("partial run %s: cancelled channel %s shows %d attempts", run.Name, o.Channel, o.Attempts)
+				}
+			}
+		}
+		visited := run.CountOutcomes()[store.OutcomeOK]
+		if visited != len(run.Channels) {
+			t.Errorf("partial run %s: %d ok outcomes but %d measured channels",
+				run.Name, visited, len(run.Channels))
+		}
+	}
+	// Cancellation struck during the very first application request, so at
+	// least one run must record unvisited channels as skipped.
+	anySkipped := false
+	for _, run := range ds.Runs {
+		for _, o := range run.Outcomes {
+			if o.Status == store.OutcomeSkipped && strings.Contains(o.Error, "cancelled") {
+				anySkipped = true
+			}
+		}
+	}
+	if !anySkipped {
+		t.Error("no channel was marked skipped by cancellation")
 	}
 	// The partial dataset must survive the persistence path.
 	if _, err := ds.Digest(); err != nil {

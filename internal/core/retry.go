@@ -1,0 +1,152 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/faults"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+// ErrVisitDeadline marks a channel visit abandoned because its setup phase
+// (tune + app load, where hangs live) exceeded RetryPolicy.VisitDeadline
+// on the virtual clock.
+var ErrVisitDeadline = errors.New("core: visit deadline exceeded")
+
+// RetryPolicy bounds how hard the engine fights for one channel before
+// recording it as failed and moving on — the behaviour a multi-week
+// campaign against live broadcast infrastructure needs. The zero value
+// means one attempt, no backoff, no deadline, no quarantine: exactly the
+// pre-resilience engine.
+type RetryPolicy struct {
+	// MaxAttempts is the per-channel visit attempt budget per run
+	// (values < 1 mean 1: no retries).
+	MaxAttempts int
+	// Backoff is the base delay before attempt n+1; it doubles per retry
+	// up to BackoffMax and burns virtual time only. A deterministic jitter
+	// in [0, delay/2) derived from (seed, channel, attempt) is added so
+	// schedules stay reproducible for every shard layout.
+	Backoff time.Duration
+	// BackoffMax caps the exponential backoff (0 = 16×Backoff).
+	BackoffMax time.Duration
+	// VisitDeadline bounds one attempt's setup phase (tune + app load) on
+	// the virtual clock; 0 disables the deadline.
+	VisitDeadline time.Duration
+	// QuarantineAfter benches a channel for the remainder of the study
+	// after it failed in this many consecutive runs (0 = never).
+	QuarantineAfter int
+}
+
+// Validate rejects nonsensical policies.
+func (p RetryPolicy) Validate() error {
+	if p.MaxAttempts < 0 {
+		return fmt.Errorf("core: RetryPolicy.MaxAttempts must be >= 0, got %d", p.MaxAttempts)
+	}
+	if p.Backoff < 0 || p.BackoffMax < 0 || p.VisitDeadline < 0 {
+		return fmt.Errorf("core: RetryPolicy durations must be >= 0")
+	}
+	if p.QuarantineAfter < 0 {
+		return fmt.Errorf("core: RetryPolicy.QuarantineAfter must be >= 0, got %d", p.QuarantineAfter)
+	}
+	return nil
+}
+
+// attempts resolves the effective attempt budget.
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the pre-jitter delay before attempt (attempt+1), where
+// attempt counts completed attempts starting at 1.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	if p.Backoff <= 0 {
+		return 0
+	}
+	max := p.BackoffMax
+	if max <= 0 {
+		max = 16 * p.Backoff
+	}
+	d := p.Backoff
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// VisitError is one channel's exhausted visit: every attempt failed, the
+// outcome is recorded in RunData.Outcomes, and the engine moved on. An
+// error tree whose leaves are all VisitError/ProbeError values means the
+// run itself is structurally sound (see DegradedOnly).
+type VisitError struct {
+	Run      store.RunName
+	Channel  string
+	Attempts int
+	Err      error
+}
+
+func (e *VisitError) Error() string {
+	return fmt.Sprintf("core: run %s: channel %s failed after %d attempt(s): %v",
+		e.Run, e.Channel, e.Attempts, e.Err)
+}
+
+func (e *VisitError) Unwrap() error { return e.Err }
+
+// ProbeError is one channel's failed funnel probe: the channel is excluded
+// from selection (as a dead channel would be in the field) and the funnel
+// continues.
+type ProbeError struct {
+	Channel string
+	Err     error
+}
+
+func (e *ProbeError) Error() string {
+	return fmt.Sprintf("core: probe %s: %v", e.Channel, e.Err)
+}
+
+func (e *ProbeError) Unwrap() error { return e.Err }
+
+// DegradedOnly reports whether err consists purely of per-channel
+// degradation — VisitError and ProbeError leaves — meaning the engine
+// continued past every failure and the collected (partial) data is
+// well-formed. Cancellation, I/O errors, or any other leaf make it false.
+// A nil error is not "degraded"; DegradedOnly(nil) returns false.
+func DegradedOnly(err error) bool {
+	if err == nil {
+		return false
+	}
+	return degradedTree(err)
+}
+
+func degradedTree(err error) bool {
+	switch err.(type) {
+	case *VisitError, *ProbeError:
+		return true
+	}
+	if joined, ok := err.(interface{ Unwrap() []error }); ok {
+		for _, child := range joined.Unwrap() {
+			if !degradedTree(child) {
+				return false
+			}
+		}
+		return true
+	}
+	if wrapped, ok := err.(interface{ Unwrap() error }); ok {
+		// A wrapper like "core: shard 3: <VisitError>" is still degraded.
+		if inner := wrapped.Unwrap(); inner != nil {
+			return degradedTree(inner)
+		}
+	}
+	return false
+}
+
+// visitJitter derives the deterministic backoff jitter for one retry.
+func visitJitter(seed int64, channel string, attempt int, delay time.Duration) time.Duration {
+	return faults.Jitter(seed, channel, attempt, delay/2)
+}

@@ -1,0 +1,416 @@
+// Package faults is the measurement engine's deterministic chaos layer: a
+// seed-driven injector that produces the failure modes a multi-week
+// broadcast campaign meets in the wild — dead app servers, flaky networks,
+// tune failures, corrupted broadcast tables — without ever touching a
+// random number generator at decision time.
+//
+// Every decision is a pure function of (Seed, host, channel, attempt): the
+// injector holds no mutable state, so one instance can be shared across
+// all shards of the parallel engine, and a fixed seed yields the identical
+// fault schedule for every shard partition and worker count. That purity
+// is what lets the chaos test suite demand a byte-identical dataset across
+// Parallelism 1..N with faults enabled.
+//
+// Scoping by attempt is deliberate: all requests to one host during one
+// visit attempt share a decision (a dead server is dead for the whole
+// attempt — that is also what makes an HTTP 5xx fault a burst), while the
+// next retry attempt rolls fresh, so bounded retries can recover from
+// transient faults.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Kind identifies one injectable failure mode.
+type Kind uint8
+
+// The fault taxonomy. DNS through Reset are request-level faults applied
+// by the virtual transport; TuneFail and AITCorrupt are broadcast-level
+// faults applied by the TV.
+const (
+	KindNone Kind = iota
+	// KindDNS fails name resolution for the host (virtual NXDOMAIN).
+	KindDNS
+	// KindConnRefused refuses the connection outright.
+	KindConnRefused
+	// KindTimeout burns a short stretch of virtual time, then times out.
+	KindTimeout
+	// KindHang burns a long stretch of virtual time before timing out —
+	// the fault a per-visit deadline exists to bound.
+	KindHang
+	// KindHTTP5xx answers every request of the attempt with a 5xx burst.
+	KindHTTP5xx
+	// KindTruncate silently cuts the response body short.
+	KindTruncate
+	// KindReset cuts the response body short with a mid-read error
+	// (connection reset while streaming).
+	KindReset
+	// KindTuneFail makes the tuner fail to lock onto the service.
+	KindTuneFail
+	// KindAITCorrupt flips bits in the broadcast AIT section so that
+	// decoding fails (the CRC-32 check catches the damage).
+	KindAITCorrupt
+
+	kindCount // sentinel for validation
+)
+
+var kindNames = [...]string{
+	KindNone: "none", KindDNS: "dns", KindConnRefused: "conn-refused",
+	KindTimeout: "timeout", KindHang: "hang", KindHTTP5xx: "http-5xx",
+	KindTruncate: "truncate", KindReset: "reset",
+	KindTuneFail: "tune-fail", KindAITCorrupt: "ait-corrupt",
+}
+
+// String returns the kind's stable name (used in telemetry event details).
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Error sentinels. Every injected transport error wraps ErrInjected, so
+// callers can distinguish chaos from genuine bugs with errors.Is.
+var (
+	ErrInjected    = errors.New("faults: injected fault")
+	ErrDNS         = fmt.Errorf("no such host: %w", ErrInjected)
+	ErrConnRefused = fmt.Errorf("connection refused: %w", ErrInjected)
+	ErrTimeout     = fmt.Errorf("timeout awaiting response: %w", ErrInjected)
+	ErrReset       = fmt.Errorf("connection reset by peer: %w", ErrInjected)
+	ErrTuneFail    = fmt.Errorf("no signal lock: %w", ErrInjected)
+)
+
+// Fault is one resolved fault decision with its deterministic parameters.
+type Fault struct {
+	Kind Kind
+	// Delay is the virtual time consumed before the fault manifests
+	// (timeouts and hangs).
+	Delay time.Duration
+	// Status is the response status for KindHTTP5xx.
+	Status int
+	// KeepPermille is the fraction (in 1/1000) of the response body kept
+	// by KindTruncate / KindReset.
+	KeepPermille int
+}
+
+// Plan overrides the fault behaviour for one host or channel.
+type Plan struct {
+	// Rate is the per-decision fault probability in [0, 1].
+	Rate float64
+	// Kinds restricts which fault kinds the plan injects (nil = every
+	// kind applicable at the decision point).
+	Kinds []Kind
+}
+
+// Config configures an Injector.
+type Config struct {
+	// Seed drives the entire fault schedule. Two injectors with equal
+	// configs produce identical decisions everywhere.
+	Seed int64
+	// Rate is the global per-decision fault probability in [0, 1]. Each
+	// decision point (one host per visit attempt, one tune, one AIT read)
+	// rolls independently. Zero disables injection entirely.
+	Rate float64
+	// Kinds restricts the injectable kinds globally (nil = all).
+	Kinds []Kind
+	// Hosts overrides the plan per host; a key of the form "*.domain"
+	// matches any subdomain of domain. Host plans beat channel plans.
+	Hosts map[string]Plan
+	// Channels overrides the plan per channel name (tune/AIT decisions,
+	// and HTTP decisions for hosts without their own plan).
+	Channels map[string]Plan
+}
+
+// Validate checks rates and kinds.
+func (c Config) Validate() error {
+	check := func(where string, p Plan) error {
+		if p.Rate < 0 || p.Rate > 1 {
+			return fmt.Errorf("faults: %s rate must be in [0, 1], got %v", where, p.Rate)
+		}
+		for _, k := range p.Kinds {
+			if k == KindNone || k >= kindCount {
+				return fmt.Errorf("faults: %s names unknown fault kind %d", where, uint8(k))
+			}
+		}
+		return nil
+	}
+	if err := check("global", Plan{Rate: c.Rate, Kinds: c.Kinds}); err != nil {
+		return err
+	}
+	for h, p := range c.Hosts {
+		if err := check("host "+h, p); err != nil {
+			return err
+		}
+	}
+	for ch, p := range c.Channels {
+		if err := check("channel "+ch, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Injector makes deterministic fault decisions. It is immutable after New
+// and safe for concurrent use by any number of shards; all methods are
+// no-ops on a nil receiver, so disabled injection threads through as nil.
+type Injector struct {
+	seed     int64
+	global   Plan
+	hosts    map[string]Plan
+	wild     map[string]Plan // "*.example.de" stored as "example.de"
+	channels map[string]Plan
+}
+
+// New builds an injector from a validated config.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Injector{
+		seed:     cfg.Seed,
+		global:   Plan{Rate: cfg.Rate, Kinds: append([]Kind(nil), cfg.Kinds...)},
+		channels: make(map[string]Plan, len(cfg.Channels)),
+		hosts:    make(map[string]Plan),
+		wild:     make(map[string]Plan),
+	}
+	for h, p := range cfg.Hosts {
+		h = strings.ToLower(strings.TrimSuffix(h, "."))
+		if rest, ok := strings.CutPrefix(h, "*."); ok {
+			in.wild[rest] = p
+		} else {
+			in.hosts[h] = p
+		}
+	}
+	for ch, p := range cfg.Channels {
+		in.channels[ch] = p
+	}
+	return in, nil
+}
+
+// Enabled reports whether the injector can inject anything at all.
+func (in *Injector) Enabled() bool {
+	if in == nil {
+		return false
+	}
+	if in.global.Rate > 0 {
+		return true
+	}
+	for _, p := range in.hosts {
+		if p.Rate > 0 {
+			return true
+		}
+	}
+	for _, p := range in.wild {
+		if p.Rate > 0 {
+			return true
+		}
+	}
+	for _, p := range in.channels {
+		if p.Rate > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// httpKinds are the kinds applicable at the transport decision point.
+var httpKinds = []Kind{
+	KindDNS, KindConnRefused, KindTimeout, KindHang,
+	KindHTTP5xx, KindTruncate, KindReset,
+}
+
+// HTTP decides the fault for requests to host during one visit attempt.
+// All requests sharing (host, channel, attempt) share the decision.
+func (in *Injector) HTTP(host, channel string, attempt int) Fault {
+	if in == nil {
+		return Fault{}
+	}
+	host = canonicalHost(host)
+	plan, ok := in.hostPlan(host)
+	if !ok {
+		plan, ok = in.channels[channel]
+		if !ok {
+			plan = in.global
+		}
+	}
+	return in.decide("http", host, channel, attempt, plan, httpKinds)
+}
+
+// Tune decides the broadcast tune fault for one visit attempt.
+func (in *Injector) Tune(channel string, attempt int) Fault {
+	return in.broadcast("tune", channel, attempt, KindTuneFail)
+}
+
+// AIT decides the AIT-corruption fault for one visit attempt.
+func (in *Injector) AIT(channel string, attempt int) Fault {
+	return in.broadcast("ait", channel, attempt, KindAITCorrupt)
+}
+
+func (in *Injector) broadcast(salt, channel string, attempt int, kind Kind) Fault {
+	if in == nil {
+		return Fault{}
+	}
+	plan, ok := in.channels[channel]
+	if !ok {
+		plan = in.global
+	}
+	return in.decide(salt, "", channel, attempt, plan, []Kind{kind})
+}
+
+// decide rolls the deterministic dice for one decision point.
+func (in *Injector) decide(salt, host, channel string, attempt int, plan Plan, applicable []Kind) Fault {
+	kinds := applicable
+	if len(plan.Kinds) > 0 {
+		kinds = kinds[:0:0]
+		for _, k := range applicable {
+			for _, want := range plan.Kinds {
+				if k == want {
+					kinds = append(kinds, k)
+					break
+				}
+			}
+		}
+	}
+	if plan.Rate <= 0 || len(kinds) == 0 {
+		return Fault{}
+	}
+	h := derive(in.seed, salt, host, channel, attempt)
+	if uniform(h) >= plan.Rate {
+		return Fault{}
+	}
+	// Independent bit streams for kind and parameters keep the choice of
+	// kind uncorrelated with the injection decision itself.
+	hk := splitmix(h + 0x9e3779b97f4a7c15)
+	f := Fault{Kind: kinds[hk%uint64(len(kinds))]}
+	hp := splitmix(hk + 0x9e3779b97f4a7c15)
+	switch f.Kind {
+	case KindTimeout:
+		f.Delay = time.Duration(5+hp%26) * time.Second // 5-30 s
+	case KindHang:
+		f.Delay = time.Duration(120+hp%481) * time.Second // 2-10 min
+	case KindHTTP5xx:
+		f.Status = []int{500, 502, 503}[hp%3]
+	case KindTruncate, KindReset:
+		f.KeepPermille = int(hp % 750) // keep 0-75% of the body
+	}
+	return f
+}
+
+func (in *Injector) hostPlan(host string) (Plan, bool) {
+	if p, ok := in.hosts[host]; ok {
+		return p, true
+	}
+	for {
+		i := strings.IndexByte(host, '.')
+		if i < 0 {
+			return Plan{}, false
+		}
+		host = host[i+1:]
+		if p, ok := in.wild[host]; ok {
+			return p, true
+		}
+	}
+}
+
+// canonicalHost lower-cases the host and strips a trailing dot and port,
+// mirroring hostnet's lookup normalization so fault plans key the same way
+// handlers do.
+func canonicalHost(host string) string {
+	host = strings.ToLower(strings.TrimSuffix(host, "."))
+	if i := strings.LastIndexByte(host, ':'); i >= 0 && !strings.Contains(host[i+1:], "]") {
+		if _, rest := host[:i], host[i+1:]; allDigits(rest) {
+			host = host[:i]
+		}
+	}
+	return host
+}
+
+func allDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// Corrupt returns a damaged copy of section keyed to the injector's seed
+// and the decision scope. Nil-safe: without an injector the copy is intact.
+func (in *Injector) Corrupt(section []byte, channel string, attempt int) []byte {
+	if in == nil {
+		return append([]byte(nil), section...)
+	}
+	return CorruptSection(section, in.seed, channel, attempt)
+}
+
+// CorruptSection returns a damaged copy of a broadcast section: one byte
+// chosen by the decision hash is flipped, which the section's CRC-32 is
+// guaranteed to catch downstream. The input is never mutated.
+func CorruptSection(section []byte, seed int64, channel string, attempt int) []byte {
+	out := append([]byte(nil), section...)
+	if len(out) == 0 {
+		return out
+	}
+	h := derive(seed, "corrupt", "", channel, attempt)
+	out[h%uint64(len(out))] ^= byte(1 << (splitmix(h) % 8))
+	return out
+}
+
+// Jitter returns a deterministic duration in [0, max) derived from
+// (seed, channel, attempt) — the retry layer's replacement for rand-based
+// backoff jitter, chosen so a shard's schedule never depends on how many
+// random draws earlier channels consumed.
+func Jitter(seed int64, channel string, attempt int, max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	return time.Duration(derive(seed, "jitter", "", channel, attempt) % uint64(max))
+}
+
+// derive hashes one decision scope into 64 well-mixed bits: FNV-1a over
+// the scope tuple, finalized with splitmix64 for avalanche.
+func derive(seed int64, salt, host, channel string, attempt int) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+		h ^= 0xFF // separator: ("ab","c") must differ from ("a","bc")
+		h *= prime
+	}
+	for i := 0; i < 8; i++ {
+		h ^= uint64(seed) >> (8 * i) & 0xFF
+		h *= prime
+	}
+	mix(salt)
+	mix(host)
+	mix(channel)
+	h ^= uint64(attempt)
+	h *= prime
+	return splitmix(h)
+}
+
+// splitmix is the splitmix64 finalizer.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// uniform maps 64 hash bits to [0, 1).
+func uniform(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}

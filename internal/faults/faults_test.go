@@ -1,0 +1,331 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func mustNew(t *testing.T, cfg Config) *Injector {
+	t.Helper()
+	in, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return in
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Fatal("nil injector reports Enabled")
+	}
+	if f := in.HTTP("a.example.de", "ch", 0); f.Kind != KindNone {
+		t.Fatalf("nil HTTP fault = %v", f.Kind)
+	}
+	if f := in.Tune("ch", 0); f.Kind != KindNone {
+		t.Fatalf("nil Tune fault = %v", f.Kind)
+	}
+	if f := in.AIT("ch", 0); f.Kind != KindNone {
+		t.Fatalf("nil AIT fault = %v", f.Kind)
+	}
+	section := []byte{1, 2, 3}
+	if got := in.Corrupt(section, "ch", 0); !bytes.Equal(got, section) {
+		t.Fatalf("nil Corrupt changed the section: %v", got)
+	}
+}
+
+func TestZeroRateNeverInjects(t *testing.T) {
+	in := mustNew(t, Config{Seed: 1})
+	if in.Enabled() {
+		t.Fatal("zero-rate injector reports Enabled")
+	}
+	for attempt := 0; attempt < 50; attempt++ {
+		if f := in.HTTP("cdn.example.de", "Das Erste", attempt); f.Kind != KindNone {
+			t.Fatalf("attempt %d: injected %v at rate 0", attempt, f.Kind)
+		}
+	}
+}
+
+// The headline property: decisions are pure functions of
+// (Seed, host, channel, attempt) — two injectors with the same config
+// agree everywhere, regardless of call order.
+func TestDecisionsAreDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Rate: 0.5}
+	a, b := mustNew(t, cfg), mustNew(t, cfg)
+	hosts := []string{"app.ard.de", "tracker.example.com", "cdn.example.com"}
+	channels := []string{"Das Erste", "ZDF", "arte"}
+	// Drive b in reverse order to prove statelessness.
+	type decision struct{ f Fault }
+	var forward []decision
+	for _, h := range hosts {
+		for _, ch := range channels {
+			for attempt := 0; attempt < 5; attempt++ {
+				forward = append(forward, decision{a.HTTP(h, ch, attempt)})
+			}
+		}
+	}
+	i := len(forward)
+	for hi := len(hosts) - 1; hi >= 0; hi-- {
+		for ci := len(channels) - 1; ci >= 0; ci-- {
+			for attempt := 4; attempt >= 0; attempt-- {
+				i--
+				idx := (hi*len(channels)+ci)*5 + attempt
+				if got := b.HTTP(hosts[hi], channels[ci], attempt); got != forward[idx].f {
+					t.Fatalf("decision for (%s,%s,%d) differs: %v vs %v",
+						hosts[hi], channels[ci], attempt, got, forward[idx].f)
+				}
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDisagree(t *testing.T) {
+	a := mustNew(t, Config{Seed: 1, Rate: 0.5})
+	b := mustNew(t, Config{Seed: 2, Rate: 0.5})
+	same := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		ch := string(rune('A' + i%26))
+		if a.HTTP("x.example.de", ch, i) == b.HTTP("x.example.de", ch, i) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("two different seeds produced identical schedules")
+	}
+}
+
+func TestRateIsApproximatelyHonored(t *testing.T) {
+	in := mustNew(t, Config{Seed: 7, Rate: 0.25})
+	injected := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		host := string(rune('a'+i%26)) + ".example.de"
+		if f := in.HTTP(host, "ch", i); f.Kind != KindNone {
+			injected++
+		}
+	}
+	got := float64(injected) / n
+	if math.Abs(got-0.25) > 0.05 {
+		t.Fatalf("empirical rate %.3f, want ~0.25", got)
+	}
+}
+
+func TestAttemptScopingRollsFresh(t *testing.T) {
+	// With a high rate, successive attempts must not all share one fate:
+	// at rate 0.5 across 64 attempts, seeing only one outcome would mean
+	// the attempt is not part of the key.
+	in := mustNew(t, Config{Seed: 3, Rate: 0.5})
+	saw := map[bool]bool{}
+	for attempt := 0; attempt < 64; attempt++ {
+		f := in.HTTP("app.example.de", "ch", attempt)
+		saw[f.Kind != KindNone] = true
+	}
+	if !saw[true] || !saw[false] {
+		t.Fatalf("64 attempts saw only injected=%v", saw[true])
+	}
+}
+
+func TestSameAttemptSharesDecisionAcrossRequests(t *testing.T) {
+	in := mustNew(t, Config{Seed: 11, Rate: 0.5})
+	f1 := in.HTTP("app.example.de", "ch", 2)
+	f2 := in.HTTP("app.example.de", "ch", 2)
+	if f1 != f2 {
+		t.Fatalf("same (host,channel,attempt) gave %v then %v", f1, f2)
+	}
+}
+
+func TestHostPlanOverridesAndWildcards(t *testing.T) {
+	in := mustNew(t, Config{
+		Seed: 5,
+		Rate: 0, // global off
+		Hosts: map[string]Plan{
+			"dead.example.de": {Rate: 1, Kinds: []Kind{KindConnRefused}},
+			"*.flaky.de":      {Rate: 1, Kinds: []Kind{KindHTTP5xx}},
+		},
+	})
+	if !in.Enabled() {
+		t.Fatal("injector with host plans reports disabled")
+	}
+	if f := in.HTTP("dead.example.de", "ch", 0); f.Kind != KindConnRefused {
+		t.Fatalf("exact host plan: got %v, want conn-refused", f.Kind)
+	}
+	if f := in.HTTP("a.b.flaky.de", "ch", 0); f.Kind != KindHTTP5xx {
+		t.Fatalf("wildcard host plan: got %v, want http-5xx", f.Kind)
+	}
+	if st := in.HTTP("a.flaky.de", "ch", 0).Status; st != 500 && st != 502 && st != 503 {
+		t.Fatalf("5xx fault status = %d", st)
+	}
+	if f := in.HTTP("fine.example.de", "ch", 0); f.Kind != KindNone {
+		t.Fatalf("unplanned host injected %v with global rate 0", f.Kind)
+	}
+	// Port and case normalization.
+	if f := in.HTTP("DEAD.example.de:8080", "ch", 0); f.Kind != KindConnRefused {
+		t.Fatalf("host normalization: got %v, want conn-refused", f.Kind)
+	}
+}
+
+func TestChannelPlanCoversBroadcastAndHTTP(t *testing.T) {
+	in := mustNew(t, Config{
+		Seed: 9,
+		Channels: map[string]Plan{
+			"Cursed TV": {Rate: 1, Kinds: []Kind{KindTuneFail, KindAITCorrupt, KindDNS}},
+		},
+	})
+	if f := in.Tune("Cursed TV", 0); f.Kind != KindTuneFail {
+		t.Fatalf("Tune = %v, want tune-fail", f.Kind)
+	}
+	if f := in.AIT("Cursed TV", 0); f.Kind != KindAITCorrupt {
+		t.Fatalf("AIT = %v, want ait-corrupt", f.Kind)
+	}
+	// The channel plan also applies to HTTP for hosts without a host plan;
+	// only its HTTP-applicable kinds (DNS here) can fire there.
+	if f := in.HTTP("app.example.de", "Cursed TV", 0); f.Kind != KindDNS {
+		t.Fatalf("HTTP under channel plan = %v, want dns", f.Kind)
+	}
+	if f := in.Tune("Fine TV", 0); f.Kind != KindNone {
+		t.Fatalf("other channel tuned into a fault: %v", f.Kind)
+	}
+}
+
+func TestBroadcastKindsNeverLeakIntoHTTP(t *testing.T) {
+	in := mustNew(t, Config{Seed: 13, Rate: 1})
+	for i := 0; i < 200; i++ {
+		f := in.HTTP("h.example.de", "ch", i)
+		if f.Kind == KindTuneFail || f.Kind == KindAITCorrupt {
+			t.Fatalf("HTTP decision produced broadcast kind %v", f.Kind)
+		}
+		if f.Kind == KindNone {
+			t.Fatalf("rate 1 skipped injection at attempt %d", i)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if f := in.Tune("ch", i); f.Kind != KindTuneFail {
+			t.Fatalf("Tune decision = %v, want tune-fail", f.Kind)
+		}
+	}
+}
+
+func TestFaultParameterRanges(t *testing.T) {
+	in := mustNew(t, Config{Seed: 17, Rate: 1})
+	for i := 0; i < 500; i++ {
+		f := in.HTTP("h.example.de", "ch", i)
+		switch f.Kind {
+		case KindTimeout:
+			if f.Delay < 5*time.Second || f.Delay > 30*time.Second {
+				t.Fatalf("timeout delay %v out of range", f.Delay)
+			}
+		case KindHang:
+			if f.Delay < 2*time.Minute || f.Delay > 10*time.Minute {
+				t.Fatalf("hang delay %v out of range", f.Delay)
+			}
+		case KindHTTP5xx:
+			if f.Status != 500 && f.Status != 502 && f.Status != 503 {
+				t.Fatalf("5xx status %d", f.Status)
+			}
+		case KindTruncate, KindReset:
+			if f.KeepPermille < 0 || f.KeepPermille >= 750 {
+				t.Fatalf("keep permille %d out of range", f.KeepPermille)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []Config{
+		{Rate: -0.1},
+		{Rate: 1.5},
+		{Hosts: map[string]Plan{"h.de": {Rate: 2}}},
+		{Channels: map[string]Plan{"ch": {Rate: 0.5, Kinds: []Kind{Kind(200)}}}},
+		{Kinds: []Kind{KindNone}},
+	}
+	for i, cfg := range cases {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, cfg)
+		}
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: New accepted %+v", i, cfg)
+		}
+	}
+	if err := (Config{Seed: 1, Rate: 0.3, Kinds: []Kind{KindDNS, KindReset}}).Validate(); err != nil {
+		t.Errorf("Validate rejected a good config: %v", err)
+	}
+}
+
+func TestErrorSentinelsWrapErrInjected(t *testing.T) {
+	for _, err := range []error{ErrDNS, ErrConnRefused, ErrTimeout, ErrReset, ErrTuneFail} {
+		if !errors.Is(err, ErrInjected) {
+			t.Errorf("%v does not wrap ErrInjected", err)
+		}
+	}
+}
+
+func TestCorruptSection(t *testing.T) {
+	section := bytes.Repeat([]byte{0xAB}, 64)
+	orig := append([]byte(nil), section...)
+	got := CorruptSection(section, 21, "ch", 0)
+	if !bytes.Equal(section, orig) {
+		t.Fatal("CorruptSection mutated its input")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("CorruptSection changed %d bytes, want exactly 1", diff)
+	}
+	again := CorruptSection(section, 21, "ch", 0)
+	if !bytes.Equal(got, again) {
+		t.Fatal("CorruptSection is not deterministic")
+	}
+	other := CorruptSection(section, 21, "ch", 1)
+	if bytes.Equal(got, other) {
+		// Different attempts may rarely flip the same bit; require at
+		// least the possibility of divergence over a few attempts.
+		same := true
+		for a := 2; a < 8 && same; a++ {
+			same = bytes.Equal(got, CorruptSection(section, 21, "ch", a))
+		}
+		if same {
+			t.Fatal("CorruptSection ignores the attempt")
+		}
+	}
+	if out := CorruptSection(nil, 21, "ch", 0); len(out) != 0 {
+		t.Fatalf("CorruptSection(nil) = %v", out)
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	const max = 10 * time.Second
+	seen := map[time.Duration]bool{}
+	for attempt := 0; attempt < 32; attempt++ {
+		j := Jitter(99, "ch", attempt, max)
+		if j < 0 || j >= max {
+			t.Fatalf("jitter %v out of [0, %v)", j, max)
+		}
+		if j != Jitter(99, "ch", attempt, max) {
+			t.Fatal("jitter is not deterministic")
+		}
+		seen[j] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("jitter is constant across attempts")
+	}
+	if Jitter(99, "ch", 0, 0) != 0 {
+		t.Fatal("jitter with max 0 must be 0")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindHTTP5xx.String() != "http-5xx" || KindNone.String() != "none" {
+		t.Fatalf("Kind.String: %q %q", KindHTTP5xx.String(), KindNone.String())
+	}
+	if Kind(250).String() == "" {
+		t.Fatal("unknown kind produced empty string")
+	}
+}

@@ -1,0 +1,226 @@
+package hostnet
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/faults"
+)
+
+// faultyTransport builds a transport whose named host always injects the
+// given fault kind, with a probe handler that records whether it ran.
+func faultyTransport(t *testing.T, host string, kind faults.Kind) (*Transport, *clock.Virtual, *bool, *[]faults.Kind) {
+	t.Helper()
+	served := false
+	in := New()
+	in.HandleFunc(host, func(w http.ResponseWriter, r *http.Request) {
+		served = true
+		w.Header().Set("Content-Type", "text/plain")
+		_, _ = w.Write([]byte(strings.Repeat("x", 1000)))
+	})
+	inj, err := faults.New(faults.Config{
+		Seed:  3,
+		Hosts: map[string]faults.Plan{host: {Rate: 1, Kinds: []faults.Kind{kind}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var injected []faults.Kind
+	vc := clock.NewVirtual(time.Date(2023, 8, 21, 9, 0, 0, 0, time.UTC))
+	tr := &Transport{
+		Net:        in,
+		Clock:      vc,
+		Faults:     inj,
+		FaultScope: func() (string, int) { return "TestChan", 1 },
+		OnFault:    func(k faults.Kind, h string) { injected = append(injected, k) },
+	}
+	return tr, vc, &served, &injected
+}
+
+func faultGet(t *testing.T, tr *Transport, host string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, "http://"+host+"/page", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.RoundTrip(req)
+}
+
+// TestTransportInjectsDNSAndRefused: resolution-level faults surface as
+// transport errors wrapping the taxonomy sentinels, before any handler runs.
+func TestTransportInjectsDNSAndRefused(t *testing.T) {
+	for _, tc := range []struct {
+		kind faults.Kind
+		want error
+	}{
+		{faults.KindDNS, faults.ErrDNS},
+		{faults.KindConnRefused, faults.ErrConnRefused},
+	} {
+		tr, _, served, injected := faultyTransport(t, "dead.example.de", tc.kind)
+		resp, err := faultGet(t, tr, "dead.example.de")
+		if resp != nil || err == nil {
+			t.Fatalf("%v: resp=%v err=%v, want transport error", tc.kind, resp, err)
+		}
+		if !errors.Is(err, tc.want) || !errors.Is(err, faults.ErrInjected) {
+			t.Errorf("%v: err = %v, want %v wrapping ErrInjected", tc.kind, err, tc.want)
+		}
+		if *served {
+			t.Errorf("%v: handler ran despite pre-dispatch fault", tc.kind)
+		}
+		if len(*injected) != 1 || (*injected)[0] != tc.kind {
+			t.Errorf("%v: OnFault saw %v", tc.kind, *injected)
+		}
+	}
+}
+
+// TestTransportTimeoutBurnsVirtualClock: a timeout fault consumes its delay
+// on the virtual clock — no real waiting — then errors.
+func TestTransportTimeoutBurnsVirtualClock(t *testing.T) {
+	tr, vc, served, _ := faultyTransport(t, "slow.example.de", faults.KindTimeout)
+	before := vc.Now()
+	_, err := faultGet(t, tr, "slow.example.de")
+	if !errors.Is(err, faults.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	burned := vc.Now().Sub(before)
+	if burned < 5*time.Second || burned > 30*time.Second {
+		t.Errorf("timeout burned %v of virtual time, want 5s..30s", burned)
+	}
+	if *served {
+		t.Error("handler ran despite timeout fault")
+	}
+}
+
+// TestTransportHangBurnsLonger: hangs are the long-tail variant the
+// per-visit deadline exists for.
+func TestTransportHangBurnsLonger(t *testing.T) {
+	tr, vc, _, _ := faultyTransport(t, "hung.example.de", faults.KindHang)
+	before := vc.Now()
+	_, err := faultGet(t, tr, "hung.example.de")
+	if !errors.Is(err, faults.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if burned := vc.Now().Sub(before); burned < 120*time.Second {
+		t.Errorf("hang burned only %v of virtual time, want >= 120s", burned)
+	}
+}
+
+// TestTransportSynthesizes5xx: a 5xx burst answers without dispatching to
+// the handler, with a well-formed error response.
+func TestTransportSynthesizes5xx(t *testing.T) {
+	tr, _, served, _ := faultyTransport(t, "flaky.example.de", faults.KindHTTP5xx)
+	resp, err := faultGet(t, tr, "flaky.example.de")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 500 && resp.StatusCode != 502 && resp.StatusCode != 503 {
+		t.Errorf("status = %d, want a 5xx from the burst set", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || len(body) == 0 {
+		t.Errorf("5xx body unreadable: %q, %v", body, err)
+	}
+	if *served {
+		t.Error("handler ran despite 5xx fault")
+	}
+	// The burst is stable within the attempt: same status again.
+	again, err := faultGet(t, tr, "flaky.example.de")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.StatusCode != resp.StatusCode {
+		t.Errorf("burst status changed within one attempt: %d then %d", resp.StatusCode, again.StatusCode)
+	}
+}
+
+// TestTransportTruncateIsSilent: a truncate fault delivers a clean-looking
+// short body — ContentLength still claims the full size, and the read ends
+// in plain EOF. The damage is data corruption, not a visible error.
+func TestTransportTruncateIsSilent(t *testing.T) {
+	tr, _, served, _ := faultyTransport(t, "cut.example.de", faults.KindTruncate)
+	resp, err := faultGet(t, tr, "cut.example.de")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !*served {
+		t.Fatal("truncate fault must let the handler run")
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Errorf("truncated body surfaced a read error: %v", err)
+	}
+	if len(body) >= 1000 {
+		t.Errorf("body kept %d of 1000 bytes; nothing truncated", len(body))
+	}
+	if resp.ContentLength != 1000 {
+		t.Errorf("ContentLength = %d, want the original 1000 (silent damage)", resp.ContentLength)
+	}
+}
+
+// TestTransportResetSurfacesMidBody: a reset fault yields a partial body,
+// then a connection-reset error instead of EOF.
+func TestTransportResetSurfacesMidBody(t *testing.T) {
+	tr, _, _, _ := faultyTransport(t, "reset.example.de", faults.KindReset)
+	resp, err := faultGet(t, tr, "reset.example.de")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, faults.ErrReset) {
+		t.Errorf("read err = %v, want ErrReset", err)
+	}
+	if len(body) >= 1000 {
+		t.Errorf("reset kept the whole %d-byte body", len(body))
+	}
+}
+
+// TestTransportAttemptScopeRollsFresh: the transport keys its decision on
+// the FaultScope attempt, so a retry sees a fresh schedule. With a global
+// (sub-certain) rate, some attempt must behave differently for some host.
+func TestTransportAttemptScopeRollsFresh(t *testing.T) {
+	in := New()
+	in.HandleFunc("app.example.de", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	})
+	inj, err := faults.New(faults.Config{Seed: 5, Rate: 0.5, Kinds: []faults.Kind{faults.KindConnRefused}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempt := 1
+	tr := &Transport{
+		Net:        in,
+		Faults:     inj,
+		FaultScope: func() (string, int) { return "TestChan", attempt },
+	}
+	outcomes := make(map[bool]bool) // error? -> seen
+	for attempt = 1; attempt <= 16; attempt++ {
+		_, err := faultGet(t, tr, "app.example.de")
+		outcomes[err != nil] = true
+	}
+	if !outcomes[true] || !outcomes[false] {
+		t.Errorf("16 attempts at rate 0.5 all agreed (faulted=%v); attempt not in the decision key", outcomes[true])
+	}
+}
+
+// TestTransportNilInjectorReliable: a transport without an injector (or
+// with scope left nil) behaves exactly like the pre-fault transport.
+func TestTransportNilInjectorReliable(t *testing.T) {
+	in := New()
+	in.HandleFunc("ok.example.de", func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("fine"))
+	})
+	tr := &Transport{Net: in}
+	resp, err := faultGet(t, tr, "ok.example.de")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "fine" {
+		t.Errorf("body = %q", body)
+	}
+}

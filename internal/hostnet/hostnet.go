@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/faults"
 )
 
 // ErrUnknownHost is returned by the in-process transport when a request
@@ -121,10 +122,26 @@ func sortStrings(s []string) {
 // registered handlers in-process. If Clock is non-nil, each round trip
 // advances it by Latency, giving flows a realistic timeline on the virtual
 // clock without real waiting.
+//
+// When Faults is non-nil, the transport injects the injector's
+// request-level fault kinds: DNS failures and refused connections surface
+// before dispatch, timeouts and hangs burn their delay on the virtual
+// clock, 5xx bursts synthesize an error response without reaching the
+// handler, and truncate/reset faults mangle the response body after the
+// handler ran. FaultScope supplies the (channel, attempt) half of the
+// decision key so a retry attempt rolls a fresh schedule.
 type Transport struct {
 	Net     *Internet
 	Clock   clock.Clock
 	Latency func(req *http.Request) (reqDelay, respDelay int) // optional, in milliseconds
+
+	// Faults injects deterministic request-level faults (nil = reliable).
+	Faults *faults.Injector
+	// FaultScope reports the channel and visit attempt the current request
+	// belongs to (nil = empty channel, attempt 0).
+	FaultScope func() (channel string, attempt int)
+	// OnFault is invoked for every injected fault (telemetry hook).
+	OnFault func(kind faults.Kind, host string)
 }
 
 var _ http.RoundTripper = (*Transport)(nil)
@@ -134,6 +151,20 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	host := req.URL.Host
 	if host == "" {
 		host = req.Host
+	}
+	fault := t.fault(host)
+	switch fault.Kind {
+	case faults.KindDNS:
+		return nil, fmt.Errorf("hostnet: lookup %q: %w", host, faults.ErrDNS)
+	case faults.KindConnRefused:
+		return nil, fmt.Errorf("hostnet: dial %q: %w", host, faults.ErrConnRefused)
+	case faults.KindTimeout, faults.KindHang:
+		if t.Clock != nil {
+			t.Clock.Sleep(fault.Delay)
+		}
+		return nil, fmt.Errorf("hostnet: %q after %v: %w", host, fault.Delay, faults.ErrTimeout)
+	case faults.KindHTTP5xx:
+		return errorResponse(req, fault.Status), nil
 	}
 	h, ok := t.Net.Lookup(host)
 	if !ok {
@@ -159,7 +190,80 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 			t.Clock.Sleep(time.Duration(d) * time.Millisecond)
 		}
 	}
-	return rec.result(req), nil
+	resp := rec.result(req)
+	switch fault.Kind {
+	case faults.KindTruncate:
+		truncateBody(resp, fault.KeepPermille, nil)
+	case faults.KindReset:
+		truncateBody(resp, fault.KeepPermille, faults.ErrReset)
+	}
+	return resp, nil
+}
+
+// fault resolves the injected fault for one request, reporting it to the
+// OnFault hook.
+func (t *Transport) fault(host string) faults.Fault {
+	if t.Faults == nil {
+		return faults.Fault{}
+	}
+	var channel string
+	var attempt int
+	if t.FaultScope != nil {
+		channel, attempt = t.FaultScope()
+	}
+	f := t.Faults.HTTP(host, channel, attempt)
+	if f.Kind != faults.KindNone && t.OnFault != nil {
+		t.OnFault(f.Kind, host)
+	}
+	return f
+}
+
+// errorResponse synthesizes an injected 5xx without invoking any handler —
+// the virtual analog of an app server answering from a failing backend.
+func errorResponse(req *http.Request, code int) *http.Response {
+	body := []byte(http.StatusText(code) + "\n")
+	h := make(http.Header)
+	h.Set("Content-Type", "text/plain; charset=utf-8")
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncateBody cuts the response body down to keepPermille/1000 of its
+// bytes. ContentLength keeps the full length — the damage is silent, like
+// a connection dropped mid-stream. A non-nil readErr is surfaced after the
+// kept prefix (mid-body reset); nil mimics a clean-looking short read.
+func truncateBody(resp *http.Response, keepPermille int, readErr error) {
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	kept := body[:len(body)*keepPermille/1000]
+	r := io.Reader(bytes.NewReader(kept))
+	if readErr != nil {
+		r = &failAfterReader{r: r, err: readErr}
+	}
+	resp.Body = io.NopCloser(r)
+}
+
+// failAfterReader yields r's bytes, then err instead of io.EOF.
+type failAfterReader struct {
+	r   io.Reader
+	err error
+}
+
+func (fr *failAfterReader) Read(p []byte) (int, error) {
+	n, err := fr.r.Read(p)
+	if err == io.EOF {
+		err = fr.err
+	}
+	return n, err
 }
 
 // recorder is a minimal ResponseWriter capturing status, headers, and body.

@@ -77,6 +77,30 @@ type TimeWindow struct {
 	Start, End time.Time
 }
 
+// Coverage is the analysis side's view of a degraded campaign: how many
+// runs actually measured each channel, and how much of the channel list
+// the resilient engine had to fail, skip, or quarantine. Section analyzers
+// are pure folds over the flows that exist, so partial coverage never
+// breaks them — Coverage makes the gaps visible instead of silent.
+type Coverage struct {
+	// Runs is the number of runs in the dataset.
+	Runs int
+	// ChannelRuns maps channel name -> runs that measured the channel
+	// (ok outcomes; for datasets predating outcome tracking, runs with
+	// recorded channel metadata).
+	ChannelRuns map[string]int
+	// Failed, Skipped, and Quarantined total the non-ok outcome records
+	// across all runs.
+	Failed, Skipped, Quarantined int
+	// Partial lists channels measured by fewer runs than Runs, in
+	// canonical (first-appearance) order — including channels that never
+	// produced data at all but appear in outcome records.
+	Partial []string
+}
+
+// Complete reports whether every known channel was measured in every run.
+func (c *Coverage) Complete() bool { return len(c.Partial) == 0 }
+
 // CookieSetEvent is one observed Set-Cookie, attributed to a channel and
 // party. It lives in store (rather than the cookies package) so the index
 // can collect events during its single pass; internal/cookies aliases it
@@ -171,6 +195,9 @@ type Index struct {
 	// SetEvents concatenates every run's attributed Set-Cookie events in
 	// dataset order.
 	SetEvents []CookieSetEvent
+	// Coverage reports how completely the runs measured the channel list
+	// (always non-nil; see Coverage).
+	Coverage *Coverage
 	// PerChannelTracking aggregates tracking per channel across runs;
 	// only channels with at least one tracking request appear.
 	PerChannelTracking map[string]*ChannelTracking
@@ -362,6 +389,7 @@ func BuildIndex(ctx context.Context, ds *Dataset, cfg IndexConfig) (*Index, erro
 		hi = time.Date(2023, 12, 31, 0, 0, 0, 0, time.UTC)
 	}
 	ix.Window = TimeWindow{Start: lo, End: hi}
+	ix.Coverage = buildCoverage(ds)
 	for ch, c := range best {
 		ix.FirstParty[ch] = c.party
 	}
@@ -376,6 +404,49 @@ func BuildIndex(ctx context.Context, ds *Dataset, cfg IndexConfig) (*Index, erro
 		ix.SetEvents = append(ix.SetEvents, events...)
 	}
 	return ix, nil
+}
+
+// buildCoverage folds every run's outcome records (falling back to
+// recorded channel metadata for pre-outcome datasets) into the per-channel
+// coverage report.
+func buildCoverage(ds *Dataset) *Coverage {
+	cov := &Coverage{Runs: len(ds.Runs), ChannelRuns: make(map[string]int)}
+	var order []string
+	seen := make(map[string]struct{})
+	note := func(name string) {
+		if _, ok := seen[name]; !ok {
+			seen[name] = struct{}{}
+			order = append(order, name)
+		}
+	}
+	for _, run := range ds.Runs {
+		if len(run.Outcomes) > 0 {
+			for _, o := range run.Outcomes {
+				note(o.Channel)
+				switch o.Status {
+				case OutcomeOK:
+					cov.ChannelRuns[o.Channel]++
+				case OutcomeFailed:
+					cov.Failed++
+				case OutcomeSkipped:
+					cov.Skipped++
+				case OutcomeQuarantined:
+					cov.Quarantined++
+				}
+			}
+			continue
+		}
+		for _, c := range run.Channels {
+			note(c.Name)
+			cov.ChannelRuns[c.Name]++
+		}
+	}
+	for _, name := range order {
+		if cov.ChannelRuns[name] < cov.Runs {
+			cov.Partial = append(cov.Partial, name)
+		}
+	}
+	return cov
 }
 
 // FlowCount returns the number of indexed flows.

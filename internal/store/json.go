@@ -41,7 +41,15 @@ type runJSON struct {
 	Storage         []storageJSON    `json:"storage"`
 	Screenshots     []screenshotJSON `json:"screenshots"`
 	Logs            []logJSON        `json:"logs"`
+	Outcomes        []outcomeJSON    `json:"outcomes,omitempty"`
 	RecoveredPanics int              `json:"recoveredPanics,omitempty"`
+}
+
+type outcomeJSON struct {
+	Channel  string        `json:"channel"`
+	Status   OutcomeStatus `json:"status"`
+	Attempts int           `json:"attempts,omitempty"`
+	Error    string        `json:"error,omitempty"`
 }
 
 type flowJSON struct {
@@ -168,6 +176,9 @@ func (d *Dataset) encodeJSON(w io.Writer, withTelemetry bool) error {
 		for _, l := range run.Logs {
 			rj.Logs = append(rj.Logs, logJSON{Time: l.Time, Kind: l.Kind, Detail: l.Detail})
 		}
+		for _, o := range run.Outcomes {
+			rj.Outcomes = append(rj.Outcomes, outcomeJSON(o))
+		}
 		out.Runs = append(out.Runs, rj)
 	}
 	if err := enc.Encode(&out); err != nil {
@@ -261,6 +272,9 @@ func Load(r io.Reader) (*Dataset, error) {
 		}
 		for _, l := range rj.Logs {
 			run.Logs = append(run.Logs, webos.LogEntry{Time: l.Time, Kind: l.Kind, Detail: l.Detail})
+		}
+		for _, o := range rj.Outcomes {
+			run.Outcomes = append(run.Outcomes, ChannelOutcome(o))
 		}
 		d.Runs = append(d.Runs, run)
 	}

@@ -163,6 +163,21 @@ func mergeRunShards(order []string, shards []*RunData) *RunData {
 		merged.Screenshots = append(merged.Screenshots, shotsByChannel[name]...)
 	}
 
+	// Outcomes: shards own disjoint channel subsets, so like Channels a
+	// stable sort by canonical rank fully determines the merged order.
+	for _, s := range shards {
+		if s != nil {
+			merged.Outcomes = append(merged.Outcomes, s.Outcomes...)
+		}
+	}
+	sort.SliceStable(merged.Outcomes, func(a, b int) bool {
+		pa, pb := pos(merged.Outcomes[a].Channel), pos(merged.Outcomes[b].Channel)
+		if pa != pb {
+			return pa < pb
+		}
+		return merged.Outcomes[a].Channel < merged.Outcomes[b].Channel
+	})
+
 	// Cookie jars, localStorage, and logs concatenate in shard-index order;
 	// each shard's snapshot is already sorted (jar/storage) or timeline-
 	// ordered (logs) deterministically.

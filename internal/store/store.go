@@ -60,6 +60,38 @@ func (c *ChannelInfo) TargetsChildren() bool {
 	return len(c.Categories) == 1 && c.Categories[0] == dvb.CategoryChildren
 }
 
+// OutcomeStatus classifies how one channel's visit ended within a run.
+type OutcomeStatus string
+
+// The channel outcome states. A channel with no outcome record predates
+// outcome tracking (older datasets) and should be treated as ok.
+const (
+	// OutcomeOK: the visit completed (possibly after retries).
+	OutcomeOK OutcomeStatus = "ok"
+	// OutcomeSkipped: the channel was never attempted — off-air during
+	// the run, or the run was cancelled before reaching it.
+	OutcomeSkipped OutcomeStatus = "skipped"
+	// OutcomeFailed: every attempt failed; the channel contributed no
+	// measurement data to this run.
+	OutcomeFailed OutcomeStatus = "failed"
+	// OutcomeQuarantined: the channel was benched after failing in too
+	// many consecutive runs and was not attempted.
+	OutcomeQuarantined OutcomeStatus = "quarantined"
+)
+
+// ChannelOutcome is the structured per-channel visit record a resilient
+// campaign keeps instead of aborting: which channels made it into the run,
+// which were retried, and why the rest are missing.
+type ChannelOutcome struct {
+	Channel string
+	Status  OutcomeStatus
+	// Attempts counts visit attempts (0 for skipped/quarantined channels).
+	Attempts int
+	// Error is the final attempt's error for failed channels, or a short
+	// reason for skipped/quarantined ones.
+	Error string
+}
+
 // RunData is everything collected during one measurement run.
 type RunData struct {
 	Name        RunName
@@ -70,10 +102,33 @@ type RunData struct {
 	Storage     []webos.StorageItem
 	Screenshots []webos.Screenshot
 	Logs        []webos.LogEntry
+	// Outcomes records one entry per channel the run considered, in the
+	// study's canonical channel order. Empty for datasets predating
+	// outcome tracking.
+	Outcomes []ChannelOutcome
 	// RecoveredPanics counts channels whose application panicked during
 	// the run and was recovered by the measurement framework (the panic
 	// details are in Logs as error entries).
 	RecoveredPanics int
+}
+
+// Outcome returns the named channel's outcome record, or nil.
+func (r *RunData) Outcome(channel string) *ChannelOutcome {
+	for i := range r.Outcomes {
+		if r.Outcomes[i].Channel == channel {
+			return &r.Outcomes[i]
+		}
+	}
+	return nil
+}
+
+// CountOutcomes tallies the run's outcome records by status.
+func (r *RunData) CountOutcomes() map[OutcomeStatus]int {
+	out := make(map[OutcomeStatus]int)
+	for _, o := range r.Outcomes {
+		out[o.Status]++
+	}
+	return out
 }
 
 // Channel returns the metadata for the named channel, or nil.
@@ -248,13 +303,19 @@ type Summary struct {
 	Screenshots     int     `json:"screenshots"`
 	LogEntries      int     `json:"logEntries"`
 	RecoveredPanics int     `json:"recoveredPanics,omitempty"`
+	// Resilience tallies, from the run's per-channel outcome records.
+	FailedChannels      int `json:"failedChannels,omitempty"`
+	SkippedChannels     int `json:"skippedChannels,omitempty"`
+	QuarantinedChannels int `json:"quarantinedChannels,omitempty"`
+	// RetriedChannels counts channels that needed more than one attempt.
+	RetriedChannels int `json:"retriedChannels,omitempty"`
 }
 
 // Summaries returns a per-run overview.
 func (d *Dataset) Summaries() []Summary {
 	out := make([]Summary, 0, len(d.Runs))
 	for _, r := range d.Runs {
-		out = append(out, Summary{
+		s := Summary{
 			Run:             r.Name,
 			Channels:        len(r.Channels),
 			HTTPRequests:    len(r.Flows),
@@ -264,7 +325,21 @@ func (d *Dataset) Summaries() []Summary {
 			Screenshots:     len(r.Screenshots),
 			LogEntries:      len(r.Logs),
 			RecoveredPanics: r.RecoveredPanics,
-		})
+		}
+		for _, o := range r.Outcomes {
+			switch o.Status {
+			case OutcomeFailed:
+				s.FailedChannels++
+			case OutcomeSkipped:
+				s.SkippedChannels++
+			case OutcomeQuarantined:
+				s.QuarantinedChannels++
+			}
+			if o.Attempts > 1 {
+				s.RetriedChannels++
+			}
+		}
+		out = append(out, s)
 	}
 	return out
 }

@@ -20,6 +20,13 @@ const (
 	EventPanic        EventKind = "panic.recovered"
 	EventMergeBegin   EventKind = "merge.begin"
 	EventMergeEnd     EventKind = "merge.end"
+	// Resilience events: an injected fault, a visit attempt being retried,
+	// a channel exhausting its attempts, and a channel being quarantined
+	// after failing in too many consecutive runs.
+	EventFault       EventKind = "fault.injected"
+	EventRetry       EventKind = "channel.retry"
+	EventChannelFail EventKind = "channel.failed"
+	EventQuarantine  EventKind = "channel.quarantined"
 )
 
 // Event is one structured trace record. Time is virtual time (the

@@ -1,0 +1,130 @@
+package webos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+	"github.com/hbbtvlab/hbbtvlab/internal/faults"
+)
+
+// newFaultyFixture rebuilds the standard fixture's TV with a fault
+// injector whose plan targets the fixture's channel (rate 1, fixed
+// attempt), reusing the fixture's virtual Internet and recorder.
+func newFaultyFixture(t *testing.T, kinds []faults.Kind) (*testFixture, *[]faults.Kind) {
+	t.Helper()
+	base := newFixture(t)
+	inj, err := faults.New(faults.Config{
+		Seed:     3,
+		Channels: map[string]faults.Plan{base.svc.Name: {Rate: 1, Kinds: kinds}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var injected []faults.Kind
+	base.tv = New(Config{
+		Clock:        base.clock,
+		Transport:    base.rec,
+		Seed:         42,
+		OnSwitch:     base.rec.SwitchChannel,
+		Faults:       inj,
+		FaultAttempt: func() int { return 1 },
+		OnFault:      func(k faults.Kind, ch string) { injected = append(injected, k) },
+	})
+	return base, &injected
+}
+
+// TestTVTuneFaultNoSignalLock: an injected tune failure leaves the TV
+// untuned, logs the miss, reports the fault, and wraps the sentinel.
+func TestTVTuneFaultNoSignalLock(t *testing.T) {
+	fx, injected := newFaultyFixture(t, []faults.Kind{faults.KindTuneFail})
+	fx.tv.PowerOn()
+	err := fx.tv.TuneTo(fx.svc)
+	if err == nil {
+		t.Fatal("tune fault did not fail TuneTo")
+	}
+	if !errors.Is(err, faults.ErrTuneFail) || !errors.Is(err, faults.ErrInjected) {
+		t.Errorf("err = %v, want ErrTuneFail wrapping ErrInjected", err)
+	}
+	if fx.tv.Current() != nil {
+		t.Error("TV claims to be tuned after a failed tune")
+	}
+	if fx.tv.HasApp() {
+		t.Error("app running after a failed tune")
+	}
+	if len(*injected) != 1 || (*injected)[0] != faults.KindTuneFail {
+		t.Errorf("OnFault saw %v, want one tune-fail", *injected)
+	}
+	logged := false
+	for _, l := range fx.tv.Logs() {
+		if l.Kind == LogError && strings.Contains(l.Detail, "no signal lock") {
+			logged = true
+		}
+	}
+	if !logged {
+		t.Error("failed tune not logged")
+	}
+}
+
+// TestTVAITCorruptionFailsDecode: a corrupted AIT section fails the CRC
+// check during decode; the broadcast stream itself stays intact, so a
+// clean schedule tunes the same service fine afterwards.
+func TestTVAITCorruptionFailsDecode(t *testing.T) {
+	fx, injected := newFaultyFixture(t, []faults.Kind{faults.KindAITCorrupt})
+	fx.tv.PowerOn()
+	err := fx.tv.TuneTo(fx.svc)
+	if err == nil {
+		t.Fatal("corrupted AIT decoded cleanly")
+	}
+	if !errors.Is(err, dvb.ErrBadCRC) {
+		t.Errorf("err = %v, want the AIT CRC failure", err)
+	}
+	if len(*injected) == 0 || (*injected)[0] != faults.KindAITCorrupt {
+		t.Errorf("OnFault saw %v, want ait-corrupt", *injected)
+	}
+	if fx.tv.HasApp() {
+		t.Error("app launched from a corrupted AIT")
+	}
+	// Corruption hit a copy, not the broadcast stream: a fixture without
+	// the injector tunes the very same service and launches its app.
+	clean := newFixture(t)
+	clean.tv.PowerOn()
+	if err := clean.tv.TuneTo(fx.svc); err != nil {
+		t.Fatalf("broadcast stream damaged for later attempts: %v", err)
+	}
+	if !clean.tv.HasApp() {
+		t.Error("autostart app missing after clean re-tune")
+	}
+}
+
+// TestTVFaultAttemptScope: broadcast fault decisions key on the published
+// attempt, so a retry rolls a fresh schedule. At rate 0.5 the fixture
+// channel must both fail and succeed somewhere within 16 attempts.
+func TestTVFaultAttemptScope(t *testing.T) {
+	base := newFixture(t)
+	inj, err := faults.New(faults.Config{
+		Seed:     9,
+		Channels: map[string]faults.Plan{base.svc.Name: {Rate: 0.5, Kinds: []faults.Kind{faults.KindTuneFail}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempt := 1
+	tv := New(Config{
+		Clock:        base.clock,
+		Transport:    base.rec,
+		Seed:         42,
+		OnSwitch:     base.rec.SwitchChannel,
+		Faults:       inj,
+		FaultAttempt: func() int { return attempt },
+	})
+	tv.PowerOn()
+	saw := map[bool]bool{}
+	for attempt = 1; attempt <= 16; attempt++ {
+		saw[tv.TuneTo(base.svc) != nil] = true
+	}
+	if !saw[true] || !saw[false] {
+		t.Errorf("16 attempts at rate 0.5 all agreed (failed=%v); attempt not in the key", saw[true])
+	}
+}

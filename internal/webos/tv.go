@@ -22,6 +22,7 @@ import (
 	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
 	"github.com/hbbtvlab/hbbtvlab/internal/clock"
 	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
+	"github.com/hbbtvlab/hbbtvlab/internal/faults"
 	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 )
 
@@ -58,6 +59,15 @@ type Config struct {
 	// Telemetry, when non-nil, counts tunes, key presses, screenshots,
 	// and app loads on the shard's telemetry slot.
 	Telemetry *telemetry.Shard
+	// Faults, when non-nil, injects deterministic broadcast-level faults:
+	// tune failures (no signal lock) and AIT corruption. Decisions are
+	// keyed on the service name and the visit attempt from FaultAttempt.
+	Faults *faults.Injector
+	// FaultAttempt reports the current visit attempt for fault scoping
+	// (nil = attempt 0).
+	FaultAttempt func() int
+	// OnFault is invoked for every injected broadcast fault.
+	OnFault func(kind faults.Kind, channel string)
 }
 
 // tvMetrics are the TV's pre-resolved telemetry handles (nil-safe no-ops
@@ -258,6 +268,15 @@ func (tv *TV) TuneTo(svc *dvb.Service) error {
 	}
 	tv.metrics.tunes.Inc()
 	tv.exitApp()
+	if f := tv.cfg.Faults.Tune(svc.Name, tv.faultAttempt()); f.Kind == faults.KindTuneFail {
+		if tv.cfg.OnFault != nil {
+			tv.cfg.OnFault(f.Kind, svc.Name)
+		}
+		tv.current = nil
+		tv.currentEvent = nil
+		tv.logf(LogError, "tune to %s: no signal lock", svc.Name)
+		return fmt.Errorf("webos: tune to %s: %w", svc.Name, faults.ErrTuneFail)
+	}
 	tv.current = svc
 	tv.currentEvent = nil
 	if len(svc.EITSection) > 0 {
@@ -275,7 +294,16 @@ func (tv *TV) TuneTo(svc *dvb.Service) error {
 	if !tv.network || !svc.HasAIT() || svc.Encrypted || svc.Invisible {
 		return nil
 	}
-	ait, err := dvb.DecodeAIT(svc.AITSection)
+	section := svc.AITSection
+	if f := tv.cfg.Faults.AIT(svc.Name, tv.faultAttempt()); f.Kind == faults.KindAITCorrupt {
+		if tv.cfg.OnFault != nil {
+			tv.cfg.OnFault(f.Kind, svc.Name)
+		}
+		// Corrupt a copy; the broadcast stream itself stays intact for the
+		// next attempt's fresh decision.
+		section = tv.cfg.Faults.Corrupt(section, svc.Name, tv.faultAttempt())
+	}
+	ait, err := dvb.DecodeAIT(section)
 	if err != nil {
 		tv.logf(LogError, "AIT decode for %s: %v", svc.Name, err)
 		return fmt.Errorf("webos: decode AIT: %w", err)
@@ -289,6 +317,14 @@ func (tv *TV) TuneTo(svc *dvb.Service) error {
 		return fmt.Errorf("webos: load app: %w", err)
 	}
 	return nil
+}
+
+// faultAttempt resolves the current visit attempt for fault scoping.
+func (tv *TV) faultAttempt() int {
+	if tv.cfg.FaultAttempt != nil {
+		return tv.cfg.FaultAttempt()
+	}
+	return 0
 }
 
 // Current returns the currently tuned service, or nil.
