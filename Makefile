@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race chaos fuzz bench fmt lint bench-json bench-analyze
+.PHONY: build test check race chaos fuzz bench fmt lint bench-json bench-analyze benchgate
 
 build:
 	$(GO) build ./...
@@ -57,7 +57,15 @@ bench-json:
 
 # bench-analyze runs the analysis-engine benchmarks only — serial vs
 # parallel AnalyzeContext at paper scale (ns/op per -j, byte-identity
-# asserted) plus the single-pass-vs-multipass comparison — and records
-# the test2json stream as BENCH_analyze.json for the CI artifact trail.
+# asserted) plus the single-pass-vs-multipass comparison — records the
+# test2json stream as BENCH_analyze.json for the CI artifact trail, and
+# gates on the committed scaling floors (BENCH_floor.json): j=8 must hit
+# its speedup-vs-serial target, clamped by the runner's gomaxprocs.
 bench-analyze:
 	$(GO) test -json -bench 'BenchmarkAnalyze' -benchtime 1x -run '^$$' . | tee BENCH_analyze.json
+	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_analyze.json -floor BENCH_floor.json
+
+# benchgate re-checks an already recorded BENCH_analyze.json against the
+# committed floors without re-running the (slow) paper-scale benchmark.
+benchgate:
+	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_analyze.json -floor BENCH_floor.json

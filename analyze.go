@@ -316,15 +316,83 @@ func analyzeFig7(env *analysisEnv, res *Results) {
 	res.Fig7 = tracking.PerCategory(env.ix.PerChannelTracking, env.ds, 10)
 }
 
-// analyzeFig8 reproduces Fig. 8 (Section V-E ecosystem graph).
+// analyzeFig8 reproduces Fig. 8 (Section V-E ecosystem graph). The
+// channel -> party scan runs over columnar row chunks (sets union
+// order-independently), and the all-pairs BFS behind the average path
+// length fans its sources out over the pool with int64 distance sums, so
+// the reported float is bit-identical to the serial division.
 func analyzeFig8(env *analysisEnv, res *Results) {
-	g := graphx.FromDataset(env.ds, env.ix.FirstParty)
+	var g *graphx.Graph
+	if cols := env.ix.Columns(); cols == nil {
+		g = graphx.FromDataset(env.ds, env.ix.FirstParty)
+	} else {
+		n := cols.Rows()
+		parts := make([]map[string]map[string]struct{}, sectionChunks(n))
+		if !env.scanChunks(n, func(chunk, lo, hi int) {
+			local := make(map[string]map[string]struct{})
+			for i := lo; i < hi; i++ {
+				ch := cols.Flows[i].Channel
+				if ch == "" {
+					continue
+				}
+				set := local[ch]
+				if set == nil {
+					set = make(map[string]struct{})
+					local[ch] = set
+				}
+				set[cols.Party(i)] = struct{}{}
+			}
+			parts[chunk] = local
+		}) {
+			return
+		}
+		merged := make(map[string]map[string]struct{})
+		for _, part := range parts {
+			for ch, set := range part {
+				dst := merged[ch]
+				if dst == nil {
+					merged[ch] = set
+					continue
+				}
+				for p := range set {
+					dst[p] = struct{}{}
+				}
+			}
+		}
+		g = graphx.FromChannelParties(merged, env.ix.FirstParty)
+	}
+	// One BFS per node is the expensive part; a handful of sources per
+	// chunk keeps a few hundred nodes divisible across workers.
+	nodes := g.Nodes()
+	const bfsChunk = 8
+	type pathPart struct{ dist, pairs int64 }
+	plParts := make([]pathPart, chunksOf(len(nodes), bfsChunk))
+	if !env.scanChunksSized(len(nodes), bfsChunk, func(chunk, lo, hi int) {
+		var p pathPart
+		for _, src := range nodes[lo:hi] {
+			d, n := g.PathLengthFrom(src)
+			p.dist += d
+			p.pairs += n
+		}
+		plParts[chunk] = p
+	}) {
+		return
+	}
+	var totalDist, pairs int64
+	for _, p := range plParts {
+		totalDist += p.dist
+		pairs += p.pairs
+	}
+	avgPath := 0.0
+	if pairs > 0 {
+		avgPath = float64(totalDist) / float64(pairs)
+	}
 	mean, sd := g.DegreeStats()
 	f := Figure8{
 		Nodes:              g.NodeCount(),
 		Edges:              g.EdgeCount(),
 		Components:         len(g.Components()),
-		AvgPathLength:      g.AveragePathLength(),
+		AvgPathLength:      avgPath,
 		MeanNeighborDegree: g.MeanNeighborDegree(),
 		DegreeMean:         mean,
 		DegreeSD:           sd,
@@ -361,9 +429,27 @@ func topDomains(g *graphx.Graph, n int) []graphx.NodeDegree {
 	return all[:n]
 }
 
-// analyzeLeaks reproduces the Section V-B leakage search.
+// analyzeLeaks reproduces the Section V-B leakage search, scanning row
+// chunks concurrently and concatenating per-chunk leak lists in chunk
+// order (exactly the serial emission order).
 func analyzeLeaks(env *analysisEnv, res *Results) {
-	leaks := tracking.FindLeaks(env.ds, env.ix.FirstParty, tracking.LGNeedles)
+	cols := env.ix.Columns()
+	if cols == nil {
+		leaks := tracking.FindLeaks(env.ds, env.ix.FirstParty, tracking.LGNeedles)
+		res.Leaks = tracking.Summarize(leaks, env.ix.FirstParty)
+		return
+	}
+	n := cols.Rows()
+	parts := make([][]tracking.Leak, sectionChunks(n))
+	if !env.scanChunks(n, func(chunk, lo, hi int) {
+		parts[chunk] = tracking.ScanLeaks(env.ix, tracking.LGNeedles, lo, hi)
+	}) {
+		return
+	}
+	var leaks []tracking.Leak
+	for _, p := range parts {
+		leaks = append(leaks, p...)
+	}
 	res.Leaks = tracking.Summarize(leaks, env.ix.FirstParty)
 }
 
@@ -409,8 +495,22 @@ func analyzeCookies(env *analysisEnv, res *Results) {
 	for _, run := range env.ds.Runs {
 		f.Purposes = append(f.Purposes, cookies.AnalyzePurposes(run.Name, events))
 	}
-	// Cookie syncing.
-	f.SyncEvents = cookies.DetectSyncing(env.ds.Runs, events, lo, hi)
+	// Cookie syncing: the payload token scan is the heavy half, so it
+	// runs over row chunks with chunk-local dedup; MergeSyncEvents
+	// re-applies the global first-occurrence dedup in row order.
+	if cols := env.ix.Columns(); cols == nil {
+		f.SyncEvents = cookies.DetectSyncing(env.ds.Runs, events, lo, hi)
+	} else {
+		ids := cookies.MintedIDs(events, lo, hi)
+		n := cols.Rows()
+		parts := make([][]cookies.SyncEvent, sectionChunks(n))
+		if !env.scanChunks(n, func(chunk, clo, chi int) {
+			parts[chunk] = cookies.ScanSyncing(ids, env.ix, clo, chi)
+		}) {
+			return
+		}
+		f.SyncEvents = cookies.MergeSyncEvents(parts)
+	}
 	parties := make(map[string]struct{})
 	channels := make(map[string]struct{})
 	for _, s := range f.SyncEvents {
@@ -497,9 +597,25 @@ func analyzeConsent(env *analysisEnv, res *Results) {
 	res.Consent = f
 }
 
-// analyzePolicies reproduces Section VII.
+// analyzePolicies reproduces Section VII. Corpus collection — HTML
+// extraction, classification, and annotation per flow — dominates the
+// section, so it runs as chunked policy.ScanFlows over the columnar rows,
+// merged in row order into the identical corpus.
 func analyzePolicies(env *analysisEnv, res *Results) {
-	corpus := policy.Collect(env.ds)
+	var corpus *policy.Corpus
+	if cols := env.ix.Columns(); cols == nil {
+		corpus = policy.Collect(env.ds)
+	} else {
+		n := cols.Rows()
+		parts := make([]*policy.Partial, sectionChunks(n))
+		if !env.scanChunks(n, func(chunk, lo, hi int) {
+			parts[chunk] = policy.ScanFlows(cols.Flows,
+				func(i int) store.RunName { return cols.RunName(i) }, lo, hi)
+		}) {
+			return
+		}
+		corpus = policy.MergePartials(parts)
+	}
 	f := PolicyFindings{
 		Corpus:         corpus,
 		RightsCoverage: policy.RightsCoverage(corpus.Texts()),
@@ -618,12 +734,43 @@ func analyzeStats(env *analysisEnv, res *Results) {
 
 // analyzeExtension reproduces the future-work extension: filter rules
 // derived from the observed traffic and the coverage gain they add over
-// the Pi-hole base list.
+// the Pi-hole base list. Both passes — evidence gathering and coverage
+// evaluation — fold row chunks into order-independent accumulators
+// (counts, kind bits), so the chunked merges equal the serial scans.
 func analyzeExtension(env *analysisEnv, res *Results) {
-	res.DerivedRules = tracking.DeriveRulesFromIndex(env.ix)
-	if ext, err := tracking.EvaluateExtensionFromIndex(env.ix, res.DerivedRules); err == nil {
-		res.Extension = ext
+	if env.ix.Columns() == nil {
+		res.DerivedRules = tracking.DeriveRulesFromIndex(env.ix)
+		if ext, err := tracking.EvaluateExtensionFromIndex(env.ix, res.DerivedRules); err == nil {
+			res.Extension = ext
+		}
+		return
 	}
+	n := env.ix.FlowCount()
+	fp := tracking.FirstPartySet(env.ix.FirstParty)
+	evParts := make([]map[string]tracking.RuleEvidence, sectionChunks(n))
+	if !env.scanChunks(n, func(chunk, lo, hi int) {
+		evParts[chunk] = tracking.ScanRuleEvidence(env.ix, fp, lo, hi)
+	}) {
+		return
+	}
+	rules := tracking.RulesFromEvidence(tracking.MergeRuleEvidence(evParts))
+	extended, err := tracking.ExtendedList(rules)
+	if err != nil {
+		res.DerivedRules = rules
+		return
+	}
+	extParts := make([]tracking.ExtensionResult, sectionChunks(n))
+	if !env.scanChunks(n, func(chunk, lo, hi int) {
+		extParts[chunk] = tracking.EvaluateExtensionRange(env.ix, extended, lo, hi)
+	}) {
+		return
+	}
+	var ext tracking.ExtensionResult
+	for _, p := range extParts {
+		ext.Add(p)
+	}
+	res.DerivedRules = rules
+	res.Extension = ext
 }
 
 // sortedKeys returns a map's keys in ascending order.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
@@ -44,9 +45,114 @@ type sectionAnalyzer struct {
 
 // analysisEnv is the read-only context shared by all section analyzers.
 type analysisEnv struct {
-	ds  *store.Dataset
-	ix  *store.Index
-	cls *tracking.Classifier
+	ds   *store.Dataset
+	ix   *store.Index
+	cls  *tracking.Classifier
+	ctx  context.Context
+	pool *chunkPool
+}
+
+// sectionChunk is the row granularity of intra-section scans: coarser than
+// the index build's chunk (section work per row is heavier), fine enough
+// to balance half-million-row datasets across workers.
+const sectionChunk = 4096
+
+// sectionChunks returns the number of fixed-size row chunks covering n
+// rows. The boundaries depend only on n — never on the worker count — so
+// chunk-indexed results always merge in the same order.
+func sectionChunks(n int) int { return chunksOf(n, sectionChunk) }
+
+// scanChunks fans fn(chunk, lo, hi) out over the shared slot pool for the
+// fixed row chunking of [0, n). fn must write only to chunk-indexed slots;
+// the caller merges them in chunk order afterwards. Returns false when the
+// context was cancelled — some chunks then never ran, and the caller must
+// discard the partial slots instead of publishing a truncated result.
+func (env *analysisEnv) scanChunks(n int, fn func(chunk, lo, hi int)) bool {
+	return env.scanChunksSized(n, sectionChunk, fn)
+}
+
+// scanChunksSized is scanChunks with an explicit chunk size, for scans
+// whose unit of work is much heavier than one row (e.g. one BFS source).
+func (env *analysisEnv) scanChunksSized(n, size int, fn func(chunk, lo, hi int)) bool {
+	return env.pool.mapChunks(env.ctx, chunksOf(n, size), func(chunk int) {
+		lo := chunk * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(chunk, lo, hi)
+	})
+}
+
+// chunksOf returns the number of size-sized chunks covering n items.
+func chunksOf(n, size int) int { return (n + size - 1) / size }
+
+// chunkPool is the shared concurrency budget of one AnalyzeContext call.
+// Its slot channel has capacity Parallelism; every section worker holds a
+// slot while alive, and mapChunks borrows whatever slots are momentarily
+// free as helper goroutines. Total running goroutines therefore never
+// exceed Parallelism, and — the point of the design — when the section
+// pool has drained down to one or two heavy stragglers, the freed slots
+// flow to those sections' chunk scans, so speedup tracks core count
+// instead of section count.
+type chunkPool struct {
+	slots chan struct{}
+	tel   *telemetry.Shard
+}
+
+// mapChunks runs fn(chunk) for chunk in [0, nChunks). The calling
+// goroutine always participates (so Parallelism 1 spawns nothing); helper
+// goroutines are recruited opportunistically between chunks as slots free
+// up. Chunks are claimed from an atomic counter — the assignment of chunks
+// to goroutines is racy, but callers only write chunk-indexed slots, so
+// results are deterministic. Returns false if cancellation stopped the
+// scan before every chunk ran.
+func (p *chunkPool) mapChunks(ctx context.Context, nChunks int, fn func(chunk int)) bool {
+	if nChunks <= 0 {
+		return ctx.Err() == nil
+	}
+	var next atomic.Int64
+	work := func() {
+		for ctx.Err() == nil {
+			c := int(next.Add(1) - 1)
+			if c >= nChunks {
+				return
+			}
+			fn(c)
+			p.tel.Counter("analyze.chunks.completed").Inc()
+		}
+	}
+	var wg sync.WaitGroup
+	for ctx.Err() == nil {
+		c := int(next.Add(1) - 1)
+		if c >= nChunks {
+			break
+		}
+		// Recruit a helper per free slot while more chunks remain beyond
+		// the one this goroutine is about to run.
+		for int(next.Load()) < nChunks {
+			select {
+			case p.slots <- struct{}{}:
+				p.tel.Counter("analyze.chunks.helpers").Inc()
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-p.slots }()
+					work()
+				}()
+				continue
+			default:
+			}
+			break
+		}
+		fn(c)
+		p.tel.Counter("analyze.chunks.completed").Inc()
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return false
+	}
+	return true
 }
 
 // sectionRegistry lists every analyzer, heaviest first: the worker pool
@@ -99,6 +205,11 @@ type AnalyzeOptions struct {
 // microseconds).
 var analyzeDurationBuckets = []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
 
+// buildIndexFn builds the shared dataset index. It is a variable so the
+// columnar differential suite can run the whole engine against
+// store.BuildIndexReference and compare section-by-section.
+var buildIndexFn = store.BuildIndex
+
 // AnalyzeContext reproduces the paper's evaluation over a measured
 // dataset: it builds the shared single-pass index (store.BuildIndex) and
 // then runs the selected section analyzers on a bounded worker pool.
@@ -127,7 +238,7 @@ func AnalyzeContext(ctx context.Context, ds *store.Dataset, opts AnalyzeOptions)
 	cfg := cls.IndexConfig()
 	cfg.Parallelism = opts.Parallelism
 	start := time.Now()
-	ix, err := store.BuildIndex(ctx, ds, cfg)
+	ix, err := buildIndexFn(ctx, ds, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -135,16 +246,23 @@ func AnalyzeContext(ctx context.Context, ds *store.Dataset, opts AnalyzeOptions)
 	tel.Counter("analyze.index.flows").Add(uint64(ix.FlowCount()))
 	tel.Histogram("analyze.index.build_us", analyzeDurationBuckets).
 		Observe(time.Since(start).Microseconds())
+	if bs := ix.BuildStats(); bs != nil {
+		tel.Counter("analyze.index.chunks").Add(uint64(bs.Chunks))
+		tel.Counter("analyze.index.unique_urls").Add(uint64(bs.UniqueURLs))
+	}
+
+	par := opts.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	pool := &chunkPool{slots: make(chan struct{}, par), tel: tel}
 
 	// FirstParties is a byproduct of the index and is always populated,
 	// whatever the section selection — several renderers key off it.
 	res := &Results{FirstParties: ix.FirstParty}
-	env := &analysisEnv{ds: ds, ix: ix, cls: cls}
+	env := &analysisEnv{ds: ds, ix: ix, cls: cls, ctx: ctx, pool: pool}
 
-	workers := opts.Parallelism
-	if workers < 1 {
-		workers = 1
-	}
+	workers := par
 	if workers > len(selected) {
 		workers = len(selected)
 	}
@@ -154,6 +272,10 @@ func AnalyzeContext(ctx context.Context, ds *store.Dataset, opts AnalyzeOptions)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Hold one pool slot for this worker's lifetime; on exit it
+			// frees up as helper capacity for still-running sections.
+			pool.slots <- struct{}{}
+			defer func() { <-pool.slots }()
 			for s := range jobs {
 				if ctx.Err() != nil {
 					continue // drain without running

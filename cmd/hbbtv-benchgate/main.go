@@ -1,0 +1,69 @@
+// Command hbbtv-benchgate fails CI when a committed benchmark floor is
+// not met. It parses the test2json stream `make bench-analyze` records
+// (BENCH_analyze.json), extracts the reported metrics, and checks them
+// against the floors committed in BENCH_floor.json — clamping scaling
+// floors by the gomaxprocs the benchmark itself reported, so a small CI
+// runner is held to what its cores can express rather than to the
+// 8-core target.
+//
+// Usage:
+//
+//	hbbtv-benchgate [-bench BENCH_analyze.json] [-floor BENCH_floor.json]
+//
+// Exit status 0 when every floor passes, 1 on any miss or parse error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/benchgate"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hbbtv-benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hbbtv-benchgate", flag.ContinueOnError)
+	benchPath := fs.String("bench", "BENCH_analyze.json", "test2json benchmark stream to check")
+	floorPath := fs.String("floor", "BENCH_floor.json", "committed floor file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ff, err := os.Open(*floorPath)
+	if err != nil {
+		return err
+	}
+	defer ff.Close()
+	floors, err := benchgate.LoadFloors(ff)
+	if err != nil {
+		return err
+	}
+
+	bf, err := os.Open(*benchPath)
+	if err != nil {
+		return err
+	}
+	defer bf.Close()
+	results, err := benchgate.ParseTestJSON(bf)
+	if err != nil {
+		return err
+	}
+
+	verdicts, ok := benchgate.Check(results, floors)
+	for _, v := range verdicts {
+		fmt.Fprintln(out, v)
+	}
+	if !ok {
+		return fmt.Errorf("%s: benchmark floor not met", *benchPath)
+	}
+	fmt.Fprintf(out, "benchgate: %d floor(s) met\n", len(verdicts))
+	return nil
+}

@@ -1,0 +1,208 @@
+package hbbtvlab
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+	"github.com/hbbtvlab/hbbtvlab/internal/tracking"
+)
+
+// This file is the differential proof of the columnar index: the full
+// analysis pipeline is run once against store.BuildIndexReference (the
+// row-oriented index kept verbatim from before the columnar rewrite) and
+// then against store.BuildIndex at several Parallelism values, and every
+// section result must deep-equal the reference. The suite runs under
+// -race via `make check`, so it also exercises the chunk pool for data
+// races at each worker count.
+
+// equivalenceSeeds are the study seeds the differential suite covers.
+// Three distinct worlds: the golden-file seed plus two arbitrary others,
+// so the equivalence is not an artifact of one generated dataset.
+var equivalenceSeeds = []int64{321, 7, 9001}
+
+// equivalenceParallelism are the worker counts the columnar engine is
+// swept over. The chunk pool recruits helpers opportunistically, so the
+// higher counts exercise chunk claiming even on small machines.
+var equivalenceParallelism = []int{1, 2, 4, 8}
+
+// equivalenceDataset generates the small study world for one seed.
+func equivalenceDataset(t *testing.T, seed int64) *store.Dataset {
+	t.Helper()
+	study := NewStudy(Options{Seed: seed, Scale: 0.04, ProbeWatch: 20 * time.Second})
+	ds, err := study.ExecuteRuns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// analyzeWith runs AnalyzeContext with the given index builder installed.
+func analyzeWith(t *testing.T, ds *store.Dataset,
+	build func(context.Context, *store.Dataset, store.IndexConfig) (*store.Index, error),
+	parallelism int) *Results {
+	t.Helper()
+	prev := buildIndexFn
+	buildIndexFn = build
+	defer func() { buildIndexFn = prev }()
+	res, err := AnalyzeContext(context.Background(), ds, AnalyzeOptions{Parallelism: parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// sectionFields names every Results field owned by a section analyzer,
+// so a mismatch is reported per section instead of as one opaque blob.
+var sectionFields = []string{
+	"TableI", "TableII", "TableIII",
+	"Fig5", "Fig6", "Fig7", "Fig8",
+	"FirstParties", "Leaks", "Cookies", "Children", "Consent",
+	"Policies", "Stats", "SmartTVLists", "DerivedRules", "Extension",
+}
+
+// diffResults deep-compares two Results section by section and reports
+// each differing section. It also compares the JSON encodings as a
+// backstop for any field the list above might miss.
+func diffResults(t *testing.T, label string, want, got *Results) {
+	t.Helper()
+	wv := reflect.ValueOf(*want)
+	gv := reflect.ValueOf(*got)
+	for _, name := range sectionFields {
+		w := wv.FieldByName(name)
+		g := gv.FieldByName(name)
+		if !w.IsValid() || !g.IsValid() {
+			t.Fatalf("%s: Results has no field %q — update sectionFields", label, name)
+		}
+		if !reflect.DeepEqual(w.Interface(), g.Interface()) {
+			t.Errorf("%s: section field %s differs from reference", label, name)
+		}
+	}
+	wantJSON, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON, gotJSON) {
+		t.Errorf("%s: JSON encodings differ (a Results field outside sectionFields?)", label)
+	}
+}
+
+// TestColumnarAnalyzeEquivalence is the headline differential test: for
+// three seeds, the columnar engine at Parallelism 1/2/4/8 must reproduce
+// every section of the row-oriented reference byte-for-byte.
+func TestColumnarAnalyzeEquivalence(t *testing.T) {
+	for _, seed := range equivalenceSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ds := equivalenceDataset(t, seed)
+			ref := analyzeWith(t, ds, store.BuildIndexReference, 1)
+			for _, par := range equivalenceParallelism {
+				got := analyzeWith(t, ds, store.BuildIndex, par)
+				diffResults(t, fmt.Sprintf("columnar j=%d", par), ref, got)
+			}
+		})
+	}
+}
+
+// TestColumnarIndexEquivalence compares the two index builders directly:
+// every exported aggregate (FirstParty, Channels, Coverage, Runs,
+// SetEvents, PerChannelTracking, FlowsByParty, Window) and every
+// per-flow accessor must agree, for serial and parallel columnar builds.
+func TestColumnarIndexEquivalence(t *testing.T) {
+	for _, seed := range equivalenceSeeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ds := equivalenceDataset(t, seed)
+			cls := tracking.NewClassifier()
+			cfg := cls.IndexConfig()
+			cfg.Parallelism = 1
+			ref, err := store.BuildIndexReference(context.Background(), ds, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range equivalenceParallelism {
+				cfg := cls.IndexConfig()
+				cfg.Parallelism = par
+				ix, err := store.BuildIndex(context.Background(), ds, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("j=%d", par)
+				if !reflect.DeepEqual(ref.FirstParty, ix.FirstParty) {
+					t.Errorf("%s: FirstParty differs", label)
+				}
+				if !reflect.DeepEqual(ref.Channels, ix.Channels) {
+					t.Errorf("%s: Channels differ", label)
+				}
+				if !reflect.DeepEqual(ref.Coverage, ix.Coverage) {
+					t.Errorf("%s: Coverage differs", label)
+				}
+				if !reflect.DeepEqual(ref.Window, ix.Window) {
+					t.Errorf("%s: Window differs", label)
+				}
+				if !reflect.DeepEqual(ref.Runs, ix.Runs) {
+					t.Errorf("%s: per-run aggregates differ", label)
+				}
+				if !reflect.DeepEqual(ref.SetEvents, ix.SetEvents) {
+					t.Errorf("%s: SetEvents differ", label)
+				}
+				if !reflect.DeepEqual(ref.PerChannelTracking, ix.PerChannelTracking) {
+					t.Errorf("%s: PerChannelTracking differs", label)
+				}
+				if !reflect.DeepEqual(ref.FlowsByParty, ix.FlowsByParty) {
+					t.Errorf("%s: FlowsByParty differs", label)
+				}
+				if ref.FlowCount() != ix.FlowCount() {
+					t.Fatalf("%s: FlowCount %d != %d", label, ix.FlowCount(), ref.FlowCount())
+				}
+				// Per-flow accessors: walk every flow once and compare the
+				// four views the analyzers consume.
+				for _, run := range ds.Runs {
+					for _, f := range run.Flows {
+						if rk, ck := ref.Kind(f), ix.Kind(f); rk != ck {
+							t.Fatalf("%s: Kind(%s) = %v, reference %v", label, f.URL.String(), ck, rk)
+						}
+						if ru, cu := ref.URL(f), ix.URL(f); ru != cu {
+							t.Fatalf("%s: URL mismatch %q != %q", label, cu, ru)
+						}
+						if rp, cp := ref.Party(f), ix.Party(f); rp != cp {
+							t.Fatalf("%s: Party(%s) = %q, reference %q", label, f.URL.String(), cp, rp)
+						}
+						if rh, ch := ref.Host(f), ix.Host(f); rh != ch {
+							t.Fatalf("%s: Host mismatch %q != %q", label, ch, rh)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestColumnarSectionSelectionEquivalence runs a single-section selection
+// through both builders: section selection must not perturb equivalence
+// (a section running alone sees the whole chunk pool as helpers — the
+// maximally parallel intra-section configuration).
+func TestColumnarSectionSelectionEquivalence(t *testing.T) {
+	ds := equivalenceDataset(t, equivalenceSeeds[0])
+	for _, sec := range []Section{SectionPolicies, SectionFig8, SectionCookies, SectionExtension, SectionLeaks} {
+		prev := buildIndexFn
+		buildIndexFn = store.BuildIndexReference
+		ref, err := AnalyzeContext(context.Background(), ds, AnalyzeOptions{Parallelism: 1, Sections: []Section{sec}})
+		buildIndexFn = prev
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := AnalyzeContext(context.Background(), ds, AnalyzeOptions{Parallelism: 8, Sections: []Section{sec}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffResults(t, fmt.Sprintf("section %s alone", sec), ref, got)
+	}
+}

@@ -322,7 +322,22 @@ type SyncEvent struct {
 // different party in a URL or request body — the paper's two-step syncing
 // definition. windowStart/windowEnd bound the timestamp exclusion.
 func DetectSyncing(runs []*store.RunData, events []SetEvent, windowStart, windowEnd time.Time) []SyncEvent {
-	// Index potential-ID values by minting party.
+	idOwners := MintedIDs(events, windowStart, windowEnd)
+	var out []SyncEvent
+	seen := make(map[[3]string]struct{})
+	for _, run := range runs {
+		for _, f := range run.Flows {
+			scanFlowSyncs(idOwners, f.URL.RawQuery, f.RequestBody,
+				func() string { return etld.MustRegistrableDomain(f.Host()) },
+				f.Channel, run.Name, seen, &out)
+		}
+	}
+	return out
+}
+
+// MintedIDs indexes potential-identifier cookie values by the parties that
+// minted them — step one of the syncing definition.
+func MintedIDs(events []SetEvent, windowStart, windowEnd time.Time) map[string][]string {
 	idOwners := make(map[string][]string) // value -> parties that set it
 	for _, e := range events {
 		if !IsLikelyID(e.Value, windowStart, windowEnd) {
@@ -339,47 +354,90 @@ func DetectSyncing(runs []*store.RunData, events []SetEvent, windowStart, window
 			idOwners[e.Value] = append(idOwners[e.Value], e.Party)
 		}
 	}
-	var out []SyncEvent
-	seen := make(map[[3]string]struct{})
-	for _, run := range runs {
-		for _, f := range run.Flows {
-			haystack := f.URL.RawQuery
-			if len(f.RequestBody) > 0 {
-				haystack += "&" + string(f.RequestBody)
-			}
-			if haystack == "" {
+	return idOwners
+}
+
+// scanFlowSyncs runs step two of the syncing definition for one flow,
+// appending deduplicated sync events to out. seen carries the
+// (owner, target, value) dedup state across flows; the first flow — in
+// whatever order the caller iterates — wins the Channel/Run attribution
+// of a sync triple.
+func scanFlowSyncs(idOwners map[string][]string, rawQuery string, body []byte,
+	targetParty func() string, channel string, run store.RunName,
+	seen map[[3]string]struct{}, out *[]SyncEvent) {
+	haystack := rawQuery
+	if len(body) > 0 {
+		haystack += "&" + string(body)
+	}
+	if haystack == "" {
+		return
+	}
+	target := ""
+	// Identifiers travel as URL/body parameter values; match whole
+	// tokens against the minted-ID index rather than scanning every
+	// known value as a substring.
+	forEachToken(haystack, func(token string) {
+		owners, ok := idOwners[token]
+		if !ok {
+			return
+		}
+		if target == "" {
+			target = targetParty()
+		}
+		for _, owner := range owners {
+			if owner == target {
 				continue
 			}
-			target := ""
-			// Identifiers travel as URL/body parameter values; match whole
-			// tokens against the minted-ID index rather than scanning every
-			// known value as a substring.
-			forEachToken(haystack, func(token string) {
-				owners, ok := idOwners[token]
-				if !ok {
-					return
-				}
-				if target == "" {
-					target = etld.MustRegistrableDomain(f.Host())
-				}
-				for _, owner := range owners {
-					if owner == target {
-						continue
-					}
-					key := [3]string{owner, target, token}
-					if _, dup := seen[key]; dup {
-						continue
-					}
-					seen[key] = struct{}{}
-					out = append(out, SyncEvent{
-						FromParty: owner,
-						ToParty:   target,
-						Value:     token,
-						Channel:   f.Channel,
-						Run:       run.Name,
-					})
-				}
+			key := [3]string{owner, target, token}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			*out = append(*out, SyncEvent{
+				FromParty: owner,
+				ToParty:   target,
+				Value:     token,
+				Channel:   channel,
+				Run:       run,
 			})
+		}
+	})
+}
+
+// ScanSyncing is the chunked form of DetectSyncing's flow scan: it runs
+// step two over rows [lo, hi) of a columnar index with chunk-local dedup
+// only. Chunks must be merged in row order with MergeSyncEvents, which
+// re-applies the global first-occurrence dedup — the composition emits
+// exactly DetectSyncing's event sequence. Requires a columnar index
+// (panics on a reference build).
+func ScanSyncing(idOwners map[string][]string, ix *store.Index, lo, hi int) []SyncEvent {
+	cols := ix.Columns()
+	var out []SyncEvent
+	seen := make(map[[3]string]struct{})
+	for i := lo; i < hi; i++ {
+		f := cols.Flows[i]
+		party := func() string { return cols.Party(i) }
+		scanFlowSyncs(idOwners, f.URL.RawQuery, f.RequestBody, party,
+			f.Channel, cols.RunName(i), seen, &out)
+	}
+	return out
+}
+
+// MergeSyncEvents concatenates per-chunk ScanSyncing output in chunk
+// order, dropping later duplicates of the same (owner, target, value)
+// triple — the serial dedup semantics, where the earliest flow wins the
+// attribution.
+func MergeSyncEvents(parts [][]SyncEvent) []SyncEvent {
+	var out []SyncEvent
+	seen := make(map[[3]string]struct{})
+	for _, p := range parts {
+		for _, s := range p {
+			key := [3]string{s.FromParty, s.ToParty, s.Value}
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out = append(out, s)
 		}
 	}
 	return out

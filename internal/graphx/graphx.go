@@ -151,18 +151,31 @@ func (g *Graph) Components() [][]string {
 func (g *Graph) AveragePathLength() float64 {
 	var totalDist, pairs int64
 	for src := range g.adj {
-		dist := g.bfs(src)
-		for dst, d := range dist {
-			if dst != src {
-				totalDist += int64(d)
-				pairs++
-			}
-		}
+		d, p := g.PathLengthFrom(src)
+		totalDist += d
+		pairs += p
 	}
 	if pairs == 0 {
 		return 0
 	}
 	return float64(totalDist) / float64(pairs)
+}
+
+// PathLengthFrom returns the sum of shortest-path distances from src to
+// every reachable node and the number of such (src, dst) pairs. The graph
+// is read-only during the call, so callers may fan BFS sources out over
+// goroutines; integer sums make the reduction order-independent, so the
+// total — and AveragePathLength computed from it — is identical however
+// the sources are partitioned.
+func (g *Graph) PathLengthFrom(src string) (totalDist, pairs int64) {
+	dist := g.bfs(src)
+	for dst, d := range dist {
+		if dst != src {
+			totalDist += int64(d)
+			pairs++
+		}
+	}
+	return totalDist, pairs
 }
 
 func (g *Graph) bfs(src string) map[string]int {
@@ -180,6 +193,11 @@ func (g *Graph) bfs(src string) map[string]int {
 	}
 	return dist
 }
+
+// Nodes returns node ids in lexical order — the stable enumeration used
+// both for deterministic float summations and for partitioning BFS sources
+// across workers.
+func (g *Graph) Nodes() []string { return g.sortedNodes() }
 
 // sortedNodes returns node ids in lexical order, making float summations
 // deterministic regardless of map iteration order.
@@ -242,7 +260,6 @@ func (g *Graph) DegreeStats() (mean, sd float64) {
 // is connected to its identified first party, and every third party
 // observed on that channel is connected to the channel's first-party node.
 func FromDataset(ds *store.Dataset, firstParty map[string]string) *Graph {
-	g := New()
 	thirdParties := make(map[string]map[string]struct{}) // channel -> parties
 	for _, run := range ds.Runs {
 		for _, f := range run.Flows {
@@ -256,6 +273,15 @@ func FromDataset(ds *store.Dataset, firstParty map[string]string) *Graph {
 			thirdParties[f.Channel][p] = struct{}{}
 		}
 	}
+	return FromChannelParties(thirdParties, firstParty)
+}
+
+// FromChannelParties builds the Section V-E graph from an already-computed
+// channel -> observed-party mapping (e.g. a chunked scan over the columnar
+// index). Nodes and edges are set-valued and insertion is idempotent, so
+// the graph is independent of map iteration order.
+func FromChannelParties(thirdParties map[string]map[string]struct{}, firstParty map[string]string) *Graph {
+	g := New()
 	for channel, parties := range thirdParties {
 		fp := firstParty[channel]
 		if fp == "" {

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
 )
 
@@ -50,56 +51,125 @@ type Corpus struct {
 var policyURLHints = []string{"datenschutz", "privacy", "dsgvo", "gdpr"}
 
 // Collect runs the pipeline over a dataset: find HTML responses, extract
-// text, classify, deduplicate, detect language, annotate.
+// text, classify, deduplicate, detect language, annotate. It is the
+// single-chunk composition of ScanFlows and MergePartials; callers holding
+// a columnar dataset index can run ScanFlows over row ranges concurrently
+// and merge to the identical corpus.
 func Collect(ds *store.Dataset) *Corpus {
+	var flows []*proxy.Flow
+	var runs []store.RunName
+	for _, run := range ds.Runs {
+		for _, f := range run.Flows {
+			flows = append(flows, f)
+			runs = append(runs, run.Name)
+		}
+	}
+	part := ScanFlows(flows, func(i int) store.RunName { return runs[i] }, 0, len(flows))
+	return MergePartials([]*Partial{part})
+}
+
+// Partial is one row range's share of the collection pipeline: classified
+// policy occurrences, the chunk's deduplicated docs in first-occurrence
+// order, and the occurrence counters.
+type Partial struct {
+	Occurrences int
+	PerRun      map[store.RunName]int
+	Corrected   int
+	// Docs holds the chunk-locally deduplicated policies, in order of
+	// their first occurrence within the chunk; each doc's Runs/Channels
+	// lists are likewise in chunk-local flow order.
+	Docs   []*Doc
+	byHash map[string]*Doc
+}
+
+// ScanFlows classifies flows [lo, hi) (dataset row order; runName resolves
+// a row's run). Chunk-local dedup keeps the first occurrence of each
+// distinct policy text; MergePartials over in-order chunks reconciles
+// duplicates across chunks exactly as a serial scan would.
+func ScanFlows(flows []*proxy.Flow, runName func(int) store.RunName, lo, hi int) *Partial {
+	p := &Partial{
+		PerRun: make(map[store.RunName]int),
+		byHash: make(map[string]*Doc),
+	}
+	for i := lo; i < hi; i++ {
+		f := flows[i]
+		if f.StatusCode != 200 || len(f.ResponseBody) == 0 {
+			continue
+		}
+		if !strings.HasPrefix(f.ContentType(), "text/html") {
+			continue
+		}
+		text := ExtractText(string(f.ResponseBody))
+		isPolicy := IsPolicy(text)
+		if !isPolicy {
+			// Manual-evaluation stand-in: URL hints plus minimal legal
+			// vocabulary rescue texts that mix disclosures with
+			// unrelated content (discounts, usage instructions).
+			if urlLooksLikePolicy(f.URL.Path) && strings.Contains(strings.ToLower(text), "datenschutz") {
+				isPolicy = true
+				p.Corrected++
+			}
+		}
+		if !isPolicy {
+			continue
+		}
+		run := runName(i)
+		p.Occurrences++
+		p.PerRun[run]++
+		hash := SHA1Hex(text)
+		doc := p.byHash[hash]
+		if doc == nil {
+			doc = &Doc{
+				URL:      f.URL.String(),
+				Host:     f.Host(),
+				HTML:     string(f.ResponseBody),
+				Text:     text,
+				Language: DetectLanguage(text),
+				SHA1:     hash,
+				SimHash:  SimHash(text),
+			}
+			doc.Practices = AnnotatePractices(text)
+			doc.Articles = DetectGDPRArticles(text)
+			p.byHash[hash] = doc
+			p.Docs = append(p.Docs, doc)
+		}
+		addUnique(&doc.Runs, run)
+		if f.Channel != "" {
+			addUniqueStr(&doc.Channels, f.Channel)
+		}
+	}
+	return p
+}
+
+// MergePartials folds per-chunk scans — taken in row order — into the
+// corpus. A doc seen in several chunks keeps the identity fields
+// (URL/Host/HTML and the text-derived annotations, which are pure
+// functions of the text) of its first chunk and absorbs later chunks'
+// Runs/Channels in order, so the merged corpus is exactly what a serial
+// scan of the concatenated ranges produces.
+func MergePartials(parts []*Partial) *Corpus {
 	c := &Corpus{
 		PerRun:     make(map[store.RunName]int),
 		ByLanguage: make(map[Language]int),
 	}
 	byHash := make(map[string]*Doc)
-	for _, run := range ds.Runs {
-		for _, f := range run.Flows {
-			if f.StatusCode != 200 || len(f.ResponseBody) == 0 {
+	for _, p := range parts {
+		c.Occurrences += p.Occurrences
+		c.CorrectedFalseNegatives += p.Corrected
+		for run, n := range p.PerRun {
+			c.PerRun[run] += n
+		}
+		for _, doc := range p.Docs {
+			first := byHash[doc.SHA1]
+			if first == nil {
+				byHash[doc.SHA1] = doc
 				continue
 			}
-			if !strings.HasPrefix(f.ContentType(), "text/html") {
-				continue
+			for _, r := range doc.Runs {
+				addUnique(&first.Runs, r)
 			}
-			text := ExtractText(string(f.ResponseBody))
-			isPolicy := IsPolicy(text)
-			if !isPolicy {
-				// Manual-evaluation stand-in: URL hints plus minimal legal
-				// vocabulary rescue texts that mix disclosures with
-				// unrelated content (discounts, usage instructions).
-				if urlLooksLikePolicy(f.URL.Path) && strings.Contains(strings.ToLower(text), "datenschutz") {
-					isPolicy = true
-					c.CorrectedFalseNegatives++
-				}
-			}
-			if !isPolicy {
-				continue
-			}
-			c.Occurrences++
-			c.PerRun[run.Name]++
-			hash := SHA1Hex(text)
-			doc := byHash[hash]
-			if doc == nil {
-				doc = &Doc{
-					URL:      f.URL.String(),
-					Host:     f.Host(),
-					HTML:     string(f.ResponseBody),
-					Text:     text,
-					Language: DetectLanguage(text),
-					SHA1:     hash,
-					SimHash:  SimHash(text),
-				}
-				doc.Practices = AnnotatePractices(text)
-				doc.Articles = DetectGDPRArticles(text)
-				byHash[hash] = doc
-			}
-			addUnique(&doc.Runs, run.Name)
-			if f.Channel != "" {
-				addUniqueStr(&doc.Channels, f.Channel)
+			for _, ch := range doc.Channels {
+				addUniqueStr(&first.Channels, ch)
 			}
 		}
 	}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
+)
+
+// benchFlattenDataset builds a dataset with the paper's shape: a handful
+// of runs, each holding tens of thousands of flows.
+func benchFlattenDataset(runs, flowsPerRun int) *Dataset {
+	ds := &Dataset{}
+	u, _ := url.Parse("http://tracker.example.de/px")
+	for r := 0; r < runs; r++ {
+		rd := &RunData{Name: RunName(fmt.Sprintf("run-%d", r))}
+		rd.Flows = make([]*proxy.Flow, flowsPerRun)
+		for i := range rd.Flows {
+			rd.Flows[i] = &proxy.Flow{
+				Time:       time.Date(2023, 8, 21, 12, 0, 0, 0, time.UTC),
+				Method:     http.MethodGet,
+				URL:        u,
+				StatusCode: 200,
+			}
+		}
+		ds.Runs = append(ds.Runs, rd)
+	}
+	return ds
+}
+
+// flattenFlowsNoHint is the pre-columnar flattening (append without a
+// capacity hint), kept here as the benchmark baseline. The half-million-
+// row study dataset made the growing backing array reallocate and copy
+// about twenty times per BuildIndex call.
+func flattenFlowsNoHint(ds *Dataset) (flows []*proxy.Flow, runID []int32) {
+	for ri, r := range ds.Runs {
+		for _, f := range r.Flows {
+			flows = append(flows, f)
+			runID = append(runID, int32(ri))
+		}
+	}
+	return flows, runID
+}
+
+// BenchmarkFlattenFlows compares the exact-capacity flattening BuildIndex
+// uses against the unhinted baseline. Run with -benchmem: the hinted
+// variant does exactly two allocations (one per output slice) regardless
+// of dataset size, while the baseline's count grows with log(rows).
+func BenchmarkFlattenFlows(b *testing.B) {
+	ds := benchFlattenDataset(5, 40_000)
+	b.Run("prealloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			flows, _ := flattenFlows(ds)
+			if len(flows) != 200_000 {
+				b.Fatal("bad flatten")
+			}
+		}
+	})
+	b.Run("no-hint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			flows, _ := flattenFlowsNoHint(ds)
+			if len(flows) != 200_000 {
+				b.Fatal("bad flatten")
+			}
+		}
+	})
+}
+
+// TestFlattenFlowsAllocations pins the allocation contract the benchmark
+// demonstrates: one allocation per output slice, independent of row count.
+func TestFlattenFlowsAllocations(t *testing.T) {
+	for _, rows := range []int{100, 10_000} {
+		ds := benchFlattenDataset(3, rows)
+		got := testing.AllocsPerRun(10, func() {
+			flattenFlows(ds)
+		})
+		if got > 2 {
+			t.Errorf("flattenFlows(%d rows) did %.0f allocations, want <= 2", 3*rows, got)
+		}
+	}
+}
+
+// TestFlattenFlowsOrder: flattening preserves dataset row order (run
+// order, then flow order within each run) and aligns the run column.
+func TestFlattenFlowsOrder(t *testing.T) {
+	ds := benchFlattenDataset(3, 4)
+	flows, runID := flattenFlows(ds)
+	if len(flows) != 12 || len(runID) != 12 {
+		t.Fatalf("flatten sizes %d/%d, want 12/12", len(flows), len(runID))
+	}
+	row := 0
+	for ri, r := range ds.Runs {
+		for _, f := range r.Flows {
+			if flows[row] != f {
+				t.Fatalf("row %d is not run %d's flow", row, ri)
+			}
+			if runID[row] != int32(ri) {
+				t.Fatalf("runID[%d] = %d, want %d", row, runID[row], ri)
+			}
+			row++
+		}
+	}
+}

@@ -5,23 +5,23 @@ package store
 // analyzer shares. The paper's evaluation (Sections V-VII) asks a dozen
 // independent questions of the same 457k-request corpus; answering each
 // question with its own dataset walk re-classifies every flow against the
-// filter lists a dozen times. BuildIndex instead classifies each flow
-// exactly once — optionally fanning the pure per-flow work out over
-// worker goroutines — and assembles every shared aggregate (first
-// parties, Set-Cookie events, per-channel tracking statistics, per-run
-// traffic and list-hit counts, the measurement window) in one
-// deterministic serial sweep, so an Index built with any worker count is
-// identical.
+// filter lists a dozen times.
+//
+// BuildIndex is columnar (see columns.go): flows are scanned in parallel
+// chunks into interned string tables and typed per-row columns, the
+// expensive pure-string work (filter-list matching, eTLD+1) runs once per
+// *distinct* URL/host instead of once per flow, and every shared aggregate
+// (first parties, Set-Cookie events, per-channel tracking statistics,
+// per-run traffic and list-hit counts, the measurement window) is then
+// assembled in one deterministic serial fold over the columns — so an
+// Index built with any worker count is identical, byte for byte. The
+// pre-columnar row pipeline survives as BuildIndexReference
+// (index_reference.go), the oracle of the differential equivalence suite.
 
 import (
 	"context"
-	"net/http"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"github.com/hbbtvlab/hbbtvlab/internal/etld"
 	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
 )
 
@@ -55,19 +55,34 @@ func (k FlowKind) Tracking() bool { return k&flowTrackingMask != 0 }
 
 // IndexConfig wires the analysis classifiers into BuildIndex without a
 // package cycle: the tracking package (which imports store) supplies the
-// per-flow classification as a closure.
+// classification as closures.
+//
+// The classifier comes in two shapes. The split form — ClassifyURL for
+// bits that are a pure function of the URL string (filter-list matches)
+// plus ClassifyFlow for bits that need the full flow (response-size and
+// body heuristics) — lets the columnar build evaluate the URL part once
+// per distinct URL, which is where nearly all indexing time went. The
+// legacy whole-flow Classify form is still honored (evaluated once per
+// flow) when neither split field is set.
 type IndexConfig struct {
-	// Classify returns the FlowKind bits of a flow. url is the flow's
-	// pre-rendered URL string (computed once per flow by the index).
-	// Must be safe for concurrent use; nil classifies every flow as 0.
+	// ClassifyURL returns the kind bits determined by the URL alone.
+	// Evaluated once per distinct URL; must be safe for concurrent use.
+	ClassifyURL func(url string) FlowKind
+	// ClassifyFlow returns the kind bits that need the whole flow
+	// (status, response size, body). Evaluated once per flow; must be
+	// safe for concurrent use.
+	ClassifyFlow func(f *proxy.Flow) FlowKind
+	// Classify is the legacy whole-flow classifier: url is the flow's
+	// pre-rendered URL string. Used only when both split fields are nil;
+	// nil classifies every flow as 0. Must be safe for concurrent use.
 	Classify func(f *proxy.Flow, url string) FlowKind
 	// KnownTrackerMask excludes flows from first-party candidacy: a flow
 	// whose kind intersects the mask is skipped by the Section V-A
 	// first-party rule (the filter-list correction for trackers encoded
 	// directly into the broadcast signal).
 	KnownTrackerMask FlowKind
-	// Parallelism bounds the worker goroutines of the classification
-	// phase (<= 1 runs it on the calling goroutine). The assembled index
+	// Parallelism bounds the worker goroutines of the chunked column
+	// build (<= 1 runs it on the calling goroutine). The assembled index
 	// is byte-identical for every value.
 	Parallelism int
 }
@@ -165,16 +180,6 @@ func (r *RunIndex) HTTPSShare() float64 {
 	return float64(r.HTTPSRequests) / float64(total)
 }
 
-// flowMeta is the per-flow result of the (parallelizable) classification
-// phase: everything derivable from the flow alone.
-type flowMeta struct {
-	url     string
-	host    string
-	party   string
-	kind    FlowKind
-	cookies []*http.Cookie
-}
-
 // Index is the shared single-pass view of a dataset that the section
 // analyzers consume instead of re-walking Dataset.Runs. All exported
 // collections are read-only after BuildIndex returns and safe for
@@ -206,180 +211,159 @@ type Index struct {
 	FlowsByParty map[string][]*proxy.Flow
 
 	flowIdx map[*proxy.Flow]int32
-	meta    []flowMeta
+	// Exactly one of the two representations is set: cols for columnar
+	// builds (BuildIndex), meta for the row-oriented reference
+	// (BuildIndexReference). The exported aggregates above are identical
+	// either way.
+	cols  *Columns
+	meta  []flowMeta
+	stats *BuildStats
 }
 
-// indexChunk is the flow-count granularity of the parallel classification
-// phase: large enough to amortize scheduling, small enough to balance the
-// tail.
+// indexChunk is the flow-count granularity of the parallel column build:
+// large enough to amortize scheduling, small enough to balance the tail.
+// Chunk boundaries are fixed by this constant alone — never by the worker
+// count — which is what keeps chunked results mergeable in deterministic
+// order.
 const indexChunk = 512
 
-// BuildIndex classifies every flow once and assembles the shared
-// aggregates in a single deterministic pass over the dataset. A cancelled
-// context aborts the build and returns the context's error.
+// BuildIndex classifies every distinct URL once, scans the flows into
+// interned columns in parallel chunks, and assembles the shared aggregates
+// in a single deterministic fold over the columns. A cancelled context
+// aborts the build and returns the context's error.
 func BuildIndex(ctx context.Context, ds *Dataset, cfg IndexConfig) (*Index, error) {
-	var flows []*proxy.Flow
-	for _, r := range ds.Runs {
-		flows = append(flows, r.Flows...)
-	}
-	meta := make([]flowMeta, len(flows))
-
-	classify := func(i int) {
-		f := flows[i]
-		m := &meta[i]
-		m.url = f.URL.String()
-		m.host = f.Host()
-		m.party = etld.MustRegistrableDomain(m.host)
-		if cfg.Classify != nil {
-			m.kind = cfg.Classify(f, m.url)
-		}
-		m.cookies = f.SetCookies()
-	}
-
-	workers := cfg.Parallelism
-	if max := (len(flows) + indexChunk - 1) / indexChunk; workers > max {
-		workers = max
-	}
-	if workers > runtime.GOMAXPROCS(0) {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > 1 {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for ctx.Err() == nil {
-					lo := int(next.Add(1)-1) * indexChunk
-					if lo >= len(flows) {
-						return
-					}
-					hi := lo + indexChunk
-					if hi > len(flows) {
-						hi = len(flows)
-					}
-					for i := lo; i < hi; i++ {
-						classify(i)
-					}
-				}
-			}()
-		}
-		wg.Wait()
-	} else {
-		for i := range flows {
-			if i%indexChunk == 0 && ctx.Err() != nil {
-				break
-			}
-			classify(i)
-		}
-	}
-	if err := ctx.Err(); err != nil {
+	cols, cells, stats, err := buildColumns(ctx, ds, cfg)
+	if err != nil {
 		return nil, err
 	}
-
-	// Serial assembly in dataset order: every aggregate below is a pure
-	// fold over (flows, meta), so the index is independent of the worker
-	// count above.
+	rows := cols.Rows()
 	ix := &Index{
 		Dataset:            ds,
 		FirstParty:         make(map[string]string),
 		PerChannelTracking: make(map[string]*ChannelTracking),
 		FlowsByParty:       make(map[string][]*proxy.Flow),
-		flowIdx:            make(map[*proxy.Flow]int32, len(flows)),
-		meta:               meta,
+		flowIdx:            make(map[*proxy.Flow]int32, rows),
+		cols:               cols,
+		stats:              stats,
 	}
+	// The seeded prefix of the channel table is exactly the metadata
+	// channel union in dataset order.
+	for id := 0; id < cols.MetaChannels; id++ {
+		ix.Channels = append(ix.Channels, cols.Channels.String(int32(id)))
+	}
+
+	// The fold below replicates the reference assembly row for row, but
+	// keys every per-channel / per-party accumulator by dense ID (slice
+	// index) instead of by string, materializing the string-keyed maps
+	// once at the end.
+	nChan := cols.Channels.Len()
+	nParty := cols.Parties.Len()
 	type fpCand struct {
 		t     int64
-		party string
+		party int32
+		ok    bool
 	}
-	best := make(map[string]fpCand)
-	seenChan := make(map[string]struct{})
+	best := make([]fpCand, nChan)
+	type chanTrack struct {
+		requests int
+		trackers map[int32]struct{}
+	}
+	track := make([]chanTrack, nChan)
+	partyRows := make([][]*proxy.Flow, nParty)
 	var lo, hi time.Time
-	i := int32(0)
+	row := 0
 	for _, run := range ds.Runs {
 		ri := RunIndex{
 			FlowsByChannel:    make(map[string][]*proxy.Flow),
 			TrackingByChannel: make(map[string]int),
 		}
-		for _, c := range run.Channels {
-			if _, ok := seenChan[c.Name]; !ok {
-				seenChan[c.Name] = struct{}{}
-				ix.Channels = append(ix.Channels, c.Name)
-			}
-		}
-		for _, f := range run.Flows {
-			m := &meta[i]
-			ix.flowIdx[f] = i
-			i++
+		chanFlows := make([][]*proxy.Flow, nChan)
+		chanTracking := make([]int, nChan)
+		end := row + len(run.Flows)
+		for i := row; i < end; i++ {
+			f := cols.Flows[i]
+			ix.flowIdx[f] = int32(i)
 			if lo.IsZero() || f.Time.Before(lo) {
 				lo = f.Time
 			}
 			if f.Time.After(hi) {
 				hi = f.Time
 			}
-			if f.HTTPS {
+			kind := cols.Kind[i]
+			if cols.HTTPS[i] {
 				ri.HTTPSRequests++
 			} else {
 				ri.PlainRequests++
 			}
-			if m.kind&FlowOnPiHole != 0 {
+			if kind&FlowOnPiHole != 0 {
 				ri.OnPiHole++
 			}
-			if m.kind&FlowOnEasyList != 0 {
+			if kind&FlowOnEasyList != 0 {
 				ri.OnEasyList++
 			}
-			if m.kind&FlowOnEasyPrivacy != 0 {
+			if kind&FlowOnEasyPrivacy != 0 {
 				ri.OnEasyPrivacy++
 			}
-			if m.kind&FlowOnPerflyst != 0 {
+			if kind&FlowOnPerflyst != 0 {
 				ri.OnPerflyst++
 			}
-			if m.kind&FlowOnKamran != 0 {
+			if kind&FlowOnKamran != 0 {
 				ri.OnKamran++
 			}
-			if m.kind&FlowPixel != 0 {
+			if kind&FlowPixel != 0 {
 				ri.TrackingPixels++
 			}
-			if m.kind&FlowFingerprint != 0 {
+			if kind&FlowFingerprint != 0 {
 				ri.FingerprintScripts++
 			}
-			if len(m.cookies) > 0 {
+			if cols.HasCookies[i] {
 				ri.SetCookieFlows++
-				if m.kind.Tracking() {
+				if kind.Tracking() {
 					ri.SetCookieTrackingFlows++
 				}
 			}
-			ix.FlowsByParty[m.party] = append(ix.FlowsByParty[m.party], f)
-			if f.Channel == "" {
+			pid := cols.PartyID[i]
+			partyRows[pid] = append(partyRows[pid], f)
+			ch := cols.ChannelID[i]
+			if ch < 0 {
 				continue
 			}
-			ri.FlowsByChannel[f.Channel] = append(ri.FlowsByChannel[f.Channel], f)
-			if m.kind&cfg.KnownTrackerMask == 0 {
-				ts := f.Time.UnixNano()
-				if b, ok := best[f.Channel]; !ok || ts < b.t {
-					best[f.Channel] = fpCand{t: ts, party: m.party}
+			chanFlows[ch] = append(chanFlows[ch], f)
+			if kind&cfg.KnownTrackerMask == 0 {
+				ts := cols.TimeNS[i]
+				if b := &best[ch]; !b.ok || ts < b.t {
+					*b = fpCand{t: ts, party: pid, ok: true}
 				}
 			}
-			if m.kind.Tracking() {
-				cs := ix.PerChannelTracking[f.Channel]
-				if cs == nil {
-					cs = &ChannelTracking{Channel: f.Channel, Trackers: make(map[string]struct{})}
-					ix.PerChannelTracking[f.Channel] = cs
+			if kind.Tracking() {
+				t := &track[ch]
+				if t.trackers == nil {
+					t.trackers = make(map[int32]struct{})
 				}
-				cs.TrackingRequests++
-				cs.Trackers[m.party] = struct{}{}
-				ri.TrackingByChannel[f.Channel]++
+				t.requests++
+				t.trackers[pid] = struct{}{}
+				chanTracking[ch]++
 			}
-			for _, c := range m.cookies {
+			for a, b := cols.CookieOff[i], cols.CookieOff[i+1]; a < b; a++ {
 				ri.SetEvents = append(ri.SetEvents, CookieSetEvent{
 					Run:     run.Name,
 					Channel: f.Channel,
-					Party:   m.party,
-					Host:    m.host,
-					Name:    c.Name,
-					Value:   c.Value,
+					Party:   cols.Parties.String(pid),
+					Host:    cols.Hosts.String(cols.HostID[i]),
+					Name:    cells[a].name,
+					Value:   cells[a].value,
 				})
+			}
+		}
+		row = end
+		for id, fl := range chanFlows {
+			if fl != nil {
+				ri.FlowsByChannel[cols.Channels.String(int32(id))] = fl
+			}
+		}
+		for id, n := range chanTracking {
+			if n > 0 {
+				ri.TrackingByChannel[cols.Channels.String(int32(id))] = n
 			}
 		}
 		ix.Runs = append(ix.Runs, ri)
@@ -390,8 +374,30 @@ func BuildIndex(ctx context.Context, ds *Dataset, cfg IndexConfig) (*Index, erro
 	}
 	ix.Window = TimeWindow{Start: lo, End: hi}
 	ix.Coverage = buildCoverage(ds)
-	for ch, c := range best {
-		ix.FirstParty[ch] = c.party
+	for id := range best {
+		if best[id].ok {
+			ix.FirstParty[cols.Channels.String(int32(id))] = cols.Parties.String(best[id].party)
+		}
+	}
+	for id := range track {
+		t := &track[id]
+		if t.requests == 0 {
+			continue
+		}
+		cs := &ChannelTracking{
+			Channel:          cols.Channels.String(int32(id)),
+			TrackingRequests: t.requests,
+			Trackers:         make(map[string]struct{}, len(t.trackers)),
+		}
+		for pid := range t.trackers {
+			cs.Trackers[cols.Parties.String(pid)] = struct{}{}
+		}
+		ix.PerChannelTracking[cs.Channel] = cs
+	}
+	for pid, fl := range partyRows {
+		if fl != nil {
+			ix.FlowsByParty[cols.Parties.String(int32(pid))] = fl
+		}
 	}
 	// Third-party flags resolve only after the full first-party map is
 	// known; patch them in per run, then expose the concatenation.
@@ -449,16 +455,40 @@ func buildCoverage(ds *Dataset) *Coverage {
 	return cov
 }
 
+// Columns exposes the columnar representation for range-scanning section
+// analyzers. Nil for indexes built with BuildIndexReference.
+func (ix *Index) Columns() *Columns { return ix.cols }
+
+// BuildStats reports how the columnar build ran (nil for reference
+// builds). Telemetry only — carries no analysis data.
+func (ix *Index) BuildStats() *BuildStats { return ix.stats }
+
 // FlowCount returns the number of indexed flows.
-func (ix *Index) FlowCount() int { return len(ix.meta) }
+func (ix *Index) FlowCount() int {
+	if ix.cols != nil {
+		return ix.cols.Rows()
+	}
+	return len(ix.meta)
+}
+
+// Row returns the dataset-order row of an indexed flow (false for flows
+// not part of the indexed dataset).
+func (ix *Index) Row(f *proxy.Flow) (int32, bool) {
+	i, ok := ix.flowIdx[f]
+	return i, ok
+}
 
 // Kind returns the classification bits of an indexed flow (0 for flows
 // not part of the indexed dataset).
 func (ix *Index) Kind(f *proxy.Flow) FlowKind {
-	if i, ok := ix.flowIdx[f]; ok {
-		return ix.meta[i].kind
+	i, ok := ix.flowIdx[f]
+	if !ok {
+		return 0
 	}
-	return 0
+	if ix.cols != nil {
+		return ix.cols.Kind[i]
+	}
+	return ix.meta[i].kind
 }
 
 // IsTracking reports whether the flow was labeled a tracking request.
@@ -467,24 +497,36 @@ func (ix *Index) IsTracking(f *proxy.Flow) bool { return ix.Kind(f).Tracking() }
 
 // URL returns the flow's memoized URL string ("" if unindexed).
 func (ix *Index) URL(f *proxy.Flow) string {
-	if i, ok := ix.flowIdx[f]; ok {
-		return ix.meta[i].url
+	i, ok := ix.flowIdx[f]
+	if !ok {
+		return ""
 	}
-	return ""
+	if ix.cols != nil {
+		return ix.cols.URL(int(i))
+	}
+	return ix.meta[i].url
 }
 
 // Party returns the flow's memoized request-host eTLD+1 ("" if unindexed).
 func (ix *Index) Party(f *proxy.Flow) string {
-	if i, ok := ix.flowIdx[f]; ok {
-		return ix.meta[i].party
+	i, ok := ix.flowIdx[f]
+	if !ok {
+		return ""
 	}
-	return ""
+	if ix.cols != nil {
+		return ix.cols.Party(int(i))
+	}
+	return ix.meta[i].party
 }
 
 // Host returns the flow's memoized request host ("" if unindexed).
 func (ix *Index) Host(f *proxy.Flow) string {
-	if i, ok := ix.flowIdx[f]; ok {
-		return ix.meta[i].host
+	i, ok := ix.flowIdx[f]
+	if !ok {
+		return ""
 	}
-	return ""
+	if ix.cols != nil {
+		return ix.cols.Host(int(i))
+	}
+	return ix.meta[i].host
 }

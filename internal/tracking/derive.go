@@ -89,17 +89,13 @@ func (c *Classifier) DeriveFilterRules(ds *store.Dataset, firstParty map[string]
 
 // DeriveRulesFromIndex is DeriveFilterRules over a prebuilt dataset index:
 // the per-flow classification and the Pi-hole base-list coverage come from
-// the index's single pass instead of being recomputed per flow.
+// the index's single pass instead of being recomputed per flow. It works
+// on either index representation (the accessors answer for both); callers
+// holding a columnar index can instead chunk ScanRuleEvidence over row
+// ranges and feed the merge into RulesFromEvidence for the same rules.
 func DeriveRulesFromIndex(ix *store.Index) []DerivedRule {
-	firstParties := make(map[string]struct{}, len(ix.FirstParty))
-	for _, fp := range ix.FirstParty {
-		firstParties[fp] = struct{}{}
-	}
-	type evidence struct {
-		requests int
-		kinds    Kind
-	}
-	byScope := make(map[string]*evidence)
+	firstParties := FirstPartySet(ix.FirstParty)
+	byScope := make(map[string]RuleEvidence)
 	for _, run := range ix.Dataset.Runs {
 		for _, f := range run.Flows {
 			k := ix.Kind(f)
@@ -119,21 +115,89 @@ func DeriveRulesFromIndex(ix *store.Index) []DerivedRule {
 				}
 			}
 			ev := byScope[scope]
-			if ev == nil {
-				ev = &evidence{}
-				byScope[scope] = ev
-			}
-			ev.requests++
-			ev.kinds |= KindOf(k)
+			ev.Requests++
+			ev.Kinds |= KindOf(k)
+			byScope[scope] = ev
 		}
 	}
+	return RulesFromEvidence(byScope)
+}
+
+// RuleEvidence is the per-scope accumulator behind rule derivation: how
+// many heuristic tracking requests a blockable scope covers and why they
+// were flagged. Counts and kind bits are order-independent, so evidence
+// maps from disjoint row ranges merge to the same result in any order.
+type RuleEvidence struct {
+	Requests int
+	Kinds    Kind
+}
+
+// FirstPartySet inverts a channel -> first-party map into the party set
+// the derivation scope rule consults.
+func FirstPartySet(firstParty map[string]string) map[string]struct{} {
+	out := make(map[string]struct{}, len(firstParty))
+	for _, fp := range firstParty {
+		out[fp] = struct{}{}
+	}
+	return out
+}
+
+// ScanRuleEvidence is the chunked form of DeriveRulesFromIndex's scan: it
+// accumulates derivation evidence for rows [lo, hi) of a columnar index.
+// Requires a columnar index (panics on a reference build).
+func ScanRuleEvidence(ix *store.Index, firstParties map[string]struct{}, lo, hi int) map[string]RuleEvidence {
+	cols := ix.Columns()
+	byScope := make(map[string]RuleEvidence)
+	for i := lo; i < hi; i++ {
+		k := cols.Kind[i]
+		if k&(store.FlowPixel|store.FlowFingerprint) == 0 {
+			continue // only heuristic detections feed derivation
+		}
+		if k&store.FlowOnPiHole != 0 {
+			continue // already covered by the base list
+		}
+		party := cols.Party(i)
+		scope := party
+		if _, isFP := firstParties[party]; isFP {
+			// Block only the measurement host, never the app platform.
+			scope = hostScope(cols.Host(i))
+			if scope == "" {
+				continue
+			}
+		}
+		ev := byScope[scope]
+		ev.Requests++
+		ev.Kinds |= KindOf(k)
+		byScope[scope] = ev
+	}
+	return byScope
+}
+
+// MergeRuleEvidence sums per-scope evidence maps (addition and bit-or are
+// commutative, so any merge order yields the same map).
+func MergeRuleEvidence(parts []map[string]RuleEvidence) map[string]RuleEvidence {
+	out := make(map[string]RuleEvidence)
+	for _, p := range parts {
+		for scope, ev := range p {
+			acc := out[scope]
+			acc.Requests += ev.Requests
+			acc.Kinds |= ev.Kinds
+			out[scope] = acc
+		}
+	}
+	return out
+}
+
+// RulesFromEvidence renders an evidence map as the sorted rule list
+// (most-evidenced first, name-tiebroken — fully deterministic).
+func RulesFromEvidence(byScope map[string]RuleEvidence) []DerivedRule {
 	rules := make([]DerivedRule, 0, len(byScope))
 	for scope, ev := range byScope {
 		rules = append(rules, DerivedRule{
 			Rule:     fmt.Sprintf("||%s^", scope),
 			Domain:   scope,
-			Requests: ev.requests,
-			Kinds:    ev.kinds,
+			Requests: ev.Requests,
+			Kinds:    ev.Kinds,
 		})
 	}
 	sort.Slice(rules, func(a, b int) bool {
@@ -188,12 +252,21 @@ func (r ExtensionResult) CoverageAfter() float64 {
 	return float64(r.BlockedAfter) / float64(r.TrackingRequests)
 }
 
+// ExtendedList compiles derived rules into the matchable extension list.
+func ExtendedList(rules []DerivedRule) (*filterlist.List, error) {
+	extended := filterlist.MustParseHosts("base-copy", "")
+	if err := extended.Append(RulesText(rules)); err != nil {
+		return nil, err
+	}
+	return extended, nil
+}
+
 // EvaluateExtensionFromIndex is EvaluateExtension over a prebuilt dataset
 // index, with the base list fixed to Pi-hole (the index's FlowOnPiHole
 // bit): only the derived rules are matched per flow.
 func EvaluateExtensionFromIndex(ix *store.Index, rules []DerivedRule) (ExtensionResult, error) {
-	extended := filterlist.MustParseHosts("base-copy", "")
-	if err := extended.Append(RulesText(rules)); err != nil {
+	extended, err := ExtendedList(rules)
+	if err != nil {
 		return ExtensionResult{}, err
 	}
 	var res ExtensionResult
@@ -214,6 +287,37 @@ func EvaluateExtensionFromIndex(ix *store.Index, rules []DerivedRule) (Extension
 		}
 	}
 	return res, nil
+}
+
+// EvaluateExtensionRange is the chunked form of the evaluation scan: it
+// folds rows [lo, hi) of a columnar index into coverage counters, which
+// sum across disjoint ranges to exactly the serial result. Requires a
+// columnar index (panics on a reference build).
+func EvaluateExtensionRange(ix *store.Index, extended *filterlist.List, lo, hi int) ExtensionResult {
+	cols := ix.Columns()
+	var res ExtensionResult
+	for i := lo; i < hi; i++ {
+		k := cols.Kind[i]
+		if k&(store.FlowPixel|store.FlowFingerprint) == 0 {
+			continue
+		}
+		res.TrackingRequests++
+		inBase := k&store.FlowOnPiHole != 0
+		if inBase {
+			res.BlockedBefore++
+		}
+		if inBase || extended.MatchURL(cols.URL(i)) {
+			res.BlockedAfter++
+		}
+	}
+	return res
+}
+
+// Add accumulates another range's counters.
+func (r *ExtensionResult) Add(o ExtensionResult) {
+	r.TrackingRequests += o.TrackingRequests
+	r.BlockedBefore += o.BlockedBefore
+	r.BlockedAfter += o.BlockedAfter
 }
 
 // EvaluateExtension measures base-list coverage of heuristic tracking

@@ -104,6 +104,56 @@ func FindLeaks(ds *store.Dataset, firstParty map[string]string, needles DeviceNe
 	return out
 }
 
+// ScanLeaks is the chunked form of FindLeaks: it scans rows [lo, hi) of a
+// columnar index (store.BuildIndex order — runs concatenated, flows in run
+// order), so a caller can fan fixed row ranges out over workers and
+// concatenate the per-chunk slices in chunk order, reproducing the exact
+// leak sequence a serial FindLeaks emits. The receiving party comes from
+// the index's interned party column instead of a per-flow eTLD+1
+// computation. Requires a columnar index (panics on a reference build).
+func ScanLeaks(ix *store.Index, needles DeviceNeedles, lo, hi int) []Leak {
+	cols := ix.Columns()
+	ds := ix.Dataset
+	var out []Leak
+	terms := needles.terms()
+	for i := lo; i < hi; i++ {
+		f := cols.Flows[i]
+		if f.Channel == "" {
+			continue
+		}
+		hay := flowPayload(f)
+		if hay == "" {
+			continue
+		}
+		party := cols.Party(i)
+		run := cols.RunName(i)
+		for label, term := range terms {
+			if term != "" && strings.Contains(hay, term) {
+				out = append(out, Leak{
+					Kind: LeakTechnical, Keyword: label,
+					Channel: f.Channel, Party: party, Run: run,
+				})
+			}
+		}
+		info := ds.ChannelInfo(f.Channel)
+		if info != nil {
+			if info.Show != "" && strings.Contains(hay, info.Show) {
+				out = append(out, Leak{
+					Kind: LeakBehavioral, Keyword: "show",
+					Channel: f.Channel, Party: party, Run: run,
+				})
+			}
+			if info.Genre != "" && strings.Contains(hay, info.Genre) {
+				out = append(out, Leak{
+					Kind: LeakBehavioral, Keyword: "genre",
+					Channel: f.Channel, Party: party, Run: run,
+				})
+			}
+		}
+	}
+	return out
+}
+
 // flowPayload is the searched text: decoded query plus request body.
 func flowPayload(f *proxy.Flow) string {
 	var sb strings.Builder

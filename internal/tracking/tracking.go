@@ -153,24 +153,21 @@ func (c *Classifier) Classify(f *proxy.Flow) Kind {
 // heuristic or list.
 func (c *Classifier) IsTracking(f *proxy.Flow) bool { return c.Classify(f) != 0 }
 
-// IndexConfig wires this classifier into store.BuildIndex: one per-flow
-// classification covering the heuristics, the three Web filter lists, and
-// the two smart-TV comparison lists, plus the Section V-A first-party
-// correction (candidates flagged by EasyList are excluded). The returned
-// Classify closure is safe for concurrent use — the lists are read-only
-// after construction.
+// IndexConfig wires this classifier into store.BuildIndex, split along the
+// index's memoization boundary: ClassifyURL carries every filter-list
+// match (the three Web lists plus the two smart-TV comparison lists) —
+// a pure function of the URL string, which the columnar build evaluates
+// once per distinct URL — while ClassifyFlow carries the response-
+// dependent pixel and fingerprint heuristics, evaluated once per flow.
+// KnownTrackerMask encodes the Section V-A first-party correction
+// (candidates flagged by EasyList are excluded). Both closures are safe
+// for concurrent use — the lists are read-only after construction.
 func (c *Classifier) IndexConfig() store.IndexConfig {
 	perflyst := filterlist.PerflystSmartTV()
 	kamran := filterlist.KamranSmartTV()
 	return store.IndexConfig{
-		Classify: func(f *proxy.Flow, u string) store.FlowKind {
+		ClassifyURL: func(u string) store.FlowKind {
 			var k store.FlowKind
-			if IsTrackingPixel(f) {
-				k |= store.FlowPixel
-			}
-			if IsFingerprintScript(f) {
-				k |= store.FlowFingerprint
-			}
 			if c.EasyList != nil && c.EasyList.MatchURL(u) {
 				k |= store.FlowOnEasyList
 			}
@@ -185,6 +182,16 @@ func (c *Classifier) IndexConfig() store.IndexConfig {
 			}
 			if kamran.MatchURL(u) {
 				k |= store.FlowOnKamran
+			}
+			return k
+		},
+		ClassifyFlow: func(f *proxy.Flow) store.FlowKind {
+			var k store.FlowKind
+			if IsTrackingPixel(f) {
+				k |= store.FlowPixel
+			}
+			if IsFingerprintScript(f) {
+				k |= store.FlowFingerprint
 			}
 			return k
 		},
