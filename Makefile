@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race chaos fuzz bench fmt lint bench-json bench-analyze benchgate
+.PHONY: build test check race chaos fuzz bench fmt lint bench-json bench-analyze bench-measure benchgate
 
 build:
 	$(GO) build ./...
@@ -63,9 +63,19 @@ bench-json:
 # its speedup-vs-serial target, clamped by the runner's gomaxprocs.
 bench-analyze:
 	$(GO) test -json -bench 'BenchmarkAnalyze' -benchtime 1x -run '^$$' . | tee BENCH_analyze.json
-	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_analyze.json -floor BENCH_floor.json
+	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_analyze.json -floor BENCH_floor.json -match 'BenchmarkAnalyze'
 
-# benchgate re-checks an already recorded BENCH_analyze.json against the
-# committed floors without re-running the (slow) paper-scale benchmark.
+# bench-measure runs the measurement-engine throughput benchmark —
+# ExecuteRuns at paper scale for j=1 and j=8, digest identity asserted
+# across worker counts — records the test2json stream as
+# BENCH_measure.json for the CI artifact trail, and gates on the committed
+# flows/s floor (BENCH_floor.json), clamped by the runner's gomaxprocs.
+bench-measure:
+	$(GO) test -json -bench 'BenchmarkMeasureThroughput' -benchtime 1x -run '^$$' . | tee BENCH_measure.json
+	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_measure.json -floor BENCH_floor.json -match 'BenchmarkMeasureThroughput'
+
+# benchgate re-checks already recorded BENCH_*.json streams against the
+# committed floors without re-running the (slow) paper-scale benchmarks.
 benchgate:
-	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_analyze.json -floor BENCH_floor.json
+	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_analyze.json -floor BENCH_floor.json -match 'BenchmarkAnalyze'
+	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_measure.json -floor BENCH_floor.json -match 'BenchmarkMeasureThroughput'

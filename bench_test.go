@@ -622,3 +622,98 @@ func BenchmarkAttribution(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkMeasureThroughput measures the measurement engine end-to-end —
+// synthesis, tuning, watching, recording — at paper scale, reporting
+// flows/s. This is the hot path the interned flow records, arena
+// allocation, and zero-clone header hand-over optimise; the bench-
+// regression gate (internal/benchgate) holds the floor, clamped by the
+// gomaxprocs metric so a small CI box is judged against a
+// proportionally smaller target. Every sub-benchmark hard-asserts that
+// its dataset digest equals the j=1 digest: throughput work must never
+// buy speed with bytes.
+func BenchmarkMeasureThroughput(b *testing.B) {
+	var baseline string
+	for _, j := range []int{1, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			var (
+				digest string
+				flows  int
+			)
+			var elapsed time.Duration
+			for i := 0; i < b.N; i++ {
+				study := NewStudy(Options{Seed: 1, Scale: 1.0, Parallelism: j})
+				start := time.Now()
+				ds, err := study.ExecuteRuns()
+				if err != nil {
+					b.Fatal(err)
+				}
+				elapsed += time.Since(start)
+				flows = len(ds.AllFlows())
+				if digest, err = ds.Digest(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			elapsed /= time.Duration(b.N)
+			b.ReportMetric(float64(flows)/elapsed.Seconds(), "flows/s")
+			b.ReportMetric(float64(flows), "flows")
+			if baseline == "" {
+				baseline = digest
+			} else if digest != baseline {
+				b.Fatalf("j=%d digest %s != j=1 digest %s; engine is not worker-independent", j, digest, baseline)
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotFormats compares dataset persistence costs: gzip-JSON
+// save/load against the binary snapshot save/load, on the paper-scale
+// dataset. The snapshot-load sub-benchmark is the one the CI acceptance
+// criterion watches (paper-scale load well under 200 ms).
+func BenchmarkSnapshotFormats(b *testing.B) {
+	ds, _ := benchFixture(b)
+	var jsonBytes, snapBytes []byte
+	b.Run("save-json", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := ds.Save(&buf); err != nil {
+				b.Fatal(err)
+			}
+			jsonBytes = buf.Bytes()
+		}
+		b.ReportMetric(float64(len(jsonBytes)), "bytes")
+	})
+	b.Run("save-snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := ds.SaveSnapshot(&buf); err != nil {
+				b.Fatal(err)
+			}
+			snapBytes = buf.Bytes()
+		}
+		b.ReportMetric(float64(len(snapBytes)), "bytes")
+	})
+	b.Run("load-json", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Load(bytes.NewReader(jsonBytes)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("load-snapshot", func(b *testing.B) {
+		var elapsed time.Duration
+		for i := 0; i < b.N; i++ {
+			// Collect the previous iteration's ~170MB dataset outside the
+			// timed region; a real consumer loads once and pays no such GC.
+			runtime.GC()
+			start := time.Now()
+			if _, err := store.Load(bytes.NewReader(snapBytes)); err != nil {
+				b.Fatal(err)
+			}
+			elapsed += time.Since(start)
+		}
+		perLoad := elapsed / time.Duration(b.N)
+		b.ReportMetric(float64(perLoad.Milliseconds()), "ms/load")
+	})
+}

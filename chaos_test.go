@@ -261,3 +261,14 @@ func TestChaosZeroRateMatchesReliable(t *testing.T) {
 		t.Fatal("zero-rate fault config changed the dataset")
 	}
 }
+
+// TestChaosSnapshotRoundTrip re-runs the snapshot format-equivalence
+// contract on a degraded dataset: failed outcomes, retried channels,
+// truncated bodies, and telemetry must all survive the binary format
+// byte-for-byte. The chaos CI job runs this under -race.
+func TestChaosSnapshotRoundTrip(t *testing.T) {
+	opts := chaosOptions(2)
+	opts.Telemetry = NewTelemetry(opts)
+	ds := runChaosStudy(t, opts)
+	assertSnapshotRoundTrip(t, ds)
+}

@@ -8,9 +8,15 @@
 //
 // Usage:
 //
-//	hbbtv-benchgate [-bench BENCH_analyze.json] [-floor BENCH_floor.json]
+//	hbbtv-benchgate [-bench BENCH_analyze.json] [-floor BENCH_floor.json] [-match REGEXP]
 //
-// Exit status 0 when every floor passes, 1 on any miss or parse error.
+// The floor file is shared by every bench target; -match restricts the
+// gate to the floors whose benchmark name matches, so `make bench-analyze`
+// and `make bench-measure` each check their own stream against their own
+// floors without tripping over the other's absent benchmarks.
+//
+// Exit status 0 when every selected floor passes, 1 on any miss or parse
+// error.
 package main
 
 import (
@@ -33,6 +39,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hbbtv-benchgate", flag.ContinueOnError)
 	benchPath := fs.String("bench", "BENCH_analyze.json", "test2json benchmark stream to check")
 	floorPath := fs.String("floor", "BENCH_floor.json", "committed floor file")
+	match := fs.String("match", "", "regexp selecting which floors to check (default: all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,6 +51,9 @@ func run(args []string, out io.Writer) error {
 	defer ff.Close()
 	floors, err := benchgate.LoadFloors(ff)
 	if err != nil {
+		return err
+	}
+	if floors, err = benchgate.MatchFloors(floors, *match); err != nil {
 		return err
 	}
 

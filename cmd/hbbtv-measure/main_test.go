@@ -31,17 +31,19 @@ func TestFlagValidation(t *testing.T) {
 }
 
 // TestTelemetryEndToEnd drives the CLI the way the acceptance criteria
-// describe: a small sharded study with -telemetry, a JSON-line sink, and
-// -save; the saved dataset must carry the final snapshot and the sink
-// must have received valid snapshot lines.
+// describe: a small sharded study with -telemetry, a JSON-line sink, -save,
+// and -snapshot; both saved formats must load (via format sniffing) to
+// datasets with identical digests, carrying the final telemetry snapshot,
+// and the sink must have received valid snapshot lines.
 func TestTelemetryEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	saved := filepath.Join(dir, "ds.json.gz")
+	snapped := filepath.Join(dir, "ds.snap")
 	lines := filepath.Join(dir, "telemetry.ndjson")
 
 	err := run([]string{
 		"-seed", "321", "-scale", "0.02", "-j", "2",
-		"-telemetry", "-telemetry-json", lines, "-save", saved,
+		"-telemetry", "-telemetry-json", lines, "-save", saved, "-snapshot", snapped,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -55,6 +57,27 @@ func TestTelemetryEndToEnd(t *testing.T) {
 	ds, err := store.Load(f)
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	sf, err := os.Open(snapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	fromSnap, err := store.Load(sf)
+	if err != nil {
+		t.Fatalf("load -snapshot output: %v", err)
+	}
+	jd, err := ds.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := fromSnap.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jd != sd {
+		t.Fatalf("-snapshot digest %s != -save digest %s", sd, jd)
 	}
 	if ds.Telemetry == nil {
 		t.Fatal("saved dataset has no telemetry snapshot")

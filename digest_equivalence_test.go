@@ -1,0 +1,114 @@
+package hbbtvlab
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/core"
+	"github.com/hbbtvlab/hbbtvlab/internal/faults"
+	"github.com/hbbtvlab/hbbtvlab/internal/store"
+)
+
+// These tests hold the incremental digest encoder (Dataset.Digest, which
+// folds flow records into the hash one at a time and in parallel for large
+// flow lists) equal to the original materialize-then-marshal encoder
+// (Dataset.DigestReference). The digest is the determinism contract of the
+// whole measurement engine — every worker-independence proof compares
+// digests — so the streaming rewrite must be bit-for-bit compatible, not
+// merely "equivalent".
+
+// digestBothWays computes the dataset's digest through the incremental and
+// the reference path and fails the test if they disagree.
+func digestBothWays(t *testing.T, ds *store.Dataset, label string) string {
+	t.Helper()
+	fast, err := ds.Digest()
+	if err != nil {
+		t.Fatalf("%s: Digest: %v", label, err)
+	}
+	ref, err := ds.DigestReference()
+	if err != nil {
+		t.Fatalf("%s: DigestReference: %v", label, err)
+	}
+	if fast != ref {
+		t.Fatalf("%s: incremental digest %s != reference digest %s", label, fast, ref)
+	}
+	return fast
+}
+
+// TestDigestEquivalence proves Digest == DigestReference across seeds and
+// worker counts on clean (fault-free) datasets, and additionally that the
+// digest stays worker-independent when computed through the incremental
+// path alone.
+func TestDigestEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 321, 77} {
+		var base string
+		for _, j := range []int{1, 2, 4, 8} {
+			label := fmt.Sprintf("seed=%d/j=%d", seed, j)
+			study := NewStudy(Options{
+				Seed: seed, Scale: 0.04,
+				ProbeWatch:  20 * time.Second,
+				Parallelism: j,
+				Shards:      4,
+			})
+			ds, err := study.ExecuteRuns()
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			d := digestBothWays(t, ds, label)
+			if base == "" {
+				base = d
+			} else if d != base {
+				t.Fatalf("%s: digest %s != j=1 digest %s", label, d, base)
+			}
+		}
+	}
+}
+
+// TestDigestEquivalenceDegraded repeats the equivalence proof on
+// fault-injected datasets: degraded runs exercise the encoder paths a
+// clean study never hits (failed-channel outcomes, recovered panics,
+// truncated bodies, channels with zero flows).
+func TestDigestEquivalenceDegraded(t *testing.T) {
+	var base string
+	for _, j := range []int{1, 2, 4, 8} {
+		label := fmt.Sprintf("faults/j=%d", j)
+		study, err := NewStudyChecked(Options{
+			Seed: 321, Scale: 0.04,
+			ProbeWatch:  20 * time.Second,
+			Parallelism: j,
+			Shards:      4,
+			Faults:      &faults.Config{Seed: 11, Rate: 0.25},
+			Retry: core.RetryPolicy{
+				MaxAttempts:     2,
+				Backoff:         2 * time.Second,
+				VisitDeadline:   5 * time.Minute,
+				QuarantineAfter: 2,
+			},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		ds, err := study.ExecuteRuns()
+		if err != nil && !DegradedOnly(err) {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if ds == nil {
+			t.Fatalf("%s: no dataset", label)
+		}
+		d := digestBothWays(t, ds, label)
+		if base == "" {
+			base = d
+		} else if d != base {
+			t.Fatalf("%s: digest %s != j=1 digest %s", label, d, base)
+		}
+	}
+}
+
+// TestDigestEquivalenceEmpty covers the degenerate encodings (no runs,
+// telemetry-only) where the hand-written punctuation is most likely to
+// drift from encoding/json's.
+func TestDigestEquivalenceEmpty(t *testing.T) {
+	digestBothWays(t, &store.Dataset{}, "empty")
+	digestBothWays(t, &store.Dataset{Runs: []*store.RunData{{Name: store.AllRuns[0]}}}, "one-empty-run")
+}

@@ -27,25 +27,75 @@ type Vars struct {
 	UnixTime     int64
 }
 
+// lookup resolves a template variable name; ok is false for unknown names.
+// The switch replaces the strings.Replacer Expand used to build per call:
+// beacons expand several parameters per fire, hundreds of thousands of
+// times per run, and constructing a replacer trie each time dominated the
+// measurement profile.
+func (v *Vars) lookup(name string) (val string, ok bool) {
+	switch name {
+	case "channel":
+		return v.Channel, true
+	case "channelId":
+		return v.ChannelID, true
+	case "show":
+		return v.Show, true
+	case "genre":
+		return v.Genre, true
+	case "session":
+		return v.SessionID, true
+	case "user":
+		return v.UserID, true
+	case "manufacturer":
+		return v.Manufacturer, true
+	case "model":
+		return v.Model, true
+	case "os":
+		return v.OS, true
+	case "language":
+		return v.Language, true
+	case "localtime":
+		return v.LocalTime, true
+	case "unixtime":
+		return strconv.FormatInt(v.UnixTime, 10), true
+	}
+	return "", false
+}
+
 // Expand substitutes {var} references in s. Unknown references are left
 // verbatim so that malformed templates remain observable in traffic.
 func (v Vars) Expand(s string) string {
-	if !strings.Contains(s, "{") {
+	i := strings.IndexByte(s, '{')
+	if i < 0 {
 		return s
 	}
-	r := strings.NewReplacer(
-		"{channel}", v.Channel,
-		"{channelId}", v.ChannelID,
-		"{show}", v.Show,
-		"{genre}", v.Genre,
-		"{session}", v.SessionID,
-		"{user}", v.UserID,
-		"{manufacturer}", v.Manufacturer,
-		"{model}", v.Model,
-		"{os}", v.OS,
-		"{language}", v.Language,
-		"{localtime}", v.LocalTime,
-		"{unixtime}", strconv.FormatInt(v.UnixTime, 10),
-	)
-	return r.Replace(s)
+	var b strings.Builder
+	b.Grow(len(s) + 16)
+	b.WriteString(s[:i])
+	s = s[i:]
+	for {
+		// s starts at a '{'. A reference is "{name}" with a known name;
+		// anything else passes through unchanged.
+		end := strings.IndexByte(s, '}')
+		if end < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		if val, ok := v.lookup(s[1:end]); ok {
+			b.WriteString(val)
+			s = s[end+1:]
+		} else {
+			// Not a reference: emit the '{' and rescan from the next byte
+			// (the skipped span may itself contain a '{').
+			b.WriteByte('{')
+			s = s[1:]
+		}
+		i = strings.IndexByte(s, '{')
+		if i < 0 {
+			b.WriteString(s)
+			return b.String()
+		}
+		b.WriteString(s[:i])
+		s = s[i:]
+	}
 }

@@ -231,6 +231,32 @@ func Check(results map[string]*Result, floors []Floor) (verdicts []Verdict, ok b
 	return verdicts, ok
 }
 
+// MatchFloors selects the floors whose benchmark name matches the given
+// regular expression. The floor file is shared by several bench targets
+// (bench-analyze, bench-measure), each recording only its own benchmarks,
+// so a gate run filters the floors to the stream it is checking. An empty
+// pattern selects everything; a pattern matching no floor is an error —
+// a gate that silently checks nothing is worse than one that fails.
+func MatchFloors(floors []Floor, pattern string) ([]Floor, error) {
+	if pattern == "" {
+		return floors, nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("benchgate: bad floor match pattern: %w", err)
+	}
+	var matched []Floor
+	for _, f := range floors {
+		if re.MatchString(f.Benchmark) {
+			matched = append(matched, f)
+		}
+	}
+	if len(matched) == 0 {
+		return nil, fmt.Errorf("benchgate: no floor matches %q", pattern)
+	}
+	return matched, nil
+}
+
 // LoadFloors decodes a BENCH_floor.json document: a JSON array of floors.
 func LoadFloors(r io.Reader) ([]Floor, error) {
 	var floors []Floor

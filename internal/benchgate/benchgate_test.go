@@ -147,6 +147,26 @@ func TestCheckClampsOnSmallMachine(t *testing.T) {
 	}
 }
 
+func TestMatchFloors(t *testing.T) {
+	floors := []Floor{
+		{Benchmark: "BenchmarkAnalyze/j=8", Metric: "speedup-vs-serial", Value: 4},
+		{Benchmark: "BenchmarkMeasureThroughput/j=8", Metric: "flows/s", Value: 25000},
+	}
+	got, err := MatchFloors(floors, "BenchmarkMeasureThroughput")
+	if err != nil || len(got) != 1 || got[0].Metric != "flows/s" {
+		t.Fatalf("MatchFloors = %+v, %v", got, err)
+	}
+	if all, err := MatchFloors(floors, ""); err != nil || len(all) != 2 {
+		t.Fatalf("empty pattern must select all floors, got %+v, %v", all, err)
+	}
+	if _, err := MatchFloors(floors, "BenchmarkNope"); err == nil {
+		t.Fatal("pattern matching no floor must be an error")
+	}
+	if _, err := MatchFloors(floors, "("); err == nil {
+		t.Fatal("invalid regexp must be an error")
+	}
+}
+
 func TestLoadFloorsValidation(t *testing.T) {
 	good := `[{"benchmark":"B","metric":"m","floor":2.5,"floor_per_core":0.5,"floor_min":0.8,"note":"n"}]`
 	floors, err := LoadFloors(strings.NewReader(good))

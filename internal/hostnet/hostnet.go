@@ -178,12 +178,15 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	rec := newRecorder()
 	// Handlers expect a server-side request: Body non-nil, RequestURI unset.
-	sreq := req.Clone(req.Context())
+	// A shallow copy suffices: the registered handlers read the request but
+	// never mutate its header or URL, so the deep Clone the transport used
+	// to make per dispatch only fed the garbage collector.
+	sreq := *req
 	if sreq.Body == nil {
-		sreq.Body = io.NopCloser(bytes.NewReader(nil))
+		sreq.Body = http.NoBody
 	}
 	sreq.RequestURI = ""
-	h.ServeHTTP(rec, sreq)
+	h.ServeHTTP(rec, &sreq)
 	if t.Clock != nil && t.Latency != nil {
 		_, d := t.Latency(req)
 		if d > 0 {
@@ -218,6 +221,56 @@ func (t *Transport) fault(host string) faults.Fault {
 	return f
 }
 
+// statusLines caches the "200 OK"-style status line for every code the
+// net/http status table knows, replacing a per-response fmt.Sprintf.
+var statusLines = func() [600]string {
+	var lines [600]string
+	for code := 100; code < 600; code++ {
+		if text := http.StatusText(code); text != "" {
+			lines[code] = fmt.Sprintf("%d %s", code, text)
+		}
+	}
+	return lines
+}()
+
+// statusLine returns the status line for code.
+func statusLine(code int) string {
+	if code >= 0 && code < len(statusLines) && statusLines[code] != "" {
+		return statusLines[code]
+	}
+	return fmt.Sprintf("%d %s", code, http.StatusText(code))
+}
+
+// memBody is an in-memory response body. It implements the BodyBytes fast
+// path the TV and the recording proxy use to take the bytes without another
+// io.ReadAll copy.
+type memBody struct {
+	b   []byte
+	off int
+}
+
+func newMemBody(b []byte) *memBody { return &memBody{b: b} }
+
+func (m *memBody) Read(p []byte) (int, error) {
+	if m.off >= len(m.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.b[m.off:])
+	m.off += n
+	return n, nil
+}
+
+// BodyBytes returns the unread remainder and consumes the body — the same
+// bytes an io.ReadAll would have produced, without the copy. The returned
+// slice is read-only.
+func (m *memBody) BodyBytes() []byte {
+	b := m.b[m.off:]
+	m.off = len(m.b)
+	return b
+}
+
+func (m *memBody) Close() error { return nil }
+
 // errorResponse synthesizes an injected 5xx without invoking any handler —
 // the virtual analog of an app server answering from a failing backend.
 func errorResponse(req *http.Request, code int) *http.Response {
@@ -225,13 +278,13 @@ func errorResponse(req *http.Request, code int) *http.Response {
 	h := make(http.Header)
 	h.Set("Content-Type", "text/plain; charset=utf-8")
 	return &http.Response{
-		Status:        fmt.Sprintf("%d %s", code, http.StatusText(code)),
+		Status:        statusLine(code),
 		StatusCode:    code,
 		Proto:         "HTTP/1.1",
 		ProtoMajor:    1,
 		ProtoMinor:    1,
 		Header:        h,
-		Body:          io.NopCloser(bytes.NewReader(body)),
+		Body:          newMemBody(body),
 		ContentLength: int64(len(body)),
 		Request:       req,
 	}
@@ -242,14 +295,19 @@ func errorResponse(req *http.Request, code int) *http.Response {
 // a connection dropped mid-stream. A non-nil readErr is surfaced after the
 // kept prefix (mid-body reset); nil mimics a clean-looking short read.
 func truncateBody(resp *http.Response, keepPermille int, readErr error) {
-	body, _ := io.ReadAll(resp.Body)
+	var body []byte
+	if mb, ok := resp.Body.(*memBody); ok {
+		body = mb.BodyBytes()
+	} else {
+		body, _ = io.ReadAll(resp.Body)
+	}
 	resp.Body.Close()
 	kept := body[:len(body)*keepPermille/1000]
-	r := io.Reader(bytes.NewReader(kept))
-	if readErr != nil {
-		r = &failAfterReader{r: r, err: readErr}
+	if readErr == nil {
+		resp.Body = newMemBody(kept)
+		return
 	}
-	resp.Body = io.NopCloser(r)
+	resp.Body = io.NopCloser(&failAfterReader{r: bytes.NewReader(kept), err: readErr})
 }
 
 // failAfterReader yields r's bytes, then err instead of io.EOF.
@@ -298,13 +356,15 @@ func (r *recorder) Write(b []byte) (int, error) {
 func (r *recorder) result(req *http.Request) *http.Response {
 	body := r.body.Bytes()
 	return &http.Response{
-		Status:        fmt.Sprintf("%d %s", r.code, http.StatusText(r.code)),
-		StatusCode:    r.code,
-		Proto:         "HTTP/1.1",
-		ProtoMajor:    1,
-		ProtoMinor:    1,
-		Header:        r.header.Clone(),
-		Body:          io.NopCloser(bytes.NewReader(body)),
+		Status:     statusLine(r.code),
+		StatusCode: r.code,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		// The recorder's header map is per-request and unreferenced after
+		// the handler returns; hand it over instead of cloning.
+		Header:        r.header,
+		Body:          newMemBody(body),
 		ContentLength: int64(len(body)),
 		Request:       req,
 	}

@@ -42,15 +42,27 @@ type Flow struct {
 	// request could not be attributed (e.g. outside the window).
 	Channel   string
 	ChannelID string
+
+	// host caches the interned host name; set by the recorder so Host is
+	// O(1) on recorded flows and every flow shares one copy per distinct
+	// host string.
+	host string
 }
 
 // Host returns the request host without port.
 func (f *Flow) Host() string {
+	if f.host != "" {
+		return f.host
+	}
 	if f.URL == nil {
 		return ""
 	}
 	return f.URL.Hostname()
 }
+
+// CacheHost caches h as the flow's precomputed host name. The recorder and
+// the store's loaders use it; h must equal URL.Hostname().
+func (f *Flow) CacheHost(h string) { f.host = h }
 
 // ContentType returns the response media type without parameters.
 func (f *Flow) ContentType() string {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/intern"
 	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 )
 
@@ -26,6 +27,11 @@ const RefererGrace = 10 * time.Second
 // maxRecordedBody bounds how much of a request body is retained per flow.
 const maxRecordedBody = 16 << 10
 
+// arenaChunk is how many Flow records (and URLs) one arena block holds.
+// Half a million flows land in ~1k block allocations instead of 1M
+// individual ones, and records of one shard sit contiguously in memory.
+const arenaChunk = 512
+
 // Recorder intercepts HTTP(S) traffic and records flows. It is an
 // http.RoundTripper wrapping an inner transport, safe for concurrent use.
 type Recorder struct {
@@ -37,6 +43,12 @@ type Recorder struct {
 	nextID  int64
 	current channelEpoch
 	prev    channelEpoch
+	// flowArena and urlArena are the current allocation blocks for Flow
+	// records and their URLs; strs interns host names at record time so a
+	// run keeps one copy of each distinct host string.
+	flowArena []Flow
+	urlArena  []url.URL
+	strs      *intern.Strings
 	// hostsByChannel remembers which hosts each channel contacted, feeding
 	// the Referer-based attribution correction.
 	hostsByChannel map[string]map[string]struct{}
@@ -65,6 +77,7 @@ func NewRecorder(inner http.RoundTripper, clk clock.Clock) *Recorder {
 		inner:          inner,
 		clk:            clk,
 		hostsByChannel: make(map[string]map[string]struct{}),
+		strs:           intern.NewStrings(256),
 	}
 }
 
@@ -100,11 +113,48 @@ func (r *Recorder) SwitchChannel(name, id string) {
 
 var _ http.RoundTripper = (*Recorder)(nil)
 
+// bytesBody is the fast-path interface an in-memory response body (the
+// virtual network's) exposes: the full content without an io.ReadAll copy.
+type bytesBody interface {
+	BodyBytes() []byte
+}
+
+// replayBody hands a recorded response body back to the caller. It also
+// implements bytesBody, so the TV above the recorder can take the bytes
+// without yet another copy.
+type replayBody struct {
+	b   []byte
+	off int
+}
+
+func (rb *replayBody) Read(p []byte) (int, error) {
+	if rb.off >= len(rb.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, rb.b[rb.off:])
+	rb.off += n
+	return n, nil
+}
+
+// BodyBytes returns the unread remainder and consumes the body.
+func (rb *replayBody) BodyBytes() []byte {
+	b := rb.b[rb.off:]
+	rb.off = len(rb.b)
+	return b
+}
+
+func (rb *replayBody) Close() error { return nil }
+
 // RoundTrip implements http.RoundTripper: it forwards the request through
 // the inner transport and records a Flow.
+//
+// The recorded Flow takes ownership of the request and response header maps
+// instead of cloning them: both are per-request maps whose writers are done
+// by the time the flow is recorded (the TV builds a fresh request header per
+// request, and the virtual network hands over the handler's response header).
 func (r *Recorder) RoundTrip(req *http.Request) (*http.Response, error) {
 	var reqBody []byte
-	if req.Body != nil {
+	if req.Body != nil && req.Body != http.NoBody {
 		b, err := io.ReadAll(io.LimitReader(req.Body, maxRecordedBody))
 		if err == nil {
 			reqBody = b
@@ -118,21 +168,26 @@ func (r *Recorder) RoundTrip(req *http.Request) (*http.Response, error) {
 		return nil, err
 	}
 	// Buffer the response body to measure its size while keeping it
-	// readable by the caller.
-	respBody, _ := io.ReadAll(resp.Body)
+	// readable by the caller; in-memory bodies surrender their bytes
+	// without a copy.
+	var respBody []byte
+	if bb, ok := resp.Body.(bytesBody); ok {
+		respBody = bb.BodyBytes()
+	} else {
+		respBody, _ = io.ReadAll(resp.Body)
+	}
 	resp.Body.Close()
-	resp.Body = io.NopCloser(bytes.NewReader(respBody))
+	resp.Body = &replayBody{b: respBody}
 	resp.ContentLength = int64(len(respBody))
 
-	f := &Flow{
+	f := Flow{
 		Time:            start,
 		Method:          req.Method,
-		URL:             cloneURL(req.URL),
 		HTTPS:           req.URL.Scheme == "https",
-		RequestHeaders:  req.Header.Clone(),
+		RequestHeaders:  req.Header,
 		RequestBody:     reqBody,
 		StatusCode:      resp.StatusCode,
-		ResponseHeaders: resp.Header.Clone(),
+		ResponseHeaders: resp.Header,
 		ResponseSize:    int64(len(respBody)),
 	}
 	if isTextual(resp.Header.Get("Content-Type")) {
@@ -140,15 +195,25 @@ func (r *Recorder) RoundTrip(req *http.Request) (*http.Response, error) {
 		if n > maxRecordedBody {
 			n = maxRecordedBody
 		}
-		f.ResponseBody = append([]byte(nil), respBody[:n]...)
+		// The recorder owns respBody now; reference it instead of copying.
+		f.ResponseBody = respBody[:n:n]
 	}
-	r.record(f)
+	r.record(&f, req.URL)
 	return resp, nil
 }
 
-func (r *Recorder) record(f *Flow) {
+// record moves f into the arena, assigns its ID and attribution, and indexes
+// it. f's URL is arena-cloned and its host interned so that every flow of a
+// shard shares one canonical copy per distinct host string.
+func (r *Recorder) record(f *Flow, u *url.URL) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if len(r.urlArena) == cap(r.urlArena) {
+		r.urlArena = make([]url.URL, 0, arenaChunk)
+	}
+	r.urlArena = append(r.urlArena, *u)
+	f.URL = &r.urlArena[len(r.urlArena)-1]
+	f.host = r.strs.Canon(f.URL.Hostname())
 	r.nextID++
 	f.ID = r.nextID
 	f.Channel, f.ChannelID = r.attributeLocked(f)
@@ -158,16 +223,21 @@ func (r *Recorder) record(f *Flow) {
 			hosts = make(map[string]struct{})
 			r.hostsByChannel[f.Channel] = hosts
 		}
-		hosts[f.Host()] = struct{}{}
+		hosts[f.host] = struct{}{}
 	}
-	r.flows = append(r.flows, f)
+	if len(r.flowArena) == cap(r.flowArena) {
+		r.flowArena = make([]Flow, 0, arenaChunk)
+	}
+	r.flowArena = append(r.flowArena, *f)
+	fp := &r.flowArena[len(r.flowArena)-1]
+	r.flows = append(r.flows, fp)
 	if r.tele.Active() {
 		r.cFlows.Inc()
 		r.cResponseBytes.Add(uint64(f.ResponseSize))
 		if f.Channel == "" {
 			r.cUnattributed.Inc()
 		}
-		r.tele.Event(telemetry.EventFlow, f.Method+" "+f.Host())
+		r.tele.Event(telemetry.EventFlow, f.Method+" "+f.host)
 	}
 }
 
@@ -214,6 +284,9 @@ func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.flows = nil
+	r.flowArena = nil
+	r.urlArena = nil
+	r.strs = intern.NewStrings(256)
 	r.current = channelEpoch{}
 	r.prev = channelEpoch{}
 	r.hostsByChannel = make(map[string]map[string]struct{})
@@ -245,12 +318,4 @@ func isTextual(contentType string) bool {
 		}
 	}
 	return false
-}
-
-func cloneURL(u *url.URL) *url.URL {
-	if u == nil {
-		return nil
-	}
-	c := *u
-	return &c
 }

@@ -8,86 +8,23 @@ package store
 // matching, eTLD+1 extraction) then runs once per distinct value instead of
 // once per flow.
 //
-// Determinism contract: IDs are assigned in first-occurrence order of the
-// insertion sequence, and MergeStrings over chunk-local tables (chunks taken
-// in order) reproduces exactly the table a serial scan of the concatenated
-// sequence would build. Chunked parallel interning is therefore
-// indistinguishable from serial interning — the property FuzzInternRoundTrip
-// exercises.
+// The implementation lives in internal/intern so that the recording proxy
+// can share it without importing store (store imports proxy); the aliases
+// here keep the established store.Strings API intact.
+
+import "github.com/hbbtvlab/hbbtvlab/internal/intern"
 
 // Strings is a dense string-intern table: each distinct string gets the
 // next int32 ID in first-insertion order. The zero value is not usable;
-// call NewStrings.
-type Strings struct {
-	ids  map[string]int32
-	strs []string
-}
+// call NewStrings. See intern.Strings for the determinism contract.
+type Strings = intern.Strings
 
 // NewStrings returns an empty intern table with capacity for n strings.
-func NewStrings(n int) *Strings {
-	return &Strings{ids: make(map[string]int32, n), strs: make([]string, 0, n)}
-}
-
-// Intern returns the ID of s, assigning the next dense ID on first sight.
-func (t *Strings) Intern(s string) int32 {
-	if id, ok := t.ids[s]; ok {
-		return id
-	}
-	id := int32(len(t.strs))
-	t.ids[s] = id
-	t.strs = append(t.strs, s)
-	return id
-}
-
-// Lookup returns the ID of s without interning it.
-func (t *Strings) Lookup(s string) (int32, bool) {
-	id, ok := t.ids[s]
-	return id, ok
-}
-
-// String resolves an ID back to its string. IDs outside [0, Len) return "".
-func (t *Strings) String(id int32) string {
-	if id < 0 || int(id) >= len(t.strs) {
-		return ""
-	}
-	return t.strs[id]
-}
-
-// Len returns the number of distinct interned strings.
-func (t *Strings) Len() int { return len(t.strs) }
-
-// All returns the interned strings in ID order. The slice is the table's
-// backing storage — treat it as read-only.
-func (t *Strings) All() []string { return t.strs }
+func NewStrings(n int) *Strings { return intern.NewStrings(n) }
 
 // MergeStrings stitches chunk-local tables into one global table and
-// returns, per chunk, the local-ID -> global-ID remap. Locals are merged in
-// slice order with their internal insertion order preserved, which makes
-// the global ID assignment identical to serially interning the chunks'
-// underlying sequences back to back: a string's global ID is determined by
-// its first occurrence, wherever that fell.
+// returns, per chunk, the local-ID -> global-ID remap. See
+// intern.MergeStrings.
 func MergeStrings(locals []*Strings) (*Strings, [][]int32) {
-	total := 0
-	for _, l := range locals {
-		total += l.Len()
-	}
-	global := NewStrings(total)
-	return global, global.Absorb(locals)
-}
-
-// Absorb merges chunk-local tables into t (which may already hold seeded
-// entries — e.g. the channel table pre-populated from dataset metadata)
-// and returns the per-chunk local-ID -> global-ID remaps. The determinism
-// argument of MergeStrings applies unchanged: seeded entries keep their
-// IDs, and unseen strings get dense IDs in chunk-order first occurrence.
-func (t *Strings) Absorb(locals []*Strings) [][]int32 {
-	remaps := make([][]int32, len(locals))
-	for ci, l := range locals {
-		remap := make([]int32, l.Len())
-		for localID, s := range l.strs {
-			remap[localID] = t.Intern(s)
-		}
-		remaps[ci] = remap
-	}
-	return remaps
+	return intern.MergeStrings(locals)
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"bytes"
 	"compress/gzip"
 	"crypto/sha256"
 	"encoding/hex"
@@ -9,9 +10,11 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"runtime"
 	"strings"
 	"time"
 
+	"github.com/hbbtvlab/hbbtvlab/internal/intern"
 	"github.com/hbbtvlab/hbbtvlab/internal/proxy"
 	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 	"github.com/hbbtvlab/hbbtvlab/internal/webos"
@@ -22,6 +25,14 @@ import (
 // processes — the study's collection machine pushed to BigQuery and the
 // analyses ran later. The format is gzip-compressed JSON with flows
 // flattened into a portable schema.
+//
+// Encoding is incremental: instead of materializing the whole dataset as a
+// []flowJSON mirror and marshaling it in one shot, Save and Digest stream
+// flow records one at a time into the writer/hash. The emitted bytes are
+// identical — encoding/json produces element-wise output for slices, so
+// writing "[", the marshaled elements joined by ",", and "]" reproduces the
+// one-shot encoding exactly. DigestReference keeps the materializing path
+// alive as the oracle the differential tests compare against.
 
 // datasetJSON is the serialized form of a Dataset.
 type datasetJSON struct {
@@ -110,7 +121,7 @@ type logJSON struct {
 // telemetry snapshot when one is attached.
 func (d *Dataset) Save(w io.Writer) error {
 	gz := gzip.NewWriter(w)
-	if err := d.encodeJSON(gz, true); err != nil {
+	if err := d.encodeStream(gz, true); err != nil {
 		return err
 	}
 	return gz.Close()
@@ -122,11 +133,30 @@ func (d *Dataset) Save(w io.Writer) error {
 // therefore analysis-identical; the parallel measurement engine uses this
 // to prove that sharded execution matches for every worker count.
 //
+// The digest is computed incrementally: flow records are folded into the
+// hash one at a time, in the canonical (shard-merged) flow order, without
+// ever materializing the dataset's JSON mirror. DigestReference computes
+// the same value through the original one-shot encoding; the digest
+// equivalence tests hold the two paths equal.
+//
 // The telemetry snapshot is deliberately excluded: it is observability
 // metadata about the engine, not measurement data, so running with
 // telemetry on or off yields the same digest (proven by
 // TestTelemetryDigestInvariance).
 func (d *Dataset) Digest() (string, error) {
+	h := sha256.New()
+	if err := d.encodeStream(h, false); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// DigestReference computes Digest through the original materialize-then-
+// marshal encoding. It exists as the oracle for the incremental encoder:
+// TestDigestEquivalence proves Digest == DigestReference across seeds,
+// worker counts, and fault-degraded datasets. Production code should call
+// Digest.
+func (d *Dataset) DigestReference() (string, error) {
 	h := sha256.New()
 	if err := d.encodeJSON(h, false); err != nil {
 		return "", err
@@ -134,9 +164,323 @@ func (d *Dataset) Digest() (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// encodeJSON writes the canonical (deterministic) JSON form of the
-// dataset; withTelemetry selects whether the telemetry snapshot is
-// included (Save) or stripped (Digest).
+// streamEncoder writes canonical JSON incrementally, capturing the first
+// error. The hand-written punctuation mirrors what encoding/json emits for
+// the datasetJSON/runJSON structure: struct fields in declaration order,
+// compact separators, omitempty semantics reproduced explicitly.
+type streamEncoder struct {
+	w   io.Writer
+	err error
+}
+
+func (e *streamEncoder) raw(s string) {
+	if e.err == nil {
+		_, e.err = io.WriteString(e.w, s)
+	}
+}
+
+func (e *streamEncoder) bytes(b []byte) {
+	if e.err == nil {
+		_, e.err = e.w.Write(b)
+	}
+}
+
+// val marshals v with encoding/json and writes the result.
+func (e *streamEncoder) val(v any) {
+	if e.err != nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		e.err = err
+		return
+	}
+	e.bytes(b)
+}
+
+// encodeStream writes the canonical (deterministic) JSON form of the
+// dataset incrementally; withTelemetry selects whether the telemetry
+// snapshot is included (Save) or stripped (Digest). The output is
+// byte-identical to encodeJSON's.
+func (d *Dataset) encodeStream(w io.Writer, withTelemetry bool) error {
+	e := &streamEncoder{w: w}
+	e.raw(`{"version":1,"runs":`)
+	if len(d.Runs) == 0 {
+		// encodeJSON builds the run slice with append, so no runs encode as
+		// JSON null, not [].
+		e.raw("null")
+	} else {
+		e.raw("[")
+		for i, run := range d.Runs {
+			if i > 0 {
+				e.raw(",")
+			}
+			e.run(run)
+		}
+		e.raw("]")
+	}
+	if withTelemetry && d.Telemetry != nil {
+		e.raw(`,"telemetry":`)
+		e.val(d.Telemetry)
+	}
+	e.raw("}\n") // json.Encoder terminates the value with a newline
+	if e.err != nil {
+		return fmt.Errorf("store: save: %w", e.err)
+	}
+	return nil
+}
+
+// run streams one run object.
+func (e *streamEncoder) run(run *RunData) {
+	e.raw(`{"name":`)
+	e.val(run.Name)
+	e.raw(`,"date":`)
+	e.val(run.Date)
+	// Channels passes through as-is in the reference encoding (nil stays
+	// nil, empty stays empty), so marshal the slice directly.
+	e.raw(`,"channels":`)
+	e.val(run.Channels)
+	e.raw(`,"flows":`)
+	e.flows(run.Flows)
+	e.raw(`,"cookies":`)
+	listElems(e, len(run.Cookies), func(i int) any { return cookieJSON(run.Cookies[i]) })
+	e.raw(`,"storage":`)
+	listElems(e, len(run.Storage), func(i int) any { return storageJSON(run.Storage[i]) })
+	e.raw(`,"screenshots":`)
+	e.screenshots(run.Screenshots)
+	e.raw(`,"logs":`)
+	listElems(e, len(run.Logs), func(i int) any {
+		l := run.Logs[i]
+		return logJSON{Time: l.Time, Kind: l.Kind, Detail: l.Detail}
+	})
+	if len(run.Outcomes) > 0 {
+		e.raw(`,"outcomes":`)
+		listElems(e, len(run.Outcomes), func(i int) any { return outcomeJSON(run.Outcomes[i]) })
+	}
+	if run.RecoveredPanics != 0 {
+		e.raw(`,"recoveredPanics":`)
+		e.val(run.RecoveredPanics)
+	}
+	e.raw("}")
+}
+
+// listElems streams a JSON array element-wise. n == 0 emits null, matching
+// the reference encoder's append-built (hence nil) slices.
+func listElems(e *streamEncoder, n int, elem func(i int) any) {
+	if n == 0 {
+		e.raw("null")
+		return
+	}
+	e.raw("[")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			e.raw(",")
+		}
+		e.val(elem(i))
+	}
+	e.raw("]")
+}
+
+// screenshots streams the screenshot list, pre-marshaling overlays into
+// raw messages exactly like the reference encoder.
+func (e *streamEncoder) screenshots(shots []webos.Screenshot) {
+	if len(shots) == 0 {
+		e.raw("null")
+		return
+	}
+	e.raw("[")
+	for i := range shots {
+		if i > 0 {
+			e.raw(",")
+		}
+		s := &shots[i]
+		sj := screenshotJSON{
+			Time: s.Time, Channel: s.Channel, ChannelID: s.ChannelID,
+			HasSignal: s.HasSignal, Show: s.Show,
+		}
+		if s.Overlay != nil {
+			raw, err := json.Marshal(s.Overlay)
+			if err != nil {
+				if e.err == nil {
+					e.err = fmt.Errorf("marshal overlay: %w", err)
+				}
+				return
+			}
+			ov := appmodelOverlayJSON(raw)
+			sj.Overlay = &ov
+		}
+		e.val(&sj)
+	}
+	e.raw("]")
+}
+
+// flowChunk is how many flows one encode chunk covers in the parallel fold.
+const flowChunk = 256
+
+// flowFlushThreshold is how many buffered bytes the serial flow encoder
+// accumulates before flushing to the underlying writer.
+const flowFlushThreshold = 64 << 10
+
+// flows streams the flow list. Large lists are marshaled by GOMAXPROCS
+// workers in chunks and folded into the writer in order, so the digest
+// still sees the canonical byte sequence while the JSON encoding work — the
+// dominant cost — runs data-parallel.
+func (e *streamEncoder) flows(flows []*proxy.Flow) {
+	if len(flows) == 0 {
+		e.raw("null")
+		return
+	}
+	e.raw("[")
+	if workers := runtime.GOMAXPROCS(0); workers > 1 && len(flows) > flowChunk {
+		e.flowsParallel(flows, workers)
+	} else {
+		fe := newFlowEncoder()
+		for i, f := range flows {
+			if i > 0 {
+				fe.buf.WriteByte(',')
+			}
+			if err := fe.append(f); err != nil {
+				if e.err == nil {
+					e.err = err
+				}
+				break
+			}
+			if fe.buf.Len() >= flowFlushThreshold {
+				e.bytes(fe.buf.Bytes())
+				fe.buf.Reset()
+			}
+		}
+		e.bytes(fe.buf.Bytes())
+	}
+	e.raw("]")
+}
+
+// flowsParallel fans flow chunks out to workers and folds the marshaled
+// bytes back in chunk order. A semaphore bounds how far workers may run
+// ahead of the in-order fold, keeping memory proportional to the worker
+// count rather than the dataset.
+func (e *streamEncoder) flowsParallel(flows []*proxy.Flow, workers int) {
+	nchunks := (len(flows) + flowChunk - 1) / flowChunk
+	if workers > nchunks {
+		workers = nchunks
+	}
+	type result struct {
+		b   []byte
+		err error
+	}
+	results := make([]chan result, nchunks)
+	for i := range results {
+		results[i] = make(chan result, 1)
+	}
+	sem := make(chan struct{}, 2*workers)
+	jobs := make(chan int)
+	go func() {
+		for i := 0; i < nchunks; i++ {
+			sem <- struct{}{}
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	for w := 0; w < workers; w++ {
+		go func() {
+			fe := newFlowEncoder()
+			for idx := range jobs {
+				lo := idx * flowChunk
+				hi := min(lo+flowChunk, len(flows))
+				fe.buf.Reset()
+				var err error
+				for i := lo; i < hi; i++ {
+					if i > lo {
+						fe.buf.WriteByte(',')
+					}
+					if err = fe.append(flows[i]); err != nil {
+						break
+					}
+				}
+				results[idx] <- result{b: bytes.Clone(fe.buf.Bytes()), err: err}
+			}
+		}()
+	}
+	for idx := 0; idx < nchunks; idx++ {
+		res := <-results[idx]
+		<-sem
+		if res.err != nil {
+			if e.err == nil {
+				e.err = res.err
+			}
+			continue
+		}
+		if idx > 0 {
+			e.raw(",")
+		}
+		e.bytes(res.b)
+	}
+}
+
+// flowEncoder marshals flows one at a time, reusing its buffer, its
+// flowJSON scratch record, and the two flattened header maps across calls —
+// the per-flow map allocations the one-shot encoder paid are gone
+// (TestFlattenFlowAllocations pins this).
+type flowEncoder struct {
+	buf  bytes.Buffer
+	enc  *json.Encoder
+	fj   flowJSON
+	req  map[string]string
+	resp map[string]string
+}
+
+func newFlowEncoder() *flowEncoder {
+	fe := &flowEncoder{
+		req:  make(map[string]string, 8),
+		resp: make(map[string]string, 8),
+	}
+	fe.enc = json.NewEncoder(&fe.buf)
+	return fe
+}
+
+// append appends f's canonical JSON object to the internal buffer.
+func (fe *flowEncoder) append(f *proxy.Flow) error {
+	fe.fj = flowJSON{
+		ID: f.ID, Time: f.Time, Method: f.Method,
+		URL: f.URL.String(), HTTPS: f.HTTPS,
+		ReqBody: f.RequestBody,
+		Status:  f.StatusCode, RespSize: f.ResponseSize,
+		RespBody: f.ResponseBody,
+		Channel:  f.Channel, ChannelID: f.ChannelID,
+	}
+	fe.fj.ReqHdr = flattenInto(fe.req, f.RequestHeaders)
+	fe.fj.RespHdr = flattenInto(fe.resp, f.ResponseHeaders)
+	// Set-Cookie is multi-valued and analysis-critical: keep every value.
+	fe.fj.SetCookie = f.ResponseHeaders.Values("Set-Cookie")
+	if fe.fj.RespHdr != nil {
+		delete(fe.fj.RespHdr, "Set-Cookie")
+	}
+	if err := fe.enc.Encode(&fe.fj); err != nil {
+		return fmt.Errorf("store: save: %w", err)
+	}
+	fe.buf.Truncate(fe.buf.Len() - 1) // drop the Encoder's value-terminating newline
+	return nil
+}
+
+// flattenInto is flattenHeader reusing a caller-owned scratch map.
+func flattenInto(dst map[string]string, h http.Header) map[string]string {
+	if len(h) == 0 {
+		return nil
+	}
+	clear(dst)
+	for k, vs := range h {
+		if len(vs) == 1 {
+			dst[k] = vs[0]
+			continue
+		}
+		dst[k] = strings.Join(vs, "\n")
+	}
+	return dst
+}
+
+// encodeJSON writes the canonical (deterministic) JSON form of the dataset
+// by materializing the full datasetJSON mirror and marshaling it in one
+// shot — the original encoder, retained as DigestReference's oracle.
 func (d *Dataset) encodeJSON(w io.Writer, withTelemetry bool) error {
 	enc := json.NewEncoder(w)
 	out := datasetJSON{Version: 1}
@@ -210,23 +554,76 @@ func flattenHeader(h http.Header) map[string]string {
 	}
 	out := make(map[string]string, len(h))
 	for k, vs := range h {
+		if len(vs) == 1 {
+			out[k] = vs[0]
+			continue
+		}
 		out[k] = strings.Join(vs, "\n")
 	}
 	return out
 }
 
-func expandHeader(m map[string]string) http.Header {
+// expandHeader rebuilds a header map, interning names and values in tab so
+// a loaded dataset keeps one copy of each distinct header string instead of
+// one per flow (the User-Agent alone repeats on every flow of a run).
+func expandHeader(m map[string]string, tab *intern.Strings) http.Header {
+	if len(m) == 0 {
+		return make(http.Header)
+	}
 	h := make(http.Header, len(m))
 	for k, joined := range m {
-		for _, v := range strings.Split(joined, "\n") {
-			h.Add(k, v)
+		// Stored keys came from live http.Header maps, so they are already
+		// in canonical form and CanonicalHeaderKey returns its argument
+		// without allocating.
+		k = tab.Canon(http.CanonicalHeaderKey(k))
+		if !strings.Contains(joined, "\n") {
+			h[k] = []string{tab.Canon(joined)}
+			continue
 		}
+		parts := strings.Split(joined, "\n")
+		for i, p := range parts {
+			parts[i] = tab.Canon(p)
+		}
+		h[k] = parts
 	}
 	return h
 }
 
-// Load reads a dataset written by Save.
+// Load reads a dataset in either of the two on-disk formats: gzip-JSON
+// (Save) or the binary snapshot (SaveSnapshot). The format is sniffed from
+// the leading magic bytes.
 func Load(r io.Reader) (*Dataset, error) {
+	// Seekable inputs (files, bytes.Reader) sniff without a buffering
+	// wrapper, so LoadSnapshot still sees the Seeker and can size its read
+	// exactly instead of growing a buffer through io.ReadAll.
+	if rs, ok := r.(io.ReadSeeker); ok {
+		var magic [2]byte
+		if _, err := io.ReadFull(rs, magic[:]); err != nil {
+			return nil, fmt.Errorf("store: load: %w", err)
+		}
+		if _, err := rs.Seek(-2, io.SeekCurrent); err == nil {
+			if magic[0] == snapshotMagic0 && magic[1] == snapshotMagic1 {
+				return LoadSnapshot(rs)
+			}
+			return loadJSON(rs)
+		}
+		// Cannot rewind (pathological Seeker): stitch the consumed magic
+		// back on and take the buffered path below.
+		r = io.MultiReader(bytes.NewReader(magic[:]), rs)
+	}
+	br := newSniffReader(r)
+	magic, err := br.Peek(2)
+	if err != nil {
+		return nil, fmt.Errorf("store: load: %w", err)
+	}
+	if magic[0] == snapshotMagic0 && magic[1] == snapshotMagic1 {
+		return LoadSnapshot(br)
+	}
+	return loadJSON(br)
+}
+
+// loadJSON reads a dataset written by Save.
+func loadJSON(r io.Reader) (*Dataset, error) {
 	gz, err := gzip.NewReader(r)
 	if err != nil {
 		return nil, fmt.Errorf("store: load: %w", err)
@@ -239,65 +636,87 @@ func Load(r io.Reader) (*Dataset, error) {
 	if in.Version != 1 {
 		return nil, fmt.Errorf("store: unsupported dataset version %d", in.Version)
 	}
+	tab := intern.NewStrings(256)
 	d := &Dataset{Telemetry: in.Telemetry}
 	for _, rj := range in.Runs {
-		run := &RunData{
-			Name: rj.Name, Date: rj.Date, Channels: rj.Channels,
-			RecoveredPanics: rj.RecoveredPanics,
+		run, err := runFromJSON(&rj)
+		if err != nil {
+			return nil, err
 		}
-		for _, fj := range rj.Flows {
-			f, err := decodeFlow(fj)
-			if err != nil {
-				return nil, err
-			}
-			run.Flows = append(run.Flows, f)
-		}
-		for _, c := range rj.Cookies {
-			run.Cookies = append(run.Cookies, webos.StoredCookie(c))
-		}
-		for _, s := range rj.Storage {
-			run.Storage = append(run.Storage, webos.StorageItem(s))
-		}
-		for _, sj := range rj.Screenshots {
-			shot := webos.Screenshot{
-				Time: sj.Time, Channel: sj.Channel, ChannelID: sj.ChannelID,
-				HasSignal: sj.HasSignal, Show: sj.Show,
-			}
-			if sj.Overlay != nil {
-				if err := json.Unmarshal(*sj.Overlay, &shot.Overlay); err != nil {
-					return nil, fmt.Errorf("store: load overlay: %w", err)
+		if len(rj.Flows) > 0 {
+			run.Flows = make([]*proxy.Flow, 0, len(rj.Flows))
+			flowArena := make([]proxy.Flow, len(rj.Flows))
+			for i, fj := range rj.Flows {
+				if err := decodeFlowInto(&flowArena[i], fj, tab); err != nil {
+					return nil, err
 				}
+				run.Flows = append(run.Flows, &flowArena[i])
 			}
-			run.Screenshots = append(run.Screenshots, shot)
-		}
-		for _, l := range rj.Logs {
-			run.Logs = append(run.Logs, webos.LogEntry{Time: l.Time, Kind: l.Kind, Detail: l.Detail})
-		}
-		for _, o := range rj.Outcomes {
-			run.Outcomes = append(run.Outcomes, ChannelOutcome(o))
 		}
 		d.Runs = append(d.Runs, run)
 	}
 	return d, nil
 }
 
-func decodeFlow(fj flowJSON) (*proxy.Flow, error) {
+// runFromJSON rebuilds a run's non-flow fields from its JSON form. Shared
+// between the JSON loader and the snapshot loader (whose run metadata is
+// the same schema); flows are decoded separately by each format.
+func runFromJSON(rj *runJSON) (*RunData, error) {
+	run := &RunData{
+		Name: rj.Name, Date: rj.Date, Channels: rj.Channels,
+		RecoveredPanics: rj.RecoveredPanics,
+	}
+	for _, c := range rj.Cookies {
+		run.Cookies = append(run.Cookies, webos.StoredCookie(c))
+	}
+	for _, s := range rj.Storage {
+		run.Storage = append(run.Storage, webos.StorageItem(s))
+	}
+	for _, sj := range rj.Screenshots {
+		shot := webos.Screenshot{
+			Time: sj.Time, Channel: sj.Channel, ChannelID: sj.ChannelID,
+			HasSignal: sj.HasSignal, Show: sj.Show,
+		}
+		if sj.Overlay != nil {
+			if err := json.Unmarshal(*sj.Overlay, &shot.Overlay); err != nil {
+				return nil, fmt.Errorf("store: load overlay: %w", err)
+			}
+		}
+		run.Screenshots = append(run.Screenshots, shot)
+	}
+	for _, l := range rj.Logs {
+		run.Logs = append(run.Logs, webos.LogEntry{Time: l.Time, Kind: l.Kind, Detail: l.Detail})
+	}
+	for _, o := range rj.Outcomes {
+		run.Outcomes = append(run.Outcomes, ChannelOutcome(o))
+	}
+	return run, nil
+}
+
+// decodeFlowInto reconstructs one flow in place, interning repeated strings
+// through tab.
+func decodeFlowInto(f *proxy.Flow, fj flowJSON, tab *intern.Strings) error {
 	u, err := url.Parse(fj.URL)
 	if err != nil {
-		return nil, fmt.Errorf("store: load flow url %q: %w", fj.URL, err)
+		return fmt.Errorf("store: load flow url %q: %w", fj.URL, err)
 	}
-	f := &proxy.Flow{
-		ID: fj.ID, Time: fj.Time, Method: fj.Method, URL: u, HTTPS: fj.HTTPS,
-		RequestHeaders:  expandHeader(fj.ReqHdr),
+	*f = proxy.Flow{
+		ID: fj.ID, Time: fj.Time, Method: tab.Canon(fj.Method), URL: u, HTTPS: fj.HTTPS,
+		RequestHeaders:  expandHeader(fj.ReqHdr, tab),
 		RequestBody:     fj.ReqBody,
 		StatusCode:      fj.Status,
-		ResponseHeaders: expandHeader(fj.RespHdr),
+		ResponseHeaders: expandHeader(fj.RespHdr, tab),
 		ResponseSize:    fj.RespSize,
 		ResponseBody:    fj.RespBody,
-		Channel:         fj.Channel, ChannelID: fj.ChannelID,
+		Channel:         tab.Canon(fj.Channel), ChannelID: tab.Canon(fj.ChannelID),
 	}
-	for _, sc := range fj.SetCookie {
-		f.ResponseHeaders.Add("Set-Cookie", sc)
+	f.CacheHost(tab.Canon(u.Hostname()))
+	if len(fj.SetCookie) > 0 {
+		scs := make([]string, len(fj.SetCookie))
+		for i, sc := range fj.SetCookie {
+			scs[i] = tab.Canon(sc)
+		}
+		f.ResponseHeaders["Set-Cookie"] = scs
 	}
-	return f, nil
+	return nil
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package store
+
+// raceEnabled reports whether the race detector is compiled in. The
+// detector instruments every allocation, so allocation-count pins are
+// meaningless (and fail) under -race.
+const raceEnabled = true

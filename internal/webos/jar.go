@@ -31,24 +31,44 @@ func (c *StoredCookie) Expired(now time.Time) bool {
 
 // Jar is an RFC 6265-style cookie jar driven by an explicit clock so that
 // expiry works on the virtual timeline. It implements http.CookieJar.
+//
+// Cookies are bucketed by their Domain attribute: a request for host
+// "a.b.example.de" only inspects the buckets of the host itself and its
+// parent suffixes, so matching cost scales with the handful of cookies a
+// host can see rather than with the whole jar — the property that keeps
+// the measurement hot path flat as the jar grows over a run.
 type Jar struct {
 	clk clock.Clock
 
 	mu      sync.Mutex
-	cookies map[jarKey]*StoredCookie
-}
-
-type jarKey struct {
-	domain string
-	path   string
-	name   string
+	byDom   map[string][]*StoredCookie // keyed by StoredCookie.Domain
+	count   int
+	scratch []*StoredCookie // reusable match buffer for Cookies
 }
 
 var _ http.CookieJar = (*Jar)(nil)
 
 // NewJar returns an empty jar on the given clock.
 func NewJar(clk clock.Clock) *Jar {
-	return &Jar{clk: clk, cookies: make(map[jarKey]*StoredCookie)}
+	return &Jar{clk: clk, byDom: make(map[string][]*StoredCookie)}
+}
+
+// removeLocked deletes the (domain, path, name) cookie if present.
+func (j *Jar) removeLocked(domain, path, name string) {
+	bucket := j.byDom[domain]
+	for i, sc := range bucket {
+		if sc.Path == path && sc.Name == name {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			j.count--
+			if len(bucket) == 0 {
+				delete(j.byDom, domain)
+			} else {
+				j.byDom[domain] = bucket
+			}
+			return
+		}
+	}
 }
 
 // SetCookies implements http.CookieJar.
@@ -89,20 +109,29 @@ func (j *Jar) SetCookies(u *url.URL, cookies []*http.Cookie) {
 			sc.Expires = now.Add(time.Duration(c.MaxAge) * time.Second)
 		case c.MaxAge < 0:
 			// Immediate deletion.
-			delete(j.cookies, jarKey{sc.Domain, sc.Path, sc.Name})
+			j.removeLocked(sc.Domain, sc.Path, sc.Name)
 			continue
 		case !c.Expires.IsZero():
 			sc.Expires = c.Expires
 		}
 		if sc.Expired(now) {
-			delete(j.cookies, jarKey{sc.Domain, sc.Path, sc.Name})
+			j.removeLocked(sc.Domain, sc.Path, sc.Name)
 			continue
 		}
-		key := jarKey{sc.Domain, sc.Path, sc.Name}
-		if old, ok := j.cookies[key]; ok {
-			sc.Created = old.Created // updates keep creation time
+		bucket := j.byDom[sc.Domain]
+		replaced := false
+		for i, old := range bucket {
+			if old.Path == sc.Path && old.Name == sc.Name {
+				sc.Created = old.Created // updates keep creation time
+				bucket[i] = sc
+				replaced = true
+				break
+			}
 		}
-		j.cookies[key] = sc
+		if !replaced {
+			j.byDom[sc.Domain] = append(bucket, sc)
+			j.count++
+		}
 	}
 }
 
@@ -116,22 +145,37 @@ func (j *Jar) Cookies(u *url.URL) []*http.Cookie {
 	now := j.clk.Now()
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	var matched []*StoredCookie
-	for _, sc := range j.cookies {
-		if sc.Expired(now) {
-			continue
-		}
-		if sc.HostOnly {
-			if host != sc.Domain {
+	if len(j.byDom) == 0 {
+		return nil
+	}
+	// Walk the host's domain-suffix chain: the host's own bucket may hold
+	// host-only and domain cookies; parent buckets hold domain cookies only.
+	matched := j.scratch[:0]
+	dom := host
+	exact := true
+	for {
+		for _, sc := range j.byDom[dom] {
+			if sc.Expired(now) {
 				continue
 			}
-		} else if !domainMatch(host, sc.Domain) {
-			continue
+			if sc.HostOnly && !exact {
+				continue
+			}
+			if !pathMatch(path, sc.Path) {
+				continue
+			}
+			matched = append(matched, sc)
 		}
-		if !pathMatch(path, sc.Path) {
-			continue
+		i := strings.IndexByte(dom, '.')
+		if i < 0 {
+			break
 		}
-		matched = append(matched, sc)
+		dom = dom[i+1:]
+		exact = false
+	}
+	j.scratch = matched[:0]
+	if len(matched) == 0 {
+		return nil
 	}
 	// RFC 6265 §5.4: longer paths first, then earlier creation times. On
 	// the virtual clock many cookies share one creation instant, so break
@@ -155,8 +199,10 @@ func (j *Jar) Cookies(u *url.URL) []*http.Cookie {
 		return ca.Name < cb.Name
 	})
 	out := make([]*http.Cookie, len(matched))
+	cs := make([]http.Cookie, len(matched))
 	for i, sc := range matched {
-		out[i] = &http.Cookie{Name: sc.Name, Value: sc.Value}
+		cs[i] = http.Cookie{Name: sc.Name, Value: sc.Value}
+		out[i] = &cs[i]
 	}
 	return out
 }
@@ -167,10 +213,12 @@ func (j *Jar) All() []StoredCookie {
 	now := j.clk.Now()
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	out := make([]StoredCookie, 0, len(j.cookies))
-	for _, sc := range j.cookies {
-		if !sc.Expired(now) {
-			out = append(out, *sc)
+	out := make([]StoredCookie, 0, j.count)
+	for _, bucket := range j.byDom {
+		for _, sc := range bucket {
+			if !sc.Expired(now) {
+				out = append(out, *sc)
+			}
 		}
 	}
 	sort.Slice(out, func(a, b int) bool {
@@ -189,14 +237,15 @@ func (j *Jar) All() []StoredCookie {
 func (j *Jar) Clear() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.cookies = make(map[jarKey]*StoredCookie)
+	j.byDom = make(map[string][]*StoredCookie)
+	j.count = 0
 }
 
 // Len returns the number of stored (possibly expired) cookies.
 func (j *Jar) Len() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return len(j.cookies)
+	return j.count
 }
 
 // domainMatch implements RFC 6265 §5.1.3: host equals domain or is a

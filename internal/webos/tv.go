@@ -131,14 +131,25 @@ type TV struct {
 	sessionID string
 	rng       *rand.Rand
 
+	// Hot-path caches. The device identity is fixed at construction, the
+	// channel ID at tune time, and the formatted local time changes at most
+	// once per virtual second — none of them need rebuilding per request.
+	userAgent  string
+	currentID  string
+	ltCacheSec int64
+	ltCache    string
+
 	metrics tvMetrics
 	logs    []LogEntry
+
+	eventScratch []beaconEvent
 }
 
 // runningApp is the state of the loaded HbbTV application.
 type runningApp struct {
 	doc     *appmodel.Document
 	baseURL *url.URL
+	baseStr string // baseURL.String(), the Referer of every app request
 	started time.Time
 	// watchElapsed accumulates total watch time so that beacon schedules
 	// survive across successive short Watch calls (screenshot cadence).
@@ -150,7 +161,36 @@ type runningApp struct {
 	consentLayer int
 	consentFocus int
 	beacons      []appmodel.BeaconSpec
-	vars         appmodel.Vars
+	// bstates holds per-beacon precomputed request state, same indexing as
+	// beacons. Prepared once at load; fireBeacon only expands values.
+	bstates []beaconState
+	vars    appmodel.Vars
+}
+
+// beaconState is the per-beacon work hoisted out of fireBeacon: the base URL
+// resolved against the document once, and the parameter keys escaped and
+// sorted the way url.Values.Encode would emit them. When fast is false (the
+// resolved URL already carries a query, a fragment, or a forced "?"), the
+// beacon takes the original parse-and-merge path instead.
+type beaconState struct {
+	fast    bool
+	base    url.URL // RawQuery empty; copied per fire
+	prefix  string  // base.String(), i.e. the URL up to the "?"
+	params  []beaconParam
+	resolve string // resolved URL string for the fallback path
+}
+
+// beaconParam is one query parameter with its key pre-escaped.
+type beaconParam struct {
+	key      string // raw key, used for Encode-compatible sort order
+	escKey   string
+	template string
+}
+
+// beaconEvent is one scheduled beacon firing inside a Watch slice.
+type beaconEvent struct {
+	at     time.Duration
+	beacon int
 }
 
 // New constructs a powered-off TV.
@@ -169,6 +209,9 @@ func New(cfg Config) *TV {
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
 	}
 	tv.userID = tv.newID("u")
+	tv.userAgent = fmt.Sprintf(
+		"Mozilla/5.0 (Web0S; Linux/SmartTV) AppleWebKit/537.36 HbbTV/1.5.1 (+DRM; %s; %s; %s;)",
+		cfg.Device.Manufacturer, cfg.Device.Model, cfg.Device.OS)
 	tv.client = &http.Client{Transport: cfg.Transport, Jar: tv.jar}
 	tv.metrics = tvMetrics{
 		tunes:       cfg.Telemetry.Counter("webos_tunes"),
@@ -287,6 +330,7 @@ func (tv *TV) TuneTo(svc *dvb.Service) error {
 		}
 	}
 	id := fmt.Sprintf("sid-%d", svc.ServiceID)
+	tv.currentID = id
 	tv.logf(LogSwitch, "switch to %s (%s)", svc.Name, id)
 	if tv.cfg.OnSwitch != nil {
 		tv.cfg.OnSwitch(svc.Name, id)
@@ -343,6 +387,14 @@ func (tv *TV) exitApp() {
 // appVars builds the template variables for the current app context.
 func (tv *TV) appVars() appmodel.Vars {
 	now := tv.clk.Now()
+	sec := now.Unix()
+	if sec != tv.ltCacheSec || tv.ltCache == "" {
+		// The format has second granularity, so the string is a pure
+		// function of the unix second — beacons firing within the same
+		// virtual second reuse it.
+		tv.ltCacheSec = sec
+		tv.ltCache = now.Format("2006-01-02T15:04:05")
+	}
 	v := appmodel.Vars{
 		SessionID:    tv.sessionID,
 		UserID:       tv.userID,
@@ -350,12 +402,12 @@ func (tv *TV) appVars() appmodel.Vars {
 		Model:        tv.cfg.Device.Model,
 		OS:           tv.cfg.Device.OS,
 		Language:     tv.cfg.Device.Language,
-		LocalTime:    now.Format("2006-01-02T15:04:05"),
-		UnixTime:     now.Unix(),
+		LocalTime:    tv.ltCache,
+		UnixTime:     sec,
 	}
 	if tv.current != nil {
 		v.Channel = tv.current.Name
-		v.ChannelID = fmt.Sprintf("sid-%d", tv.current.ServiceID)
+		v.ChannelID = tv.currentID
 		// The aired program comes from the broadcast EIT when present,
 		// falling back to the channel-list metadata.
 		if tv.currentEvent != nil {
@@ -383,7 +435,7 @@ func (tv *TV) loadApp(entry string) error {
 	if err != nil {
 		return err
 	}
-	app := &runningApp{doc: doc, baseURL: base, started: tv.clk.Now()}
+	app := &runningApp{doc: doc, baseURL: base, baseStr: base.String(), started: tv.clk.Now()}
 	tv.app = app
 	tv.metrics.appsLoaded.Inc()
 	app.vars = tv.appVars()
@@ -469,8 +521,13 @@ func (tv *TV) loadApp(entry string) error {
 			tv.logf(LogError, "leak behavioral %s: %v", u, err)
 		}
 	}
-	// Beacons are executed by Watch.
+	// Beacons are executed by Watch; resolve their URLs and escape their
+	// parameter keys once here so each firing only expands the values.
 	app.beacons = spec.Beacons
+	app.bstates = make([]beaconState, len(spec.Beacons))
+	for i, b := range spec.Beacons {
+		app.bstates[i] = prepareBeacon(base, b)
+	}
 	if spec.Overlay != nil {
 		ov := *spec.Overlay
 		app.overlay = &ov
@@ -502,11 +559,7 @@ func (tv *TV) Watch(d time.Duration) {
 	end := start + d
 	app.watchElapsed = end
 
-	type event struct {
-		at     time.Duration
-		beacon int
-	}
-	var events []event
+	events := tv.eventScratch[:0]
 	for bi, b := range app.beacons {
 		iv := time.Duration(b.IntervalSeconds) * time.Second
 		if iv <= 0 {
@@ -514,23 +567,23 @@ func (tv *TV) Watch(d time.Duration) {
 		}
 		// Fire times are the multiples of iv in (start, end].
 		for at := (start/iv + 1) * iv; at <= end; at += iv {
-			events = append(events, event{at: at, beacon: bi})
+			events = append(events, beaconEvent{at: at, beacon: bi})
 		}
 	}
 	sort.Slice(events, func(a, b int) bool { return events[a].at < events[b].at })
+	tv.eventScratch = events[:0]
 	cur := start
 	for _, ev := range events {
 		if ev.at > cur {
 			tv.clk.Sleep(ev.at - cur)
 			cur = ev.at
 		}
-		b := app.beacons[ev.beacon]
-		n := b.Burst
+		n := app.beacons[ev.beacon].Burst
 		if n < 1 {
 			n = 1
 		}
 		for i := 0; i < n; i++ {
-			tv.fireBeacon(b)
+			tv.fireBeacon(ev.beacon)
 		}
 	}
 	if end > cur {
@@ -538,21 +591,85 @@ func (tv *TV) Watch(d time.Duration) {
 	}
 }
 
-func (tv *TV) fireBeacon(b appmodel.BeaconSpec) {
+// prepareBeacon hoists the per-fire URL work out of fireBeacon. The fast
+// path is only taken when appending "?query" to the resolved URL's string
+// form is provably identical to the parse/merge/re-encode the slow path
+// performs: no pre-existing query, no fragment, no forced "?".
+func prepareBeacon(base *url.URL, b appmodel.BeaconSpec) beaconState {
+	st := beaconState{resolve: resolveRef(base, b.URL)}
+	u, err := url.Parse(st.resolve)
+	if err != nil || u.RawQuery != "" || u.ForceQuery || u.Fragment != "" {
+		return st
+	}
+	st.fast = true
+	st.base = *u
+	st.prefix = u.String()
+	st.params = make([]beaconParam, 0, len(b.Params))
+	for k, v := range b.Params {
+		st.params = append(st.params, beaconParam{key: k, escKey: url.QueryEscape(k), template: v})
+	}
+	// url.Values.Encode sorts by raw key; matching its order keeps the
+	// emitted query — and thus the recorded flow URL — byte-identical.
+	sort.Slice(st.params, func(a, b int) bool { return st.params[a].key < st.params[b].key })
+	return st
+}
+
+func (tv *TV) fireBeacon(bi int) {
 	app := tv.app
 	if app == nil {
 		return
 	}
 	tv.metrics.beacons.Inc()
 	vars := tv.appVars() // refresh local time / unix time per request
-	q := url.Values{}
-	for k, v := range b.Params {
-		q.Set(k, vars.Expand(v))
+	st := &app.bstates[bi]
+	if !st.fast {
+		b := app.beacons[bi]
+		q := url.Values{}
+		for k, v := range b.Params {
+			q.Set(k, vars.Expand(v))
+		}
+		u := addQuery(st.resolve, q)
+		if _, _, err := tv.get(u, app.baseStr); err != nil {
+			tv.logf(LogError, "beacon %s: %v", u, err)
+		}
+		return
 	}
-	u := addQuery(resolveRef(app.baseURL, b.URL), q)
-	if _, _, err := tv.get(u, app.baseURL.String()); err != nil {
-		tv.logf(LogError, "beacon %s: %v", u, err)
+	var sb strings.Builder
+	sb.Grow(64)
+	for i := range st.params {
+		p := &st.params[i]
+		if i > 0 {
+			sb.WriteByte('&')
+		}
+		sb.WriteString(p.escKey)
+		sb.WriteByte('=')
+		sb.WriteString(url.QueryEscape(vars.Expand(p.template)))
 	}
+	u := st.base // copy; the recorder may hold on to it
+	u.RawQuery = sb.String()
+	if err := tv.getURL(&u, app.baseStr); err != nil {
+		tv.logf(LogError, "beacon %s: %v", u.String(), err)
+	}
+}
+
+// bytesBody is implemented by response bodies whose full content is already
+// in memory (the recording proxy's). BodyBytes returns that content without
+// another copy; the returned slice is read-only.
+type bytesBody interface {
+	BodyBytes() []byte
+}
+
+// readBody drains and closes resp.Body, avoiding the copy when the body is
+// an in-memory one.
+func readBody(resp *http.Response) []byte {
+	var body []byte
+	if bb, ok := resp.Body.(bytesBody); ok {
+		body = bb.BodyBytes()
+	} else {
+		body, _ = io.ReadAll(resp.Body)
+	}
+	resp.Body.Close()
+	return body
 }
 
 // get performs a GET with the TV's HTTP stack.
@@ -566,9 +683,28 @@ func (tv *TV) get(rawURL, referer string) ([]byte, *http.Response, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	return body, resp, nil
+	return readBody(resp), resp, nil
+}
+
+// getURL is get for a URL that is already parsed — the beacon fast path.
+// Constructing the request directly skips http.NewRequest's re-parse of a
+// string we just built from a parsed URL.
+func (tv *TV) getURL(u *url.URL, referer string) error {
+	req := &http.Request{
+		Method:     http.MethodGet,
+		URL:        u,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     make(http.Header, 2),
+	}
+	tv.decorate(req, referer)
+	resp, err := tv.client.Do(req)
+	if err != nil {
+		return err
+	}
+	drain(resp)
+	return nil
 }
 
 func (tv *TV) post(rawURL, referer, contentType string, body []byte) {
@@ -590,13 +726,13 @@ func (tv *TV) decorate(req *http.Request, referer string) {
 	if referer != "" {
 		req.Header.Set("Referer", referer)
 	}
-	req.Header.Set("User-Agent", fmt.Sprintf(
-		"Mozilla/5.0 (Web0S; Linux/SmartTV) AppleWebKit/537.36 HbbTV/1.5.1 (+DRM; %s; %s; %s;)",
-		tv.cfg.Device.Manufacturer, tv.cfg.Device.Model, tv.cfg.Device.OS))
+	req.Header.Set("User-Agent", tv.userAgent)
 }
 
 func drain(resp *http.Response) {
-	_, _ = io.Copy(io.Discard, resp.Body)
+	if _, ok := resp.Body.(bytesBody); !ok {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
 	resp.Body.Close()
 }
 
