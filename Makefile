@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race chaos fuzz bench fmt lint bench-json bench-analyze bench-measure benchgate
+.PHONY: build test check race chaos fuzz bench fmt lint bench-json bench-analyze bench-measure bench-merge benchgate fleet
 
 build:
 	$(GO) build ./...
@@ -74,8 +74,35 @@ bench-measure:
 	$(GO) test -json -bench 'BenchmarkMeasureThroughput' -benchtime 1x -run '^$$' . | tee BENCH_measure.json
 	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_measure.json -floor BENCH_floor.json -match 'BenchmarkMeasureThroughput'
 
+# bench-merge runs the fleet-merge throughput benchmark — a 4-shard
+# paper-scale fleet recombined by store.MergeShards — records the
+# test2json stream as BENCH_merge.json for the CI artifact trail, and
+# gates on the committed merged-flows/s floor (BENCH_floor.json).
+bench-merge:
+	$(GO) test -json -bench 'BenchmarkMergeShards' -benchtime 1x -run '^$$' . | tee BENCH_merge.json
+	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_merge.json -floor BENCH_floor.json -match 'BenchmarkMergeShards'
+
 # benchgate re-checks already recorded BENCH_*.json streams against the
 # committed floors without re-running the (slow) paper-scale benchmarks.
 benchgate:
 	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_analyze.json -floor BENCH_floor.json -match 'BenchmarkAnalyze'
 	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_measure.json -floor BENCH_floor.json -match 'BenchmarkMeasureThroughput'
+	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_merge.json -floor BENCH_floor.json -match 'BenchmarkMergeShards'
+
+# fleet is the end-to-end topology demo and gate: build the tools, run a
+# 4-way fleet campaign as real collector processes, merge the shard
+# snapshots, and verify the merged digest against the single-process run
+# of the same study. Also exercised (plus chaos variants) by
+# TestFleetChildProcesses in the default test suite.
+fleet: build
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) build -o $$dir/hbbtv-measure ./cmd/hbbtv-measure && \
+	$(GO) build -o $$dir/hbbtv-merge ./cmd/hbbtv-merge && \
+	echo "== single-process reference ==" && \
+	$$dir/hbbtv-measure -seed 321 -scale 0.05 -j 4 -shards 4 -snapshot $$dir/single.snap && \
+	for i in 0 1 2 3; do \
+		echo "== shard $$i/4 =="; \
+		$$dir/hbbtv-measure -seed 321 -scale 0.05 -shard $$i/4 -snapshot $$dir/shard$$i.snap || exit 1; \
+	done && \
+	echo "== merge ==" && \
+	$$dir/hbbtv-merge -verify $$dir/single.snap $$dir/shard0.snap $$dir/shard1.snap $$dir/shard2.snap $$dir/shard3.snap

@@ -667,6 +667,71 @@ func BenchmarkMeasureThroughput(b *testing.B) {
 	}
 }
 
+var (
+	mergeOnce   sync.Once
+	mergeShards []*store.Dataset
+	mergeDedup  *store.Dedup
+)
+
+// mergeFixture measures a 4-way fleet of the paper-scale study once and
+// round-trips every shard through the snapshot format with one shared
+// content-addressed table — the exact state hbbtv-merge holds after
+// loading its inputs.
+func mergeFixture(b *testing.B) ([]*store.Dataset, *store.Dedup) {
+	b.Helper()
+	mergeOnce.Do(func() {
+		const n = 4
+		start := time.Now()
+		dd := store.NewDedup()
+		for i := 0; i < n; i++ {
+			study := NewStudy(Options{Seed: 1, Scale: 1.0, Parallelism: 2, Shards: n})
+			ds, err := study.ExecuteShard(i, n)
+			if err != nil {
+				panic(err)
+			}
+			var buf bytes.Buffer
+			if err := store.Save(&buf, ds, store.FormatSnapshot); err != nil {
+				panic(err)
+			}
+			loaded, err := store.LoadDedup(bytes.NewReader(buf.Bytes()), dd)
+			if err != nil {
+				panic(err)
+			}
+			mergeShards = append(mergeShards, loaded)
+		}
+		mergeDedup = dd
+		fmt.Fprintf(os.Stderr, "[bench fixture] %d-shard paper-scale fleet built in %v\n",
+			n, time.Since(start).Round(time.Millisecond))
+	})
+	return mergeShards, mergeDedup
+}
+
+// BenchmarkMergeShards measures hbbtv-merge's hot path: manifest
+// verification plus the canonical-order recombination of a 4-shard
+// paper-scale fleet, reporting merged flows/s. The cross-shard dedup
+// ratio of the loaded fixture rides along as a metric; the bench-
+// regression gate (internal/benchgate) holds the flows/s floor, clamped
+// by gomaxprocs like the other engine floors.
+func BenchmarkMergeShards(b *testing.B) {
+	shards, dd := mergeFixture(b)
+	var flows int
+	var elapsed time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		merged, err := store.MergeShards(context.Background(), nil, shards)
+		if err != nil {
+			b.Fatal(err)
+		}
+		elapsed += time.Since(start)
+		flows = len(merged.AllFlows())
+	}
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	b.ReportMetric(dd.Stats().BlobRatio()*100, "dedup-blob-pct")
+	b.ReportMetric(float64(flows), "flows")
+	b.ReportMetric(float64(flows)*float64(b.N)/elapsed.Seconds(), "flows/s")
+}
+
 // BenchmarkSnapshotFormats compares dataset persistence costs: gzip-JSON
 // save/load against the binary snapshot save/load, on the paper-scale
 // dataset. The snapshot-load sub-benchmark is the one the CI acceptance

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	hbbtvlab "github.com/hbbtvlab/hbbtvlab"
+	"github.com/hbbtvlab/hbbtvlab/internal/cli"
 	"github.com/hbbtvlab/hbbtvlab/internal/report"
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
 )
@@ -48,13 +49,17 @@ var targetSections = map[string][]hbbtvlab.Section{
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("hbbtv-analyze", flag.ContinueOnError)
-	seed := fs.Int64("seed", 1, "world seed")
-	scale := fs.Float64("scale", 1.0, "world scale (1.0 = paper scale)")
+	var study cli.Study
+	var jobs cli.Jobs
+	study.Register(fs)
+	jobs.Register(fs, "the analysis engine")
 	target := fs.String("t", "all", "what to print: table1..table5, fig5..fig8, findings, all")
 	in := fs.String("in", "", "analyze a dataset saved by hbbtv-measure -save instead of re-measuring")
-	par := fs.Int("j", 0, "analysis parallelism (0 or 1 = serial; results are identical)")
 	probe := fs.Duration("probewatch", 0, "override the exploratory per-channel watch time (0 = paper's 910s)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := jobs.Validate(); err != nil {
 		return err
 	}
 	sections, ok := targetSections[*target]
@@ -74,19 +79,19 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 	} else {
-		study, err := hbbtvlab.NewStudyChecked(hbbtvlab.Options{
-			Seed: *seed, Scale: *scale, ProbeWatch: *probe,
+		st, err := hbbtvlab.NewStudyChecked(hbbtvlab.Options{
+			Seed: study.Seed, Scale: study.Scale, ProbeWatch: *probe,
 		})
 		if err != nil {
 			return err
 		}
-		ds, err = study.ExecuteRuns()
+		ds, err = st.ExecuteRuns()
 		if err != nil {
 			return err
 		}
 	}
 	res, err := hbbtvlab.AnalyzeContext(context.Background(), ds, hbbtvlab.AnalyzeOptions{
-		Parallelism: *par,
+		Parallelism: jobs.N,
 		Sections:    sections,
 	})
 	if err != nil {

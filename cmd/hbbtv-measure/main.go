@@ -6,10 +6,17 @@
 // Usage:
 //
 //	hbbtv-measure [-seed N] [-scale F] [-j N] [-out flows.ndjson] [-run NAME]
-//	              [-save FILE] [-snapshot FILE]
+//	              [-shard i/N] [-save FILE] [-snapshot FILE]
 //	              [-telemetry] [-telemetry-json FILE] [-telemetry-http ADDR]
 //	              [-fault-seed N] [-fault-rate F] [-retries N]
 //	              [-max-channel-failures N] [-allow-panics]
+//
+// With -shard i/N the process executes only the i-th of N strided
+// partitions of the channel order — one collector of a fleet campaign —
+// and the written dataset carries a self-describing shard manifest.
+// Collect all N shard datasets and combine them with hbbtv-merge; the
+// merged dataset's digest is byte-identical to a single-process
+// -j 1 -shards N run of the same seed.
 //
 // -save writes the dataset as gzip-JSON, -snapshot as the binary snapshot
 // format; both carry the full dataset and both can be given at once.
@@ -45,6 +52,7 @@ import (
 	"time"
 
 	hbbtvlab "github.com/hbbtvlab/hbbtvlab"
+	"github.com/hbbtvlab/hbbtvlab/internal/cli"
 	"github.com/hbbtvlab/hbbtvlab/internal/core"
 	"github.com/hbbtvlab/hbbtvlab/internal/faults"
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
@@ -60,18 +68,20 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("hbbtv-measure", flag.ContinueOnError)
-	seed := fs.Int64("seed", 1, "world seed (deterministic)")
-	scale := fs.Float64("scale", 1.0, "world scale (1.0 = paper scale, 396 channels)")
+	var world cli.Study
+	var jobs cli.Jobs
+	var telem cli.Telemetry
+	var output cli.Output
+	var shardFlag cli.Shard
+	world.Register(fs)
+	jobs.Register(fs, "the sharded measurement engine (the paper's serial procedure when 0)")
+	telem.Register(fs)
+	output.Register(fs, "the FULL dataset")
+	shardFlag.Register(fs)
 	out := fs.String("out", "", "write flows as NDJSON to this file (default: no dump)")
-	save := fs.String("save", "", "write the FULL dataset (gzip JSON) for later hbbtv-analyze -in")
-	snapshot := fs.String("snapshot", "", "write the FULL dataset in the binary snapshot format (same contents as -save, much faster to load; hbbtv-analyze -in sniffs either)")
 	har := fs.String("har", "", "write all flows as a HAR 1.2 archive")
 	runName := fs.String("run", "", "execute only this run (General, Red, Green, Blue, Yellow)")
-	jobs := fs.Int("j", 0, "worker goroutines for the sharded engine (0 = the paper's serial procedure; results are identical for every j >= 1)")
 	shards := fs.Int("shards", 0, "logical shard count of the sharded engine (0 = default; part of the experiment definition)")
-	tele := fs.Bool("telemetry", false, "instrument the engine: live progress line on stderr, snapshot embedded in -save output")
-	teleJSON := fs.String("telemetry-json", "", "stream periodic telemetry snapshots as JSON lines to this file (implies -telemetry)")
-	teleHTTP := fs.String("telemetry-http", "", "serve the live telemetry snapshot over HTTP on this address, e.g. localhost:8377 (implies -telemetry)")
 	allowPanics := fs.Bool("allow-panics", false, "exit 0 even when channels panicked and were recovered during measurement")
 	faultSeed := fs.Int64("fault-seed", 0, "fault-injection seed (0 = derive from -seed); meaningful with -fault-rate")
 	faultRate := fs.Float64("fault-rate", 0, "per-decision fault probability in [0, 1] (0 = reliable world)")
@@ -80,18 +90,28 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *jobs < 0 {
-		return fmt.Errorf("-j must be >= 0, got %d", *jobs)
+	if err := jobs.Validate(); err != nil {
+		return err
 	}
-	if *shards != 0 && *jobs < 1 {
+	if *shards != 0 && jobs.N < 1 {
 		return fmt.Errorf("-shards requires the sharded engine; set -j >= 1")
 	}
 	if *retries < 0 {
 		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
 	}
+	if shardFlag.Enabled() {
+		// A fleet shard is one collector: its partition executes serially on
+		// one framework and the shard count comes from the flag itself.
+		if jobs.N != 0 || *shards != 0 {
+			return fmt.Errorf("-shard runs one fleet collector; it conflicts with -j and -shards (the shard count is the N in -shard i/N)")
+		}
+		if *runName != "" {
+			return fmt.Errorf("-shard measures every run of its partition; it conflicts with -run")
+		}
+	}
 
 	opts := hbbtvlab.Options{
-		Seed: *seed, Scale: *scale, Parallelism: *jobs, Shards: *shards,
+		Seed: world.Seed, Scale: world.Scale, Parallelism: jobs.N, Shards: *shards,
 	}
 	if *faultRate > 0 {
 		opts.Faults = &faults.Config{Seed: *faultSeed, Rate: *faultRate}
@@ -111,9 +131,17 @@ func run(args []string) error {
 		VisitDeadline:   5 * time.Minute,
 		QuarantineAfter: 3,
 	}
-	telemetryOn := *tele || *teleJSON != "" || *teleHTTP != ""
+	telemetryOn := telem.On()
 	if telemetryOn {
-		opts.Telemetry = hbbtvlab.NewTelemetry(opts)
+		if shardFlag.Enabled() {
+			// The shard's instrumentation lands in registry slot i of N,
+			// mirroring the in-process engine's layout.
+			opts.Telemetry = hbbtvlab.NewTelemetry(hbbtvlab.Options{
+				Parallelism: 1, Shards: shardFlag.Of,
+			})
+		} else {
+			opts.Telemetry = hbbtvlab.NewTelemetry(opts)
+		}
 	}
 
 	study, err := hbbtvlab.NewStudyChecked(opts)
@@ -139,10 +167,14 @@ func run(args []string) error {
 	if *runName != "" {
 		runs = 1
 	}
+	measured := len(funnel.Final)
+	if shardFlag.Enabled() {
+		measured = shardChannels(len(funnel.Final), shardFlag.Index, shardFlag.Of)
+	}
 
 	var sink *telemetry.LineSink
-	if *teleJSON != "" {
-		f, err := os.Create(*teleJSON)
+	if telem.JSONPath != "" {
+		f, err := os.Create(telem.JSONPath)
 		if err != nil {
 			return err
 		}
@@ -150,8 +182,8 @@ func run(args []string) error {
 		sink = telemetry.NewLineSink(f)
 	}
 	var httpLn net.Listener
-	if *teleHTTP != "" {
-		httpLn, err = net.Listen("tcp", *teleHTTP)
+	if telem.HTTPAddr != "" {
+		httpLn, err = net.Listen("tcp", telem.HTTPAddr)
 		if err != nil {
 			return fmt.Errorf("-telemetry-http: %w", err)
 		}
@@ -163,14 +195,20 @@ func run(args []string) error {
 	}
 	var progress *progressReporter
 	if telemetryOn {
-		total := uint64(len(funnel.Final) * runs)
+		total := uint64(measured * runs)
 		progress = newProgressReporter(opts.Telemetry, os.Stderr, sink, total)
 		progress.start()
 	}
 
 	var ds *store.Dataset
 	var degradedErr error
-	if *runName != "" {
+	if shardFlag.Enabled() {
+		ds, err = study.ExecuteShard(shardFlag.Index, shardFlag.Of)
+		if err != nil && (ds == nil || !hbbtvlab.DegradedOnly(err)) {
+			return err
+		}
+		degradedErr = err
+	} else if *runName != "" {
 		rd, err := study.Run(store.RunName(*runName))
 		if err != nil && (rd == nil || !hbbtvlab.DegradedOnly(err)) {
 			return err
@@ -213,6 +251,10 @@ func run(args []string) error {
 			snap.Counters["proxy_flows_recorded"], snap.Counters["core_channels_visited"],
 			len(snap.Events), snap.DroppedEvents)
 	}
+	if m := ds.Shard; m != nil {
+		fmt.Printf("shard %d of %d: %d of %d channels, order digest %.12s\n",
+			m.Shard, m.Shards, m.AssignedChannels(), len(m.ChannelOrder), m.OrderDigest)
+	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -236,32 +278,30 @@ func run(args []string) error {
 		}
 		fmt.Printf("HAR written to %s\n", *har)
 	}
-	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := ds.Save(f); err != nil {
-			return err
-		}
-		fmt.Printf("dataset written to %s\n", *save)
-	}
-	if *snapshot != "" {
-		f, err := os.Create(*snapshot)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := ds.SaveSnapshot(f); err != nil {
-			return err
-		}
-		fmt.Printf("snapshot written to %s\n", *snapshot)
+	if err := output.Write(os.Stdout, ds); err != nil {
+		return err
 	}
 	if err := panicsError(ds, *allowPanics); err != nil {
 		return err
 	}
 	return failuresError(ds, *maxChanFail)
+}
+
+// shardChannels counts the channels shard i of an N-way fleet owns under
+// the engine's clamped strided partition (for the progress total).
+func shardChannels(channels, shard, of int) int {
+	eff := of
+	if eff > channels {
+		eff = channels
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	n := 0
+	for i := shard; i < channels; i += eff {
+		n++
+	}
+	return n
 }
 
 // failuresError enforces the -max-channel-failures budget: it counts every

@@ -20,11 +20,24 @@
 // # Context pairing
 //
 // Every long-running entry point comes in a convenience/context pair:
-// ExecuteRuns and ExecuteRunsContext, Run and RunContext, Analyze and
-// AnalyzeContext. The convenience form is the context form called with
-// context.Background(); the context form supports cooperative
+// ExecuteRuns and ExecuteRunsContext, ExecuteShard and
+// ExecuteShardContext, Run and RunContext, Merge and MergeContext,
+// Analyze and AnalyzeContext. The convenience form is the context form
+// called with context.Background(); the context form supports cooperative
 // cancellation and — where noted — returns the well-formed partial
 // result collected so far together with the context's error.
+//
+// # Fleet topology
+//
+// A campaign can be split across independent collector processes:
+// ExecuteShard(i, N) measures the i-th strided partition of the channel
+// order and returns a shard dataset whose store.ShardManifest makes it
+// self-describing; Merge verifies K such datasets cover the campaign
+// exactly once with identical study parameters and recombines them into
+// a dataset byte-identical (by Digest) to a single-process sharded run
+// (Parallelism >= 1) of the same study with Options.Shards = N. The
+// hbbtv-measure -shard i/N flag and the hbbtv-merge command are the CLI
+// face of the same API.
 package hbbtvlab
 
 import (
@@ -191,6 +204,10 @@ func NewStudyChecked(opts Options) (*Study, error) {
 		if injector, err = faults.New(fc); err != nil {
 			return nil, fmt.Errorf("hbbtvlab: Options.Faults: %w", err)
 		}
+		// opts is the study's private copy; keep the effective (seed-
+		// derived) config so the shard manifest fingerprints what actually
+		// ran, not what the caller wrote.
+		opts.Faults = &fc
 	}
 	clk := clock.NewVirtual(time.Date(2023, 8, 21, 9, 0, 0, 0, time.UTC))
 	world := synth.Build(synth.Config{Seed: opts.Seed, Scale: opts.Scale}, clk)

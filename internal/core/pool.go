@@ -76,16 +76,7 @@ func (p *Pool) ExecuteRuns(ctx context.Context, specs []RunSpec, channels []*dvb
 	if p.Factory == nil {
 		return nil, errors.New("core: pool has no shard factory")
 	}
-	shards := p.Shards
-	if shards <= 0 {
-		shards = DefaultShards
-	}
-	if shards > len(channels) {
-		shards = len(channels)
-	}
-	if shards < 1 {
-		shards = 1
-	}
+	shards := EffectiveShards(p.Shards, len(channels))
 	workers := p.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -164,11 +155,7 @@ func (p *Pool) runShard(ctx context.Context, shard, shards int, specs []RunSpec,
 		out.err = fmt.Errorf("build framework: %w", err)
 		return out
 	}
-	// Strided partition: canonical index i belongs to shard i % shards.
-	var subset []*dvb.Service
-	for i := shard; i < len(channels); i += shards {
-		subset = append(subset, channels[i])
-	}
+	subset := ShardSubset(channels, shard, shards)
 	if fw.Telemetry.Active() {
 		active := fw.Telemetry.Gauge("core_shards_active")
 		active.Set(1)

@@ -41,6 +41,9 @@ type datasetJSON struct {
 	// Telemetry is the engine's final telemetry snapshot. Older datasets
 	// simply lack the field; Digest never covers it (see Dataset.Digest).
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	// Shard is the fleet-campaign shard manifest. Like Telemetry it is
+	// persisted but never covered by Digest (see Dataset.Shard).
+	Shard *ShardManifest `json:"shard,omitempty"`
 }
 
 type runJSON struct {
@@ -117,9 +120,65 @@ type logJSON struct {
 	Detail string        `json:"detail"`
 }
 
-// Save writes the dataset as gzip-compressed JSON, including the
-// telemetry snapshot when one is attached.
-func (d *Dataset) Save(w io.Writer) error {
+// Format selects one of the dataset's on-disk encodings. Save takes a
+// Format; Load sniffs it from the leading magic bytes, so a round trip is
+// format-agnostic at the read site.
+type Format int
+
+const (
+	// FormatJSON is gzip-compressed JSON — portable, self-explaining,
+	// slow to decode at paper scale.
+	FormatJSON Format = iota
+	// FormatSnapshot is the versioned binary snapshot — string/blob/
+	// header tables, chunk-framed flow records decoded on all cores.
+	FormatSnapshot
+)
+
+// String names the format the way ParseFormat spells it.
+func (f Format) String() string {
+	switch f {
+	case FormatJSON:
+		return "json"
+	case FormatSnapshot:
+		return "snapshot"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// ParseFormat maps the CLI spellings "json" and "snapshot" to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "json":
+		return FormatJSON, nil
+	case "snapshot":
+		return FormatSnapshot, nil
+	}
+	return 0, fmt.Errorf("store: unknown dataset format %q (want json or snapshot)", s)
+}
+
+// Save writes the dataset to w in the chosen format, including the
+// telemetry snapshot and shard manifest when attached. It replaces the
+// old Save-method/SaveSnapshot-method pair with one symmetric entry
+// point; Load sniffs the format back.
+func Save(w io.Writer, d *Dataset, f Format) error {
+	switch f {
+	case FormatJSON:
+		return d.saveJSON(w)
+	case FormatSnapshot:
+		return d.saveSnapshot(w)
+	}
+	return fmt.Errorf("store: save: unknown format %v", f)
+}
+
+// Save writes the dataset as gzip-compressed JSON.
+//
+// Deprecated: call Save(w, d, FormatJSON); this method remains as a thin
+// wrapper for older call sites.
+func (d *Dataset) Save(w io.Writer) error { return d.saveJSON(w) }
+
+// saveJSON writes the dataset as gzip-compressed JSON, including the
+// telemetry snapshot and shard manifest when attached.
+func (d *Dataset) saveJSON(w io.Writer) error {
 	gz := gzip.NewWriter(w)
 	if err := d.encodeStream(gz, true); err != nil {
 		return err
@@ -222,6 +281,13 @@ func (d *Dataset) encodeStream(w io.Writer, withTelemetry bool) error {
 	if withTelemetry && d.Telemetry != nil {
 		e.raw(`,"telemetry":`)
 		e.val(d.Telemetry)
+	}
+	// The shard manifest rides with the telemetry snapshot: persisted by
+	// Save, stripped from the Digest (merged digests must equal the
+	// single-process run's).
+	if withTelemetry && d.Shard != nil {
+		e.raw(`,"shard":`)
+		e.val(d.Shard)
 	}
 	e.raw("}\n") // json.Encoder terminates the value with a newline
 	if e.err != nil {
@@ -486,6 +552,7 @@ func (d *Dataset) encodeJSON(w io.Writer, withTelemetry bool) error {
 	out := datasetJSON{Version: 1}
 	if withTelemetry {
 		out.Telemetry = d.Telemetry
+		out.Shard = d.Shard
 	}
 	for _, run := range d.Runs {
 		rj := runJSON{
@@ -590,9 +657,23 @@ func expandHeader(m map[string]string, tab *intern.Strings) http.Header {
 }
 
 // Load reads a dataset in either of the two on-disk formats: gzip-JSON
-// (Save) or the binary snapshot (SaveSnapshot). The format is sniffed from
-// the leading magic bytes.
+// (FormatJSON) or the binary snapshot (FormatSnapshot). The format is
+// sniffed from the leading magic bytes.
 func Load(r io.Reader) (*Dataset, error) {
+	return loadDedup(r, nil)
+}
+
+// LoadDedup is Load with a content-addressed dedup table: bodies and
+// header blocks of the loaded dataset are canonicalized through dd, so
+// loading K shard datasets of one campaign through a shared table holds
+// one copy of each distinct payload instead of K. Snapshot inputs dedup
+// during table decode (per distinct table entry); JSON inputs dedup in a
+// post-load pass. dd must not be shared by concurrent loads.
+func LoadDedup(r io.Reader, dd *Dedup) (*Dataset, error) {
+	return loadDedup(r, dd)
+}
+
+func loadDedup(r io.Reader, dd *Dedup) (*Dataset, error) {
 	// Seekable inputs (files, bytes.Reader) sniff without a buffering
 	// wrapper, so LoadSnapshot still sees the Seeker and can size its read
 	// exactly instead of growing a buffer through io.ReadAll.
@@ -603,9 +684,9 @@ func Load(r io.Reader) (*Dataset, error) {
 		}
 		if _, err := rs.Seek(-2, io.SeekCurrent); err == nil {
 			if magic[0] == snapshotMagic0 && magic[1] == snapshotMagic1 {
-				return LoadSnapshot(rs)
+				return loadSnapshot(rs, dd)
 			}
-			return loadJSON(rs)
+			return loadJSON(rs, dd)
 		}
 		// Cannot rewind (pathological Seeker): stitch the consumed magic
 		// back on and take the buffered path below.
@@ -617,13 +698,13 @@ func Load(r io.Reader) (*Dataset, error) {
 		return nil, fmt.Errorf("store: load: %w", err)
 	}
 	if magic[0] == snapshotMagic0 && magic[1] == snapshotMagic1 {
-		return LoadSnapshot(br)
+		return loadSnapshot(br, dd)
 	}
-	return loadJSON(br)
+	return loadJSON(br, dd)
 }
 
-// loadJSON reads a dataset written by Save.
-func loadJSON(r io.Reader) (*Dataset, error) {
+// loadJSON reads a dataset written in FormatJSON.
+func loadJSON(r io.Reader, dd *Dedup) (*Dataset, error) {
 	gz, err := gzip.NewReader(r)
 	if err != nil {
 		return nil, fmt.Errorf("store: load: %w", err)
@@ -637,7 +718,7 @@ func loadJSON(r io.Reader) (*Dataset, error) {
 		return nil, fmt.Errorf("store: unsupported dataset version %d", in.Version)
 	}
 	tab := intern.NewStrings(256)
-	d := &Dataset{Telemetry: in.Telemetry}
+	d := &Dataset{Telemetry: in.Telemetry, Shard: in.Shard}
 	for _, rj := range in.Runs {
 		run, err := runFromJSON(&rj)
 		if err != nil {
@@ -654,6 +735,11 @@ func loadJSON(r io.Reader) (*Dataset, error) {
 			}
 		}
 		d.Runs = append(d.Runs, run)
+	}
+	if dd != nil {
+		// The JSON format has no content tables, so canonicalize per flow
+		// after the fact.
+		dd.Apply(d)
 	}
 	return d, nil
 }

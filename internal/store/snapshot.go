@@ -59,6 +59,9 @@ import (
 //	  tag 4  telemetry:    telemetry.Snapshot as JSON
 //	  tag 5  request-header table:  uv count, per block uv len + bytes
 //	  tag 6  response-header table: uv count, per block uv len + bytes
+//	  tag 7  shard manifest: ShardManifest as JSON (fleet shard datasets
+//	         only; written before every other section so fleet tooling can
+//	         read a shard's identity without decoding the data)
 //
 // Flow records are framed in length-prefixed chunks so the loader can
 // decode chunks concurrently — records themselves are variable-length, and
@@ -111,6 +114,7 @@ const (
 	secTelemetry = 4
 	secReqHdrs   = 5
 	secRespHdrs  = 6
+	secShard     = 7
 
 	flowFlagHTTPS   = 1 << 0
 	flowFlagFastURL = 1 << 1
@@ -272,9 +276,15 @@ func (t *headerTable) ref(block []byte) uint64 {
 	return id
 }
 
-// SaveSnapshot writes the dataset in the binary snapshot format. The output
+// SaveSnapshot writes the dataset in the binary snapshot format.
+//
+// Deprecated: call Save(w, d, FormatSnapshot); this method remains as a
+// thin wrapper for older call sites.
+func (d *Dataset) SaveSnapshot(w io.Writer) error { return d.saveSnapshot(w) }
+
+// saveSnapshot writes the dataset in the binary snapshot format. The output
 // is deterministic: saving the same dataset twice yields identical bytes.
-func (d *Dataset) SaveSnapshot(w io.Writer) error {
+func (d *Dataset) saveSnapshot(w io.Writer) error {
 	tab := intern.NewStrings(1024)
 	tab.Intern("") // ID 0 is the empty string
 	blobs := newBlobTable()
@@ -297,6 +307,19 @@ func (d *Dataset) SaveSnapshot(w io.Writer) error {
 	}
 	if err := bw.WriteByte(snapshotVer); err != nil {
 		return fmt.Errorf("store: snapshot: %w", err)
+	}
+
+	// The shard manifest leads so fleet tooling can identify a shard file
+	// from its first section; readers predating the fleet layer skip the
+	// unknown tag.
+	if d.Shard != nil {
+		raw, err := json.Marshal(d.Shard)
+		if err != nil {
+			return fmt.Errorf("store: snapshot: marshal shard manifest: %w", err)
+		}
+		if err := writeSection(bw, secShard, raw); err != nil {
+			return err
+		}
 	}
 
 	var sw snapWriter
@@ -601,8 +624,17 @@ func readAllSized(r io.Reader) ([]byte, error) {
 	return io.ReadAll(r)
 }
 
-// LoadSnapshot reads a dataset written by SaveSnapshot.
+// LoadSnapshot reads a dataset written in FormatSnapshot.
 func LoadSnapshot(r io.Reader) (*Dataset, error) {
+	return loadSnapshot(r, nil)
+}
+
+// loadSnapshot reads a snapshot, optionally canonicalizing bodies and
+// header blocks through a shared dedup table (see LoadDedup). Dedup
+// happens at table-decode time — once per distinct blob/block, not once
+// per flow — so the cost is proportional to the snapshot's content
+// cardinality, and the parallel flow decode is untouched.
+func loadSnapshot(r io.Reader, dd *Dedup) (*Dataset, error) {
 	raw, err := readAllSized(r)
 	if err != nil {
 		return nil, fmt.Errorf("store: snapshot: %w", err)
@@ -617,6 +649,7 @@ func LoadSnapshot(r io.Reader) (*Dataset, error) {
 
 	dec := &snapDecoder{
 		overlays: make(map[uint64]*appmodel.OverlaySpec, 16),
+		dd:       dd,
 	}
 	d := &Dataset{}
 	for sr.err == nil && sr.off < len(sr.b) {
@@ -646,6 +679,9 @@ func LoadSnapshot(r io.Reader) (*Dataset, error) {
 				b := ps.bytes()
 				// Blobs alias the file buffer; bodies are read-only
 				// downstream, so no copy is needed.
+				if dd != nil {
+					b = dd.Blob(b)
+				}
 				dec.blobs = append(dec.blobs, b)
 			}
 		case secReqHdrs:
@@ -664,6 +700,12 @@ func LoadSnapshot(r io.Reader) (*Dataset, error) {
 				return nil, fmt.Errorf("store: snapshot: telemetry: %w", err)
 			}
 			d.Telemetry = &snap
+		case secShard:
+			var m ShardManifest
+			if err := json.Unmarshal(payload, &m); err != nil {
+				return nil, fmt.Errorf("store: snapshot: shard manifest: %w", err)
+			}
+			d.Shard = &m
 		default:
 			// Unknown section from a newer writer: skip.
 		}
@@ -688,6 +730,9 @@ type snapDecoder struct {
 	respList []http.Header
 	// overlays caches parsed overlay specs by overlay-JSON string ID.
 	overlays map[uint64]*appmodel.OverlaySpec
+	// dd, when set, canonicalizes decoded blobs and header blocks across
+	// loads sharing the table (fleet merge).
+	dd *Dedup
 }
 
 // decodeHeaderTable builds every block of a header-table section.
@@ -704,6 +749,9 @@ func (d *snapDecoder) decodeHeaderTable(sr *snapReader, withSetCookie bool) []ht
 		if br.err != nil {
 			sr.err = br.err
 			break
+		}
+		if d.dd != nil {
+			h = d.dd.Header(h)
 		}
 		list = append(list, h)
 	}

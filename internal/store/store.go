@@ -185,6 +185,12 @@ type Dataset struct {
 	// excluded from Digest: the digest fingerprints the measurement data
 	// itself, so enabling observability can never change it.
 	Telemetry *telemetry.Snapshot
+	// Shard is the self-describing shard manifest of a fleet-campaign
+	// shard dataset (nil for complete datasets). Like Telemetry it is
+	// persisted by Save/Load but excluded from Digest: the digest of a
+	// merged dataset must equal the single-process run's, and the
+	// partition a shard came from is topology, not measurement data.
+	Shard *ShardManifest
 }
 
 // Run returns the named run, or nil.
