@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race chaos fuzz bench fmt lint bench-json bench-analyze bench-measure bench-merge benchgate fleet
+.PHONY: build test check race chaos fuzz bench fmt lint bench-json bench-analyze bench-measure bench-merge bench-span benchgate fleet trace
 
 build:
 	$(GO) build ./...
@@ -82,12 +82,21 @@ bench-merge:
 	$(GO) test -json -bench 'BenchmarkMergeShards' -benchtime 1x -run '^$$' . | tee BENCH_merge.json
 	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_merge.json -floor BENCH_floor.json -match 'BenchmarkMergeShards'
 
+# bench-span runs the tracer hot-path benchmark — one StartSpan/End pair
+# per op, allocation-pinned in the benchmark itself — records the
+# test2json stream as BENCH_span.json, and gates on the committed spans/s
+# floor (BENCH_floor.json).
+bench-span:
+	$(GO) test -json -bench 'BenchmarkSpanOverhead' -benchtime 1x -run '^$$' . | tee BENCH_span.json
+	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_span.json -floor BENCH_floor.json -match 'BenchmarkSpanOverhead'
+
 # benchgate re-checks already recorded BENCH_*.json streams against the
 # committed floors without re-running the (slow) paper-scale benchmarks.
 benchgate:
 	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_analyze.json -floor BENCH_floor.json -match 'BenchmarkAnalyze'
 	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_measure.json -floor BENCH_floor.json -match 'BenchmarkMeasureThroughput'
 	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_merge.json -floor BENCH_floor.json -match 'BenchmarkMergeShards'
+	$(GO) run ./cmd/hbbtv-benchgate -bench BENCH_span.json -floor BENCH_floor.json -match 'BenchmarkSpanOverhead'
 
 # fleet is the end-to-end topology demo and gate: build the tools, run a
 # 4-way fleet campaign as real collector processes, merge the shard
@@ -106,3 +115,16 @@ fleet: build
 	done && \
 	echo "== merge ==" && \
 	$$dir/hbbtv-merge -verify $$dir/single.snap $$dir/shard0.snap $$dir/shard1.snap $$dir/shard2.snap $$dir/shard3.snap
+
+# trace is the observability demo and gate: measure a small instrumented
+# campaign, summarize its span trace with hbbtv-trace, and export the
+# Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+trace: build
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) build -o $$dir/hbbtv-measure ./cmd/hbbtv-measure && \
+	$(GO) build -o $$dir/hbbtv-trace ./cmd/hbbtv-trace && \
+	echo "== instrumented campaign ==" && \
+	$$dir/hbbtv-measure -seed 321 -scale 0.05 -j 4 -telemetry -snapshot $$dir/campaign.snap && \
+	echo "== span trace summary ==" && \
+	$$dir/hbbtv-trace -chrome $$dir/trace.json $$dir/campaign.snap && \
+	echo "== chrome export: $$(wc -c < $$dir/trace.json) bytes of trace-event JSON =="

@@ -32,6 +32,7 @@ import (
 	"github.com/hbbtvlab/hbbtvlab/internal/stats"
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
 	"github.com/hbbtvlab/hbbtvlab/internal/synth"
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 	"github.com/hbbtvlab/hbbtvlab/internal/tracking"
 )
 
@@ -643,7 +644,12 @@ func BenchmarkMeasureThroughput(b *testing.B) {
 			)
 			var elapsed time.Duration
 			for i := 0; i < b.N; i++ {
-				study := NewStudy(Options{Seed: 1, Scale: 1.0, Parallelism: j})
+				// Telemetry (spans included) stays on: the throughput floor
+				// is the instrumented engine's, and the digest assert below
+				// doubles as the observer-effect proof at paper scale.
+				opts := Options{Seed: 1, Scale: 1.0, Parallelism: j}
+				opts.Telemetry = NewTelemetry(opts)
+				study := NewStudy(opts)
 				start := time.Now()
 				ds, err := study.ExecuteRuns()
 				if err != nil {
@@ -651,6 +657,9 @@ func BenchmarkMeasureThroughput(b *testing.B) {
 				}
 				elapsed += time.Since(start)
 				flows = len(ds.AllFlows())
+				if ds.Trace == nil || len(ds.Trace.Spans) == 0 {
+					b.Fatal("instrumented run produced no span trace")
+				}
 				if digest, err = ds.Digest(); err != nil {
 					b.Fatal(err)
 				}
@@ -664,6 +673,46 @@ func BenchmarkMeasureThroughput(b *testing.B) {
 				b.Fatalf("j=%d digest %s != j=1 digest %s; engine is not worker-independent", j, digest, baseline)
 			}
 		})
+	}
+}
+
+// BenchmarkSpanOverhead measures the tracer hot path in isolation — one
+// StartSpan/End pair on a shard slot, the cost every instrumented phase
+// pays — reporting spans/s (floored by the benchgate) and allocs/span.
+// The allocation pin is hard: the freelist and chunked arena make a
+// note-less span amortize to well under one allocation, and the bench
+// fails if that regresses, because the measurement engine opens a span
+// for every visit, attempt, tune, AIT decode, and probe.
+func BenchmarkSpanOverhead(b *testing.B) {
+	const spansPerOp = 100_000
+	base := time.Date(2023, 8, 21, 17, 0, 0, 0, time.UTC)
+	var elapsed time.Duration
+	var mallocs, spans uint64
+	for i := 0; i < b.N; i++ {
+		reg := telemetry.New(telemetry.Options{Shards: 1, SpanCap: spansPerOp})
+		now := base
+		sh := reg.Shard(0, func() time.Time {
+			now = now.Add(time.Millisecond)
+			return now
+		})
+		// Warm the freelist and first chunk outside the measured window.
+		sh.StartSpan(telemetry.SpanVisit, "warm").End()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for k := 0; k < spansPerOp; k++ {
+			sh.StartSpan(telemetry.SpanVisit, "bench").End()
+		}
+		elapsed += time.Since(start)
+		runtime.ReadMemStats(&after)
+		mallocs += after.Mallocs - before.Mallocs
+		spans += spansPerOp
+	}
+	perSpan := float64(mallocs) / float64(spans)
+	b.ReportMetric(float64(spans)/elapsed.Seconds(), "spans/s")
+	b.ReportMetric(perSpan, "allocs/span")
+	if perSpan >= 1 {
+		b.Fatalf("span hot path allocates %.3f objects per span, want amortized < 1", perSpan)
 	}
 }
 

@@ -25,9 +25,14 @@
 // order of magnitude faster at paper scale.
 //
 // With -telemetry the engine is instrumented (live progress line on
-// stderr, final snapshot embedded in -save output); -telemetry-json
-// streams periodic JSON-line snapshots; -telemetry-http serves the
-// current snapshot over HTTP while the run executes.
+// stderr, final snapshot and span trace embedded in -save/-snapshot
+// output); -telemetry-json streams periodic JSON-line snapshots (one
+// final snapshot is always emitted at campaign end); -telemetry-http
+// serves the live campaign dashboard while the run executes: an embedded
+// HTML page on /, an SSE frame stream on /events, the raw snapshot on
+// /telemetry, a liveness probe on /healthz, and — only with -pprof —
+// net/http/pprof under /debug/pprof/. Inspect the persisted trace with
+// hbbtv-trace.
 //
 // With -fault-rate > 0 the run executes under deterministic fault
 // injection (chaos mode): the virtual network and broadcast layer fail
@@ -83,6 +88,7 @@ func run(args []string) error {
 	runName := fs.String("run", "", "execute only this run (General, Red, Green, Blue, Yellow)")
 	shards := fs.Int("shards", 0, "logical shard count of the sharded engine (0 = default; part of the experiment definition)")
 	allowPanics := fs.Bool("allow-panics", false, "exit 0 even when channels panicked and were recovered during measurement")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof on the -telemetry-http dashboard (/debug/pprof/)")
 	faultSeed := fs.Int64("fault-seed", 0, "fault-injection seed (0 = derive from -seed); meaningful with -fault-rate")
 	faultRate := fs.Float64("fault-rate", 0, "per-decision fault probability in [0, 1] (0 = reliable world)")
 	retries := fs.Int("retries", 0, "per-channel visit attempts (0 = default: 3 with faults on, 1 otherwise)")
@@ -188,16 +194,24 @@ func run(args []string) error {
 			return fmt.Errorf("-telemetry-http: %w", err)
 		}
 		defer httpLn.Close()
-		mux := http.NewServeMux()
-		mux.Handle("/telemetry", telemetry.Handler(opts.Telemetry))
-		go func() { _ = http.Serve(httpLn, mux) }()
-		fmt.Fprintf(os.Stderr, "telemetry: serving snapshot on http://%s/telemetry\n", httpLn.Addr())
+		dash := telemetry.Dashboard(opts.Telemetry, telemetry.DashboardOptions{
+			EnablePprof: *pprofFlag,
+		})
+		go func() { _ = http.Serve(httpLn, dash) }()
+		fmt.Fprintf(os.Stderr, "telemetry: live dashboard on http://%s/ (SSE /events, snapshot /telemetry, /healthz)\n", httpLn.Addr())
+	} else if *pprofFlag {
+		return fmt.Errorf("-pprof exposes the profiler on the dashboard; it requires -telemetry-http")
 	}
 	var progress *progressReporter
 	if telemetryOn {
 		total := uint64(measured * runs)
 		progress = newProgressReporter(opts.Telemetry, os.Stderr, sink, total)
 		progress.start()
+		// finish is idempotent: the deferred call guarantees the final
+		// snapshot reaches the -telemetry-json sink even when a later step
+		// errors out between ticks; the explicit call below just places the
+		// final progress line before the summaries.
+		defer progress.finish()
 	}
 
 	var ds *store.Dataset
@@ -217,6 +231,7 @@ func run(args []string) error {
 		ds = &store.Dataset{Runs: []*store.RunData{rd}}
 		if opts.Telemetry != nil {
 			ds.Telemetry = opts.Telemetry.Snapshot()
+			ds.Trace = opts.Telemetry.Trace()
 		}
 	} else {
 		var err error
@@ -250,6 +265,10 @@ func run(args []string) error {
 		fmt.Printf("telemetry: %d flows, %d channel visits, %d events (%d dropped)\n",
 			snap.Counters["proxy_flows_recorded"], snap.Counters["core_channels_visited"],
 			len(snap.Events), snap.DroppedEvents)
+	}
+	if tr := ds.Trace; tr != nil {
+		fmt.Printf("trace: %d spans (%d dropped); summarize with hbbtv-trace\n",
+			len(tr.Spans), tr.DroppedSpans())
 	}
 	if m := ds.Shard; m != nil {
 		fmt.Printf("shard %d of %d: %d of %d channels, order digest %.12s\n",

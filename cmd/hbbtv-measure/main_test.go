@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -88,6 +89,12 @@ func TestTelemetryEndToEnd(t *testing.T) {
 	if ds.Telemetry.Counters["proxy_flows_recorded"] == 0 {
 		t.Error("snapshot counts no flows")
 	}
+	if ds.Trace == nil || len(ds.Trace.Spans) == 0 {
+		t.Fatal("saved dataset has no span trace")
+	}
+	if !reflect.DeepEqual(fromSnap.Trace, ds.Trace) {
+		t.Fatal("-snapshot and -save carry different traces")
+	}
 
 	lf, err := os.Open(lines)
 	if err != nil {
@@ -97,6 +104,7 @@ func TestTelemetryEndToEnd(t *testing.T) {
 	sc := bufio.NewScanner(lf)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	n := 0
+	var last telemetry.Snapshot
 	for sc.Scan() {
 		if strings.TrimSpace(sc.Text()) == "" {
 			continue
@@ -105,6 +113,7 @@ func TestTelemetryEndToEnd(t *testing.T) {
 		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
 			t.Fatalf("sink line %d invalid JSON: %v", n, err)
 		}
+		last = snap
 		n++
 	}
 	if err := sc.Err(); err != nil {
@@ -113,6 +122,13 @@ func TestTelemetryEndToEnd(t *testing.T) {
 	// At minimum the final snapshot written by finish().
 	if n < 1 {
 		t.Fatalf("sink received %d snapshot lines, want >= 1", n)
+	}
+	// The last line is the campaign-end snapshot finish() flushes: its
+	// counters must equal the final state embedded in the dataset, so a
+	// consumer tailing the stream never misses the end of the campaign.
+	if !reflect.DeepEqual(last.Counters, ds.Telemetry.Counters) {
+		t.Fatalf("final sink snapshot differs from the embedded one:\nsink %+v\nsaved %+v",
+			last.Counters, ds.Telemetry.Counters)
 	}
 }
 

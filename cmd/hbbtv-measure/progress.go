@@ -3,6 +3,7 @@ package main
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
@@ -26,6 +27,7 @@ type progressReporter struct {
 
 	stop chan struct{}
 	done chan struct{}
+	once sync.Once
 }
 
 func newProgressReporter(reg *telemetry.Registry, out io.Writer, sink *telemetry.LineSink, total uint64) *progressReporter {
@@ -96,13 +98,19 @@ func (p *progressReporter) line(flows uint64, rate float64) string {
 	return s
 }
 
-// finish stops the loop and prints the final state on its own line.
+// finish stops the loop, prints the final state on its own line, and
+// emits one last sink snapshot so the campaign's end state is never lost
+// between ticks. Idempotent: hbbtv-measure both defers it (for error
+// exits) and calls it explicitly (for output ordering).
 func (p *progressReporter) finish() {
-	close(p.stop)
-	<-p.done
-	flows := p.reg.Counter("proxy_flows_recorded").Value()
-	fmt.Fprintf(p.out, "\r%s\n", p.line(flows, -1))
-	if p.sink != nil {
-		_ = p.sink.Emit(p.reg.Snapshot())
-	}
+	p.once.Do(func() {
+		close(p.stop)
+		<-p.done
+		flows := p.reg.Counter("proxy_flows_recorded").Value()
+		fmt.Fprintf(p.out, "\r%s\n", p.line(flows, -1))
+		if p.sink != nil {
+			_ = p.sink.Emit(p.reg.Snapshot())
+			_ = p.sink.Flush()
+		}
+	})
 }

@@ -20,6 +20,11 @@
 // and exits non-zero unless the merged digest matches — the fleet CI
 // gate. -save / -snapshot write the merged dataset in the same formats
 // hbbtv-measure writes.
+//
+// When the shards were measured with -telemetry, the merged dataset
+// carries the fleet-wide telemetry snapshot and span trace recombined
+// from the shards (see telemetry.MergeShardSnapshots); neither enters
+// the digest, so instrumented and bare shards verify identically.
 package main
 
 import (
@@ -105,6 +110,13 @@ func run(args []string, w io.Writer) error {
 			loadDur.Round(time.Millisecond),
 			stats.BlobsShared, stats.Blobs, stats.BlobRatio()*100, stats.BlobBytes,
 			stats.HeadersShared, stats.Headers)
+		if merged.Telemetry != nil {
+			line := fmt.Sprintf("telemetry: merged snapshot from %d shard(s)", len(merged.Telemetry.Shards))
+			if tr := merged.Trace; tr != nil {
+				line += fmt.Sprintf("; trace: %d spans (%d dropped); summarize with hbbtv-trace", len(tr.Spans), tr.DroppedSpans())
+			}
+			fmt.Fprintln(w, line)
+		}
 	}
 	fmt.Fprintf(w, "digest %s\n", digest)
 

@@ -11,6 +11,7 @@ import (
 	"github.com/hbbtvlab/hbbtvlab/internal/core"
 	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
 	"github.com/hbbtvlab/hbbtvlab/internal/store"
+	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 )
 
 // This file is the fleet topology's library surface: ExecuteShard runs
@@ -90,22 +91,43 @@ func (s *Study) ExecuteShardContext(ctx context.Context, shard, of int) (*store.
 
 	ds := &store.Dataset{}
 	var degraded []error
-	for _, spec := range s.opts.Runs {
-		run, rerr := fw.ExecuteRunContext(ctx, spec, subset)
-		if run != nil {
-			ds.Runs = append(ds.Runs, run)
+	var hard error
+	// The shard bracket runs in a closure so its deferred stop event and
+	// gauge flip land before finishShard collects the telemetry snapshot.
+	// The bracket mirrors core.Pool's runShard exactly — same gauge, same
+	// event details — so a fleet shard's slot is event-for-event identical
+	// to the in-process run's and the telemetry merge reproduces it.
+	func() {
+		if fw.Telemetry.Active() {
+			active := fw.Telemetry.Gauge("core_shards_active")
+			active.Set(1)
+			fw.Telemetry.Event(telemetry.EventShardStart, fmt.Sprintf("channels=%d", len(subset)))
+			defer func() {
+				fw.Telemetry.Event(telemetry.EventShardStop, "")
+				active.Set(0)
+			}()
 		}
-		if rerr != nil {
-			// Mirror the in-process shard loop (core.Pool): degradation is
-			// recorded and the next run proceeds; anything else — above all
-			// cancellation — stops the shard.
-			if core.DegradedOnly(rerr) {
-				degraded = append(degraded, fmt.Errorf("hbbtvlab: shard %d: run %s: %w", shard, spec.Name, rerr))
-				continue
+		for _, spec := range s.opts.Runs {
+			run, rerr := fw.ExecuteRunContext(ctx, spec, subset)
+			if run != nil {
+				ds.Runs = append(ds.Runs, run)
 			}
-			s.finishShard(ds, shard, of, channels)
-			return ds, fmt.Errorf("hbbtvlab: shard %d: run %s: %w", shard, spec.Name, rerr)
+			if rerr != nil {
+				// Mirror the in-process shard loop (core.Pool): degradation is
+				// recorded and the next run proceeds; anything else — above all
+				// cancellation — stops the shard.
+				if core.DegradedOnly(rerr) {
+					degraded = append(degraded, fmt.Errorf("hbbtvlab: shard %d: run %s: %w", shard, spec.Name, rerr))
+					continue
+				}
+				hard = fmt.Errorf("hbbtvlab: shard %d: run %s: %w", shard, spec.Name, rerr)
+				return
+			}
 		}
+	}()
+	if hard != nil {
+		s.finishShard(ds, shard, of, channels)
+		return ds, hard
 	}
 	if err := s.finishShard(ds, shard, of, channels); err != nil {
 		return ds, err
@@ -193,9 +215,10 @@ func Merge(datasets ...*store.Dataset) (*store.Dataset, error) {
 // exactly once — and merges them into one complete dataset whose Digest
 // is byte-identical to a single-process sharded run (Options.Parallelism
 // >= 1, Options.Shards = N) of the same study, fault-degraded campaigns
-// included. The merged dataset carries no shard manifest and no
-// telemetry snapshot. Input order does not matter; the manifests place
-// every dataset.
+// included. The merged dataset carries no shard manifest, but it does
+// carry the fleet-wide telemetry snapshot and span trace merged from the
+// shards (see store.MergeShards). Input order does not matter; the
+// manifests place every dataset.
 func MergeContext(ctx context.Context, datasets ...*store.Dataset) (*store.Dataset, error) {
 	ds, err := store.MergeShards(ctx, nil, datasets)
 	if err != nil {

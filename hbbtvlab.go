@@ -292,6 +292,11 @@ func (s *Study) ExecuteRunsContext(ctx context.Context) (*store.Dataset, error) 
 	}
 	ds := &store.Dataset{}
 	var degraded []error
+	// The serial campaign span must close before attachTelemetry collects
+	// the trace (open spans are excluded from the artifact), so it is
+	// ended explicitly on both exits rather than deferred.
+	campaign := s.Framework.Telemetry.StartSpan(telemetry.SpanCampaign,
+		fmt.Sprintf("runs=%d", len(s.opts.Runs)))
 	for _, spec := range s.opts.Runs {
 		run, err := s.Framework.ExecuteRunContext(ctx, spec, channels)
 		if run != nil {
@@ -305,20 +310,23 @@ func (s *Study) ExecuteRunsContext(ctx context.Context) (*store.Dataset, error) 
 				degraded = append(degraded, fmt.Errorf("hbbtvlab: run %s: %w", spec.Name, err))
 				continue
 			}
+			campaign.End()
 			s.attachTelemetry(ds)
 			return ds, fmt.Errorf("hbbtvlab: run %s: %w", spec.Name, err)
 		}
 	}
+	campaign.End()
 	s.attachTelemetry(ds)
 	return ds, errors.Join(degraded...)
 }
 
-// attachTelemetry embeds the engine's final telemetry snapshot in the
-// dataset (a no-op when telemetry is disabled). The snapshot rides along
-// in Dataset.Save but is excluded from Dataset.Digest.
+// attachTelemetry embeds the engine's final telemetry snapshot and span
+// trace in the dataset (a no-op when telemetry is disabled). Both ride
+// along in Dataset.Save but are excluded from Dataset.Digest.
 func (s *Study) attachTelemetry(ds *store.Dataset) {
 	if ds != nil && s.opts.Telemetry != nil {
 		ds.Telemetry = s.opts.Telemetry.Snapshot()
+		ds.Trace = s.opts.Telemetry.Trace()
 	}
 }
 

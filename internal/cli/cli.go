@@ -60,7 +60,7 @@ type Telemetry struct {
 func (t *Telemetry) Register(fs *flag.FlagSet) {
 	fs.BoolVar(&t.Enabled, "telemetry", false, "instrument the engine: live progress line on stderr, snapshot embedded in -save output")
 	fs.StringVar(&t.JSONPath, "telemetry-json", "", "stream periodic telemetry snapshots as JSON lines to this file (implies -telemetry)")
-	fs.StringVar(&t.HTTPAddr, "telemetry-http", "", "serve the live telemetry snapshot over HTTP on this address, e.g. localhost:8377 (implies -telemetry)")
+	fs.StringVar(&t.HTTPAddr, "telemetry-http", "", "serve the live dashboard on this address, e.g. localhost:8377: HTML at /, SSE at /events, JSON snapshot at /telemetry (implies -telemetry)")
 }
 
 // On reports whether any of the trio enables instrumentation.

@@ -199,7 +199,11 @@ func New(cfg Config) *Framework {
 func (f *Framework) onFault(kind faults.Kind, target string) {
 	f.metrics.faultsInjected.Inc()
 	if f.Telemetry.Active() {
-		f.Telemetry.Event(telemetry.EventFault, kind.String()+" "+target)
+		detail := kind.String() + " " + target
+		f.Telemetry.Event(telemetry.EventFault, detail)
+		// The fault also lands as a note on whatever span was running —
+		// the tune, app launch, or visit attempt it perturbed.
+		f.Telemetry.AnnotateSpan(telemetry.EventFault, detail)
 	}
 }
 
@@ -242,12 +246,15 @@ func (f *Framework) InteractionSequence() []appmodel.Key {
 func (f *Framework) Probe(watch time.Duration) ProbeFunc {
 	return func(svc *dvb.Service) (bool, error) {
 		f.metrics.probes.Inc()
+		span := f.Telemetry.StartSpan(telemetry.SpanProbe, svc.Name)
+		defer span.End()
 		var err error
 		for attempt := 1; attempt <= f.retry.attempts(); attempt++ {
 			if attempt > 1 {
 				f.backoff(svc.Name, attempt-1)
 			}
 			f.scopeChannel, f.scopeAttempt = svc.Name, attempt
+			span.SetAttempt(attempt)
 			var saw bool
 			saw, err = f.probeOnce(svc, watch)
 			if err == nil {
@@ -283,6 +290,9 @@ func (f *Framework) backoff(channel string, attempt int) {
 	f.metrics.channelsRetried.Inc()
 	if f.Telemetry.Active() {
 		f.Telemetry.Event(telemetry.EventRetry, fmt.Sprintf("%s attempt=%d", channel, attempt+1))
+	}
+	if f.Telemetry.Active() {
+		f.Telemetry.AnnotateSpan(telemetry.EventRetry, fmt.Sprintf("%s attempt=%d", channel, attempt+1))
 	}
 	delay := f.retry.backoff(attempt)
 	if delay <= 0 {
@@ -325,6 +335,8 @@ func (f *Framework) ExecuteRunContext(ctx context.Context, spec RunSpec, channel
 	f.TV.WipeBrowserState()
 	f.TV.PowerOn()
 	f.Telemetry.Event(telemetry.EventRunStart, string(spec.Name))
+	runSpan := f.Telemetry.StartSpan(telemetry.SpanRun, string(spec.Name))
+	defer runSpan.End()
 
 	avail := f.Availability[spec.Name]
 	order := f.rng.Perm(len(channels))
@@ -373,11 +385,13 @@ func (f *Framework) ExecuteRunContext(ctx context.Context, spec RunSpec, channel
 			}
 			f.metrics.channelsFailed.Inc()
 			f.Telemetry.Event(telemetry.EventChannelFail, svc.Name)
+			f.Telemetry.AnnotateSpan(telemetry.EventChannelFail, svc.Name)
 			f.failStreak[svc.Name]++
 			if q := f.retry.QuarantineAfter; q > 0 && f.failStreak[svc.Name] >= q {
 				f.quarantined[svc.Name] = true
 				f.metrics.channelsQuarantined.Inc()
 				f.Telemetry.Event(telemetry.EventQuarantine, svc.Name)
+				f.Telemetry.AnnotateSpan(telemetry.EventQuarantine, svc.Name)
 			}
 			continue
 		}
@@ -412,13 +426,20 @@ func (f *Framework) ExecuteRunContext(ctx context.Context, spec RunSpec, channel
 // fault decision keys on (host, channel, attempt).
 func (f *Framework) visitWithRetry(ctx context.Context, spec RunSpec, svc *dvb.Service, run *store.RunData) (int, error) {
 	f.metrics.channelsVisited.Inc()
+	visitSpan := f.Telemetry.StartSpan(telemetry.SpanVisit, svc.Name)
+	defer visitSpan.End()
 	var err error
 	for attempt := 1; attempt <= f.retry.attempts(); attempt++ {
 		if attempt > 1 {
+			// backoff annotates the visit span (the retry's delay is part of
+			// the visit, not of any single attempt).
 			f.backoff(svc.Name, attempt-1)
 		}
 		f.scopeChannel, f.scopeAttempt = svc.Name, attempt
+		attemptSpan := f.Telemetry.StartSpan(telemetry.SpanAttempt, svc.Name)
+		attemptSpan.SetAttempt(attempt)
 		err = f.visitChannelRecovered(spec, svc, run)
+		attemptSpan.End()
 		if err == nil || ctx.Err() != nil {
 			return attempt, err
 		}

@@ -76,6 +76,12 @@ func (p *Pool) ExecuteRuns(ctx context.Context, specs []RunSpec, channels []*dvb
 	if p.Factory == nil {
 		return nil, errors.New("core: pool has no shard factory")
 	}
+	// The campaign span lives on the controller slot. The controller's
+	// clock is the study clock, which stands still while the shards run on
+	// their own isolated clocks, so the span's extent is near zero — its
+	// value is being the root the merge spans hang off.
+	campaign := p.Telemetry.StartSpan(telemetry.SpanCampaign, fmt.Sprintf("runs=%d", len(specs)))
+	defer campaign.End()
 	shards := EffectiveShards(p.Shards, len(channels))
 	workers := p.Workers
 	if workers <= 0 {

@@ -27,6 +27,11 @@ const RefererGrace = 10 * time.Second
 // maxRecordedBody bounds how much of a request body is retained per flow.
 const maxRecordedBody = 16 << 10
 
+// BurstGap is the virtual-time silence that closes a flow burst: flows
+// closer together than this (on the same channel) belong to one burst
+// span — the trace's picture of "the app fired a volley of requests".
+const BurstGap = 5 * time.Second
+
 // arenaChunk is how many Flow records (and URLs) one arena block holds.
 // Half a million flows land in ~1k block allocations instead of 1M
 // individual ones, and records of one shard sit contiguously in memory.
@@ -62,6 +67,13 @@ type Recorder struct {
 	cFlows         *telemetry.BoundCounter
 	cUnattributed  *telemetry.BoundCounter
 	cResponseBytes *telemetry.BoundCounter
+	// burst is the open flow-burst span: a detached span whose start and
+	// end are flow timestamps, so the trace is identical no matter when
+	// the burst is eventually closed (channel switch, reset, collection).
+	burst        telemetry.SpanRef
+	burstOpen    bool
+	burstChannel string
+	burstLast    time.Time
 }
 
 type channelEpoch struct {
@@ -107,8 +119,19 @@ func (r *Recorder) SetRefererCorrection(on bool) {
 func (r *Recorder) SwitchChannel(name, id string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.closeBurstLocked()
 	r.prev = r.current
 	r.current = channelEpoch{name: name, id: id, since: r.clk.Now()}
+}
+
+// closeBurstLocked ends the open flow-burst span at its last flow's
+// timestamp. Callers hold r.mu.
+func (r *Recorder) closeBurstLocked() {
+	if r.burstOpen {
+		r.burst.EndAt(r.burstLast)
+		r.burst = telemetry.SpanRef{}
+		r.burstOpen = false
+	}
 }
 
 var _ http.RoundTripper = (*Recorder)(nil)
@@ -238,6 +261,19 @@ func (r *Recorder) record(f *Flow, u *url.URL) {
 			r.cUnattributed.Inc()
 		}
 		r.tele.Event(telemetry.EventFlow, f.Method+" "+f.host)
+		// Flow bursts: consecutive flows on one channel separated by less
+		// than BurstGap of virtual time share a burst span bounded by flow
+		// timestamps (never by when the burst happens to be closed).
+		if r.burstOpen && (f.Channel != r.burstChannel || f.Time.Sub(r.burstLast) > BurstGap) {
+			r.closeBurstLocked()
+		}
+		if !r.burstOpen {
+			r.burst = r.tele.OpenSpanAt(telemetry.SpanBurst, f.Channel, f.Time)
+			r.burstOpen = true
+			r.burstChannel = f.Channel
+		}
+		r.burst.AddFlow()
+		r.burstLast = f.Time
 	}
 }
 
@@ -269,10 +305,13 @@ func (r *Recorder) attributeLocked(f *Flow) (name, id string) {
 	return cur.name, cur.id
 }
 
-// Flows returns a snapshot copy of all recorded flows.
+// Flows returns a snapshot copy of all recorded flows. Collection also
+// closes any open flow-burst span (its end is the last flow's timestamp,
+// so closing late changes nothing).
 func (r *Recorder) Flows() []*Flow {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.closeBurstLocked()
 	out := make([]*Flow, len(r.flows))
 	copy(out, r.flows)
 	return out
@@ -283,6 +322,7 @@ func (r *Recorder) Flows() []*Flow {
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.closeBurstLocked()
 	r.flows = nil
 	r.flowArena = nil
 	r.urlArena = nil

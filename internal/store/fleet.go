@@ -318,9 +318,16 @@ func (d *Dedup) Apply(ds *Dataset) {
 // sharded run (core.Pool with Shards = N) of the same study produces,
 // degraded campaigns included.
 //
+// The shards' telemetry snapshots and span traces are merged too (see
+// telemetry.MergeShardSnapshots/MergeShardTraces): the merged dataset
+// carries fleet-wide counters, events, and spans equal to the
+// single-process run's, restricted to the shard slots.
+//
 // tele (typically an engine-controller handle) observes the per-run merge
-// phases; nil disables instrumentation. The merge is all-or-nothing: a
-// cancelled ctx returns nil and the context's error.
+// phases; nil disables instrumentation. Its events and spans are local to
+// the merging process and are not embedded in the merged dataset (they
+// may even be wall-clock-timestamped, as in hbbtv-merge). The merge is
+// all-or-nothing: a cancelled ctx returns nil and the context's error.
 func MergeShards(ctx context.Context, tele *telemetry.Shard, datasets []*Dataset) (*Dataset, error) {
 	if len(datasets) == 0 {
 		return nil, errors.New("store: merge: no shard datasets given")
@@ -408,5 +415,20 @@ func MergeShards(ctx context.Context, tele *telemetry.Shard, datasets []*Dataset
 		}
 		out.Runs = append(out.Runs, MergeRunShardsObserved(ref.ChannelOrder, shardRuns, tele))
 	}
+
+	// Carry the shards' telemetry snapshots and span traces into the
+	// merged dataset under the slot-restriction rule (each shard process
+	// re-runs the channel funnel on its slot 0, so only the slot matching
+	// the manifest's shard index contributes — see telemetry.MergeShardSnapshots).
+	shardIdx := make([]int, n)
+	snaps := make([]*telemetry.Snapshot, n)
+	traces := make([]*telemetry.Trace, n)
+	for s, ds := range byShard {
+		shardIdx[s] = ds.Shard.Shard
+		snaps[s] = ds.Telemetry
+		traces[s] = ds.Trace
+	}
+	out.Telemetry = telemetry.MergeShardSnapshots(shardIdx, snaps)
+	out.Trace = telemetry.MergeShardTraces(shardIdx, traces)
 	return out, nil
 }

@@ -44,6 +44,9 @@ type datasetJSON struct {
 	// Shard is the fleet-campaign shard manifest. Like Telemetry it is
 	// persisted but never covered by Digest (see Dataset.Shard).
 	Shard *ShardManifest `json:"shard,omitempty"`
+	// Trace is the engine's completed span trace. Like Telemetry it is
+	// persisted but never covered by Digest (see Dataset.Trace).
+	Trace *telemetry.Trace `json:"trace,omitempty"`
 }
 
 type runJSON struct {
@@ -288,6 +291,10 @@ func (d *Dataset) encodeStream(w io.Writer, withTelemetry bool) error {
 	if withTelemetry && d.Shard != nil {
 		e.raw(`,"shard":`)
 		e.val(d.Shard)
+	}
+	if withTelemetry && d.Trace != nil {
+		e.raw(`,"trace":`)
+		e.val(d.Trace)
 	}
 	e.raw("}\n") // json.Encoder terminates the value with a newline
 	if e.err != nil {
@@ -553,6 +560,7 @@ func (d *Dataset) encodeJSON(w io.Writer, withTelemetry bool) error {
 	if withTelemetry {
 		out.Telemetry = d.Telemetry
 		out.Shard = d.Shard
+		out.Trace = d.Trace
 	}
 	for _, run := range d.Runs {
 		rj := runJSON{
@@ -718,7 +726,7 @@ func loadJSON(r io.Reader, dd *Dedup) (*Dataset, error) {
 		return nil, fmt.Errorf("store: unsupported dataset version %d", in.Version)
 	}
 	tab := intern.NewStrings(256)
-	d := &Dataset{Telemetry: in.Telemetry, Shard: in.Shard}
+	d := &Dataset{Telemetry: in.Telemetry, Shard: in.Shard, Trace: in.Trace}
 	for _, rj := range in.Runs {
 		run, err := runFromJSON(&rj)
 		if err != nil {

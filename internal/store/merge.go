@@ -50,7 +50,12 @@ func MergeRunShardsObserved(order []string, shards []*RunData, tele *telemetry.S
 		}
 		tele.Event(telemetry.EventMergeBegin, fmt.Sprintf("shards=%d/%d", live, len(shards)))
 	}
+	mergeSpan := tele.StartSpan(telemetry.SpanMerge, "")
 	merged := mergeRunShards(order, shards)
+	if mergeSpan.Active() {
+		mergeSpan.SetName(string(merged.Name))
+	}
+	mergeSpan.End()
 	if tele.Active() {
 		tele.Counter("merge_runs").Inc()
 		tele.Counter("merge_channels").Add(uint64(len(merged.Channels)))

@@ -115,6 +115,7 @@ const (
 	secReqHdrs   = 5
 	secRespHdrs  = 6
 	secShard     = 7
+	secTrace     = 8
 
 	flowFlagHTTPS   = 1 << 0
 	flowFlagFastURL = 1 << 1
@@ -368,6 +369,15 @@ func (d *Dataset) saveSnapshot(w io.Writer) error {
 			return fmt.Errorf("store: snapshot: marshal telemetry: %w", err)
 		}
 		if err := writeSection(bw, secTelemetry, raw); err != nil {
+			return err
+		}
+	}
+	if d.Trace != nil {
+		raw, err := json.Marshal(d.Trace)
+		if err != nil {
+			return fmt.Errorf("store: snapshot: marshal trace: %w", err)
+		}
+		if err := writeSection(bw, secTrace, raw); err != nil {
 			return err
 		}
 	}
@@ -706,6 +716,12 @@ func loadSnapshot(r io.Reader, dd *Dedup) (*Dataset, error) {
 				return nil, fmt.Errorf("store: snapshot: shard manifest: %w", err)
 			}
 			d.Shard = &m
+		case secTrace:
+			var tr telemetry.Trace
+			if err := json.Unmarshal(payload, &tr); err != nil {
+				return nil, fmt.Errorf("store: snapshot: trace: %w", err)
+			}
+			d.Trace = &tr
 		default:
 			// Unknown section from a newer writer: skip.
 		}

@@ -191,6 +191,11 @@ type Dataset struct {
 	// merged dataset must equal the single-process run's, and the
 	// partition a shard came from is topology, not measurement data.
 	Shard *ShardManifest
+	// Trace is the engine's completed span trace (nil when tracing was
+	// disabled). Like Telemetry it is persisted by Save/Load but excluded
+	// from Digest: spans describe where the virtual time of the
+	// measurement went, not the measurement itself.
+	Trace *telemetry.Trace
 }
 
 // Run returns the named run, or nil.

@@ -1,6 +1,8 @@
 package telemetry
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -12,38 +14,81 @@ func atomicLoad(p *uint64) uint64 { return atomic.LoadUint64(p) }
 
 // LineSink writes snapshots as newline-delimited JSON — the periodic
 // sink behind `hbbtv-measure -telemetry-json`. Safe for concurrent use.
+// Each Emit flushes its line, so a consumer tailing the stream sees
+// every snapshot as soon as it is written; Close flushes any buffered
+// remainder and closes the destination if it is closable.
 type LineSink struct {
 	mu  sync.Mutex
+	w   io.Writer
+	bw  *bufio.Writer
 	enc *json.Encoder
 }
 
 // NewLineSink returns a sink emitting one JSON object per line to w.
 func NewLineSink(w io.Writer) *LineSink {
-	return &LineSink{enc: json.NewEncoder(w)}
+	bw := bufio.NewWriter(w)
+	return &LineSink{w: w, bw: bw, enc: json.NewEncoder(bw)}
 }
 
-// Emit writes one snapshot as a single JSON line.
+// Emit writes one snapshot as a single JSON line and flushes it.
 func (s *LineSink) Emit(snap *Snapshot) error {
 	if s == nil || snap == nil {
 		return nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.enc.Encode(snap)
+	if err := s.enc.Encode(snap); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// Flush forces any buffered output to the destination.
+func (s *LineSink) Flush() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bw.Flush()
+}
+
+// Close flushes the sink and closes the destination when it implements
+// io.Closer (a bare writer — stderr, a test buffer — is left open).
+func (s *LineSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.bw.Flush()
+	if c, ok := s.w.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Handler returns an expvar-style HTTP handler serving the registry's
-// current snapshot as JSON — the endpoint behind
-// `hbbtv-measure -telemetry-http`.
+// current snapshot as JSON — the `/telemetry` endpoint behind
+// `hbbtv-measure -telemetry-http`. The snapshot is encoded to a buffer
+// first so an encoding failure yields a clean 500 instead of a silently
+// truncated 200.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		snap := r.Snapshot()
 		if snap == nil {
 			snap = &Snapshot{}
 		}
-		enc := json.NewEncoder(w)
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(snap)
+		if err := enc.Encode(snap); err != nil {
+			http.Error(w, "telemetry: encoding snapshot: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
 	})
 }

@@ -38,6 +38,10 @@ type BucketCount struct {
 type ShardCounters struct {
 	Shard    int               `json:"shard"`
 	Counters map[string]uint64 `json:"counters,omitempty"`
+	// DroppedEvents counts this shard's own ring overwrites — the per-slot
+	// breakdown of Snapshot.DroppedEvents (fleet merging needs it to carry
+	// drop accounting across processes).
+	DroppedEvents uint64 `json:"droppedEvents,omitempty"`
 }
 
 // Snapshot captures the registry's current state. Safe to call while
@@ -66,9 +70,9 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	r.mu.Unlock()
 
+	perShard := make([]map[string]uint64, r.shards)
 	if len(counters) > 0 {
 		snap.Counters = make(map[string]uint64, len(counters))
-		perShard := make([]map[string]uint64, r.shards)
 		for _, c := range counters {
 			snap.Counters[c.name] = c.Value()
 			for s := 0; s < r.shards; s++ {
@@ -80,10 +84,13 @@ func (r *Registry) Snapshot() *Snapshot {
 				}
 			}
 		}
-		for s, m := range perShard {
-			if m != nil {
-				snap.Shards = append(snap.Shards, ShardCounters{Shard: s, Counters: m})
-			}
+	}
+	for s := 0; s < r.shards; s++ {
+		dropped := r.rings[s].droppedCount()
+		if perShard[s] != nil || dropped > 0 {
+			snap.Shards = append(snap.Shards, ShardCounters{
+				Shard: s, Counters: perShard[s], DroppedEvents: dropped,
+			})
 		}
 	}
 	if len(gauges) > 0 {

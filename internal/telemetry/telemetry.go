@@ -41,6 +41,11 @@ type Options struct {
 	// When a shard emits more events than fit, the oldest are overwritten
 	// and counted as dropped.
 	TraceCap int
+	// SpanCap is the per-shard completed-span capacity (0 = DefaultSpanCap).
+	// Unlike the event ring, the span store keeps the oldest spans: once a
+	// slot is full, newly completed spans are dropped and counted, so the
+	// retained prefix of every shard's span tree stays parent-consistent.
+	SpanCap int
 }
 
 // Registry holds every metric and the per-shard event rings. Metrics are
@@ -56,7 +61,8 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 
-	rings []*ring // len == shards+1; slot [shards] is the controller
+	rings   []*ring   // len == shards+1; slot [shards] is the controller
+	tracers []*tracer // same layout as rings: one span store per slot
 }
 
 // New builds a registry with the given shard count.
@@ -67,6 +73,9 @@ func New(opts Options) *Registry {
 	if opts.TraceCap <= 0 {
 		opts.TraceCap = DefaultTraceCap
 	}
+	if opts.SpanCap <= 0 {
+		opts.SpanCap = DefaultSpanCap
+	}
 	r := &Registry{
 		shards:   opts.Shards,
 		traceCap: opts.TraceCap,
@@ -74,9 +83,15 @@ func New(opts Options) *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 		rings:    make([]*ring, opts.Shards+1),
+		tracers:  make([]*tracer, opts.Shards+1),
 	}
 	for i := range r.rings {
 		r.rings[i] = &ring{buf: make([]Event, opts.TraceCap)}
+		shard := i
+		if i == opts.Shards {
+			shard = -1 // the controller slot reports like Shard.Index()
+		}
+		r.tracers[i] = &tracer{shard: shard, cap: opts.SpanCap}
 	}
 	return r
 }

@@ -77,6 +77,13 @@ func (rg *ring) snapshot() (events []Event, dropped uint64) {
 	return events, rg.dropped
 }
 
+// droppedCount reads the ring's overwrite count without copying events.
+func (rg *ring) droppedCount() uint64 {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	return rg.dropped
+}
+
 // Event appends a trace event to the shard's ring, timestamped on the
 // shard's virtual clock.
 func (s *Shard) Event(kind EventKind, detail string) {

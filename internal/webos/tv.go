@@ -310,6 +310,8 @@ func (tv *TV) TuneTo(svc *dvb.Service) error {
 		return fmt.Errorf("webos: TV is powered off")
 	}
 	tv.metrics.tunes.Inc()
+	tuneSpan := tv.cfg.Telemetry.StartSpan(telemetry.SpanTune, svc.Name)
+	defer tuneSpan.End()
 	tv.exitApp()
 	if f := tv.cfg.Faults.Tune(svc.Name, tv.faultAttempt()); f.Kind == faults.KindTuneFail {
 		if tv.cfg.OnFault != nil {
@@ -339,6 +341,7 @@ func (tv *TV) TuneTo(svc *dvb.Service) error {
 		return nil
 	}
 	section := svc.AITSection
+	aitSpan := tv.cfg.Telemetry.StartSpan(telemetry.SpanAIT, svc.Name)
 	if f := tv.cfg.Faults.AIT(svc.Name, tv.faultAttempt()); f.Kind == faults.KindAITCorrupt {
 		if tv.cfg.OnFault != nil {
 			tv.cfg.OnFault(f.Kind, svc.Name)
@@ -348,6 +351,7 @@ func (tv *TV) TuneTo(svc *dvb.Service) error {
 		section = tv.cfg.Faults.Corrupt(section, svc.Name, tv.faultAttempt())
 	}
 	ait, err := dvb.DecodeAIT(section)
+	aitSpan.End()
 	if err != nil {
 		tv.logf(LogError, "AIT decode for %s: %v", svc.Name, err)
 		return fmt.Errorf("webos: decode AIT: %w", err)
@@ -423,6 +427,8 @@ func (tv *TV) appVars() appmodel.Vars {
 
 // loadApp fetches and interprets an HbbTV application document.
 func (tv *TV) loadApp(entry string) error {
+	appSpan := tv.cfg.Telemetry.StartSpan(telemetry.SpanApp, entry)
+	defer appSpan.End()
 	base, err := url.Parse(entry)
 	if err != nil {
 		return fmt.Errorf("parse entry URL: %w", err)
