@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check race chaos fuzz bench fmt lint bench-json bench-analyze bench-measure bench-merge bench-span benchgate fleet trace
+.PHONY: build test check race chaos resume fuzz bench fmt lint bench-json bench-analyze bench-measure bench-merge bench-span benchgate fleet trace
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,19 @@ chaos:
 	$(GO) test -race -run 'TestChaos' -v .
 	$(GO) test -race ./internal/faults/ ./internal/hostnet/
 	$(GO) test -race -run 'TestRunContinues|TestQuarantine|TestSuccessResets|TestProbeFailure|TestDegradedOnly|TestRetryPolicy|TestVisitDeadline|TestPoolCancellation' ./internal/core/
+
+# resume runs the crash-safety suite under the race detector: the
+# checkpoint/journal format's torn-file contract (cut at every byte,
+# corrupt every section boundary), the in-process kill simulation
+# (journals truncated at seed-derived offsets must resume to digest
+# parity for every worker count, quarantine state included), and the
+# child-process chaos tests (hbbtv-measure SIGKILL'd mid-campaign and
+# resumed, fleet shards killed and merged, SIGINT exiting 3 with flushed
+# telemetry sinks). Kill points are seed-derived and logged, so a red
+# run names the exact (seed, size) pair to replay.
+resume:
+	$(GO) test -race -run 'TestCheckpoint|TestJournal' -v ./internal/store/
+	$(GO) test -race -run 'TestResume|TestChaosProcessKillResumeParity|TestChaosFleetKillResumeMerge|TestChaosResumeMismatchRejectedCLI|TestChaosInterruptGracefulExit' -v .
 
 # Short fuzzing pass over the binary AIT decoder (seeded corpus).
 fuzz:

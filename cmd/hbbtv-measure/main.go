@@ -7,6 +7,7 @@
 //
 //	hbbtv-measure [-seed N] [-scale F] [-j N] [-out flows.ndjson] [-run NAME]
 //	              [-shard i/N] [-save FILE] [-snapshot FILE]
+//	              [-checkpoint FILE] [-resume] [-checkpoint-sync N]
 //	              [-telemetry] [-telemetry-json FILE] [-telemetry-http ADDR]
 //	              [-fault-seed N] [-fault-rate F] [-retries N]
 //	              [-max-channel-failures N] [-allow-panics]
@@ -34,6 +35,21 @@
 // net/http/pprof under /debug/pprof/. Inspect the persisted trace with
 // hbbtv-trace.
 //
+// With -checkpoint FILE the campaign is crash-safe: every completed
+// (shard, run) cell is committed to a write-ahead journal and fsync'd
+// (cadence: -checkpoint-sync), so a campaign killed at any point — power
+// loss and SIGKILL included — restarts with -resume, replays the
+// journaled cells, measures only the remainder, and produces a dataset
+// byte-identical (by digest) to an uninterrupted run. The journal is
+// self-describing; resuming with a different seed, scale, fault plan,
+// retry policy, run set, topology, or channel order is rejected with an
+// error naming the differing field. Checkpointing needs a cell boundary,
+// so it requires the sharded engine (-j >= 1) or a fleet shard
+// (-shard i/N). On SIGINT or SIGTERM the campaign stops gracefully at
+// the next channel boundary, syncs the journal and the telemetry sinks,
+// and exits with status 3 (distinct from error status 1) so wrappers
+// know the journal is resumable; a second signal exits immediately.
+//
 // With -fault-rate > 0 the run executes under deterministic fault
 // injection (chaos mode): the virtual network and broadcast layer fail
 // with the given probability, scheduled purely by (-fault-seed, host,
@@ -41,19 +57,25 @@
 // quarantines instead of aborting. The same (-seed, -fault-seed) pair
 // reproduces the identical degraded campaign for every -j.
 //
-// Exit status: non-zero when any channel's measurement panicked and was
-// recovered (RecoveredPanics > 0), unless -allow-panics is set, and
-// non-zero when more channels ended failed or quarantined than
+// Exit status: 0 on success; 3 when the campaign was interrupted by
+// SIGINT/SIGTERM (the partial work is journaled if -checkpoint was
+// given); otherwise 1 — including when any channel's measurement panicked
+// and was recovered (RecoveredPanics > 0, unless -allow-panics is set)
+// and when more channels ended failed or quarantined than
 // -max-channel-failures allows — so CI and unattended campaigns can trust
 // the exit code.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	hbbtvlab "github.com/hbbtvlab/hbbtvlab"
@@ -64,10 +86,48 @@ import (
 	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
 )
 
+// exitInterrupted is the exit status of a campaign stopped gracefully by
+// SIGINT/SIGTERM: distinct from error status 1, so fleet wrappers know
+// the checkpoint journal (if any) is intact and resumable.
+const exitInterrupted = 3
+
+// errInterrupted marks the graceful-shutdown exit path.
+var errInterrupted = errors.New("interrupted")
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "hbbtv-measure:", err)
+		if errors.Is(err, errInterrupted) {
+			os.Exit(exitInterrupted)
+		}
 		os.Exit(1)
+	}
+}
+
+// signalContext returns a context cancelled by the first SIGINT or
+// SIGTERM — the engine then stops at its next channel boundary, the
+// checkpoint journal and telemetry sinks are synced on the way out, and
+// the process exits with status 3. A second signal exits immediately.
+func signalContext() (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-ch
+		if !ok {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "hbbtv-measure: %v: stopping at the next channel boundary (repeat to exit immediately)\n", sig)
+		cancel()
+		if sig, ok = <-ch; ok {
+			fmt.Fprintf(os.Stderr, "hbbtv-measure: %v: exiting immediately\n", sig)
+			os.Exit(exitInterrupted)
+		}
+	}()
+	return ctx, func() {
+		signal.Stop(ch)
+		close(ch)
+		cancel()
 	}
 }
 
@@ -78,11 +138,13 @@ func run(args []string) error {
 	var telem cli.Telemetry
 	var output cli.Output
 	var shardFlag cli.Shard
+	var ckpt cli.Checkpoint
 	world.Register(fs)
 	jobs.Register(fs, "the sharded measurement engine (the paper's serial procedure when 0)")
 	telem.Register(fs)
 	output.Register(fs, "the FULL dataset")
 	shardFlag.Register(fs)
+	ckpt.Register(fs)
 	out := fs.String("out", "", "write flows as NDJSON to this file (default: no dump)")
 	har := fs.String("har", "", "write all flows as a HAR 1.2 archive")
 	runName := fs.String("run", "", "execute only this run (General, Red, Green, Blue, Yellow)")
@@ -113,6 +175,17 @@ func run(args []string) error {
 		}
 		if *runName != "" {
 			return fmt.Errorf("-shard measures every run of its partition; it conflicts with -run")
+		}
+	}
+	if err := ckpt.Validate(); err != nil {
+		return err
+	}
+	if ckpt.Enabled() {
+		if *runName != "" {
+			return fmt.Errorf("-checkpoint journals whole campaigns; it conflicts with -run")
+		}
+		if !shardFlag.Enabled() && jobs.N < 1 {
+			return fmt.Errorf("-checkpoint needs a (shard, run) cell boundary; it requires the sharded engine (-j >= 1) or a fleet shard (-shard i/N)")
 		}
 	}
 
@@ -184,8 +257,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		// Closing the sink flushes its buffer and closes f; the deferred
+		// call covers every exit path — error returns, fault-budget aborts,
+		// and the graceful signal path all unwind through here.
 		sink = telemetry.NewLineSink(f)
+		defer sink.Close()
 	}
 	var httpLn net.Listener
 	if telem.HTTPAddr != "" {
@@ -214,18 +290,30 @@ func run(args []string) error {
 		defer progress.finish()
 	}
 
+	// The campaign runs under a signal-aware context: the first
+	// SIGINT/SIGTERM stops it at the next channel boundary, and the normal
+	// unwind below syncs the checkpoint journal and telemetry sinks before
+	// the process exits with the distinct interrupted status.
+	ctx, stopSignals := signalContext()
+	defer stopSignals()
+	co := hbbtvlab.CheckpointOptions{Path: ckpt.Path, Resume: ckpt.Resume, SyncEvery: ckpt.SyncEvery}
+
 	var ds *store.Dataset
 	var degradedErr error
 	if shardFlag.Enabled() {
-		ds, err = study.ExecuteShard(shardFlag.Index, shardFlag.Of)
+		if ckpt.Enabled() {
+			ds, err = study.ExecuteShardResumable(ctx, shardFlag.Index, shardFlag.Of, co)
+		} else {
+			ds, err = study.ExecuteShardContext(ctx, shardFlag.Index, shardFlag.Of)
+		}
 		if err != nil && (ds == nil || !hbbtvlab.DegradedOnly(err)) {
-			return err
+			return interruptedError(ctx, err, &ckpt)
 		}
 		degradedErr = err
 	} else if *runName != "" {
-		rd, err := study.Run(store.RunName(*runName))
+		rd, err := study.RunContext(ctx, store.RunName(*runName))
 		if err != nil && (rd == nil || !hbbtvlab.DegradedOnly(err)) {
-			return err
+			return interruptedError(ctx, err, &ckpt)
 		}
 		degradedErr = err
 		ds = &store.Dataset{Runs: []*store.RunData{rd}}
@@ -235,9 +323,13 @@ func run(args []string) error {
 		}
 	} else {
 		var err error
-		ds, err = study.ExecuteRuns()
+		if ckpt.Enabled() {
+			ds, err = study.ExecuteResumable(ctx, co)
+		} else {
+			ds, err = study.ExecuteRunsContext(ctx)
+		}
 		if err != nil && (ds == nil || !hbbtvlab.DegradedOnly(err)) {
-			return err
+			return interruptedError(ctx, err, &ckpt)
 		}
 		degradedErr = err
 	}
@@ -304,6 +396,19 @@ func run(args []string) error {
 		return err
 	}
 	return failuresError(ds, *maxChanFail)
+}
+
+// interruptedError maps a cancellation caused by the signal handler to
+// the distinct interrupted exit, pointing at the resumable journal when
+// one was kept; any other campaign error passes through unchanged.
+func interruptedError(ctx context.Context, err error, ck *cli.Checkpoint) error {
+	if ctx.Err() == nil || !errors.Is(err, ctx.Err()) {
+		return err
+	}
+	if ck.Enabled() {
+		return fmt.Errorf("%w; checkpoint journal %s holds every completed cell — rerun with -resume to continue", errInterrupted, ck.Path)
+	}
+	return fmt.Errorf("%w (no -checkpoint journal; a rerun starts over)", errInterrupted)
 }
 
 // shardChannels counts the channels shard i of an N-way fleet owns under

@@ -51,6 +51,14 @@ func (s *Study) ExecuteShard(shard, of int) (*store.Dataset, error) {
 // dataset with the context's error; a partial shard fails the merge's
 // coverage verification rather than corrupting the campaign.
 func (s *Study) ExecuteShardContext(ctx context.Context, shard, of int) (*store.Dataset, error) {
+	return s.executeShard(ctx, shard, of, nil)
+}
+
+// executeShard is the common body of ExecuteShardContext and the
+// checkpointed fleet path (ExecuteShardResumable): cp, when non-nil,
+// replays the shard's journaled run prefix and commits every freshly
+// completed run as a cell, exactly like core.Pool's runShard.
+func (s *Study) executeShard(ctx context.Context, shard, of int, cp *core.Checkpointer) (*store.Dataset, error) {
 	if of < 1 {
 		return nil, fmt.Errorf("hbbtvlab: ExecuteShard: shard count %d must be >= 1", of)
 	}
@@ -90,6 +98,7 @@ func (s *Study) ExecuteShardContext(ctx context.Context, shard, of int) (*store.
 	}
 
 	ds := &store.Dataset{}
+	runs := make([]*store.RunData, len(s.opts.Runs))
 	var degraded []error
 	var hard error
 	// The shard bracket runs in a closure so its deferred stop event and
@@ -107,24 +116,37 @@ func (s *Study) ExecuteShardContext(ctx context.Context, shard, of int) (*store.
 				active.Set(0)
 			}()
 		}
-		for _, spec := range s.opts.Runs {
+		start, rerr := cp.Resume(shard, s.opts.Runs, fw, runs)
+		if rerr != nil {
+			hard = fmt.Errorf("hbbtvlab: shard %d: %w", shard, rerr)
+			return
+		}
+		for si := start; si < len(s.opts.Runs); si++ {
+			spec := s.opts.Runs[si]
 			run, rerr := fw.ExecuteRunContext(ctx, spec, subset)
-			if run != nil {
-				ds.Runs = append(ds.Runs, run)
-			}
+			runs[si] = run // partial data is kept even on error
 			if rerr != nil {
 				// Mirror the in-process shard loop (core.Pool): degradation is
-				// recorded and the next run proceeds; anything else — above all
-				// cancellation — stops the shard.
-				if core.DegradedOnly(rerr) {
-					degraded = append(degraded, fmt.Errorf("hbbtvlab: shard %d: run %s: %w", shard, spec.Name, rerr))
-					continue
+				// recorded, committed, and the next run proceeds; anything
+				// else — above all cancellation — stops the shard without
+				// committing the partial run.
+				if !core.DegradedOnly(rerr) {
+					hard = fmt.Errorf("hbbtvlab: shard %d: run %s: %w", shard, spec.Name, rerr)
+					return
 				}
-				hard = fmt.Errorf("hbbtvlab: shard %d: run %s: %w", shard, spec.Name, rerr)
+				degraded = append(degraded, fmt.Errorf("hbbtvlab: shard %d: run %s: %w", shard, spec.Name, rerr))
+			}
+			if cerr := cp.CommitCell(shard, si, spec, fw, run); cerr != nil {
+				hard = fmt.Errorf("hbbtvlab: shard %d: run %s: checkpoint: %w", shard, spec.Name, cerr)
 				return
 			}
 		}
 	}()
+	for _, run := range runs {
+		if run != nil {
+			ds.Runs = append(ds.Runs, run)
+		}
+	}
 	if hard != nil {
 		s.finishShard(ds, shard, of, channels)
 		return ds, hard

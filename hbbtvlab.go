@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"github.com/hbbtvlab/hbbtvlab/internal/clock"
@@ -164,6 +165,20 @@ type Study struct {
 	injector *faults.Injector
 
 	selected []*dvb.Service
+
+	// worldsMu guards shardWorlds: the per-shard synthetic worlds built by
+	// shardFramework, kept so the checkpoint layer can capture and restore
+	// their handler state (tracker rng positions and ID counters).
+	worldsMu    sync.Mutex
+	shardWorlds map[int]*synth.World
+}
+
+// shardWorld returns the world built for the given shard, or nil before
+// its framework was built.
+func (s *Study) shardWorld(shard int) *synth.World {
+	s.worldsMu.Lock()
+	defer s.worldsMu.Unlock()
+	return s.shardWorlds[shard]
 }
 
 // NewStudy builds the world and wires the measurement framework to it.
@@ -350,6 +365,12 @@ func DegradedOnly(err error) bool { return core.DegradedOnly(err) }
 func (s *Study) shardFramework(shard int) (*core.Framework, error) {
 	clk := clock.NewVirtual(time.Date(2023, 8, 21, 9, 0, 0, 0, time.UTC))
 	world := synth.Build(synth.Config{Seed: s.opts.Seed, Scale: s.opts.Scale}, clk)
+	s.worldsMu.Lock()
+	if s.shardWorlds == nil {
+		s.shardWorlds = make(map[int]*synth.World)
+	}
+	s.shardWorlds[shard] = world
+	s.worldsMu.Unlock()
 	return core.New(core.Config{
 		Internet:     world.Internet,
 		Seed:         s.opts.Seed ^ int64(shard),

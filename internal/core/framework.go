@@ -9,6 +9,7 @@ import (
 
 	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
 	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/countrand"
 	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
 	"github.com/hbbtvlab/hbbtvlab/internal/faults"
 	"github.com/hbbtvlab/hbbtvlab/internal/hostnet"
@@ -67,6 +68,7 @@ type Framework struct {
 	Telemetry *telemetry.Shard
 
 	metrics fwMetrics
+	src     *countrand.Source
 	rng     *rand.Rand
 	// interaction is the fixed 10-press sequence used in all color runs,
 	// generated once with at least one ENTER.
@@ -148,10 +150,12 @@ func New(cfg Config) *Framework {
 	if clk == nil {
 		clk = clock.NewVirtual(cfg.Start)
 	}
+	src := countrand.New(cfg.Seed ^ 0x5bd1e995)
 	f := &Framework{
 		Clock:        clk,
 		Telemetry:    cfg.Telemetry,
-		rng:          rand.New(rand.NewSource(cfg.Seed ^ 0x5bd1e995)),
+		src:          src,
+		rng:          rand.New(src),
 		Availability: cfg.Availability,
 		retry:        cfg.Retry,
 		seed:         cfg.Seed,

@@ -51,6 +51,12 @@ type Pool struct {
 	// Per-shard instrumentation is wired by the Factory through
 	// Config.Telemetry.
 	Telemetry *telemetry.Shard
+	// Checkpoint, when non-nil, makes the campaign crash-safe: each
+	// shard's completed cells (from an earlier, killed run of the same
+	// study) are replayed instead of re-measured, and every freshly
+	// completed (shard, run) cell is committed through the hooks before
+	// the shard proceeds.
+	Checkpoint *Checkpointer
 }
 
 // shardOutcome is what one shard contributes: one RunData per spec index
@@ -171,8 +177,16 @@ func (p *Pool) runShard(ctx context.Context, shard, shards int, specs []RunSpec,
 			active.Set(0)
 		}()
 	}
+	// Resume: replay the shard's checkpointed run prefix and fast-forward
+	// the framework (and the shard's world) to the last cell's state.
+	start, err := p.Checkpoint.Resume(shard, specs, fw, out.runs)
+	if err != nil {
+		out.err = err
+		return out
+	}
 	var errs []error
-	for si, spec := range specs {
+	for si := start; si < len(specs); si++ {
+		spec := specs[si]
 		run, err := fw.ExecuteRunContext(ctx, spec, subset)
 		out.runs[si] = run // partial data is kept even on error
 		if err != nil {
@@ -182,10 +196,16 @@ func (p *Pool) runShard(ctx context.Context, shard, shards int, specs []RunSpec,
 			}
 			// Per-channel degradation (failed visits recorded as outcomes)
 			// does not stop the shard's remaining runs; anything else —
-			// cancellation, shard-level failure — does.
+			// cancellation, shard-level failure — does. A cancelled or
+			// hard-failed run is never committed as a cell: its data is
+			// partial, and a resume must re-measure it.
 			if !DegradedOnly(err) {
 				break
 			}
+		}
+		if cerr := p.Checkpoint.CommitCell(shard, si, spec, fw, run); cerr != nil {
+			errs = append(errs, fmt.Errorf("run %s: checkpoint: %w", spec.Name, cerr))
+			break
 		}
 	}
 	out.err = errors.Join(errs...)

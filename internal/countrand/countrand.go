@@ -1,0 +1,65 @@
+// Package countrand wraps math/rand's deterministic generator with a
+// draw counter, so a component's randomness position can be captured as a
+// single number and later reproduced by fast-forwarding a freshly seeded
+// source. This is the primitive the checkpoint/resume layer builds on:
+// every stateful consumer of randomness in the measurement engine (the
+// framework's channel-order rng, the TV's identifier rng, each tracker
+// service's cookie-ID rng) records only (seed, draws) in a checkpoint,
+// and a resume rebuilds the component from the seed and discards draws
+// values to land on the exact generator state the killed process held.
+package countrand
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Source is a counting rand.Source64. Every state advance of the
+// underlying generator — exactly one per Int63 or Uint64 call, which is
+// how math/rand's generator works — increments the draw counter, so
+// Draws fully describes the generator position for a given seed.
+type Source struct {
+	src   rand.Source64
+	draws uint64
+}
+
+// New returns a counting source seeded like rand.NewSource(seed).
+func New(seed int64) *Source {
+	return &Source{src: rand.NewSource(seed).(rand.Source64)}
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 {
+	s.draws++
+	return s.src.Int63()
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.draws++
+	return s.src.Uint64()
+}
+
+// Seed implements rand.Source. Reseeding resets the draw counter: the
+// position is again fully described by (seed, draws).
+func (s *Source) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.draws = 0
+}
+
+// Draws returns the number of values drawn since seeding.
+func (s *Source) Draws() uint64 { return s.draws }
+
+// FastForward discards draws until Draws() == target. It fails when the
+// source is already past target: a generator cannot be rewound, and a
+// checkpoint that asks for it is describing a different history.
+func (s *Source) FastForward(target uint64) error {
+	if target < s.draws {
+		return fmt.Errorf("countrand: cannot rewind source from %d to %d draws", s.draws, target)
+	}
+	for s.draws < target {
+		s.draws++
+		s.src.Uint64()
+	}
+	return nil
+}

@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/countrand"
 	"github.com/hbbtvlab/hbbtvlab/internal/hostnet"
 )
 
@@ -81,6 +82,7 @@ type TrackerService struct {
 	clk clock.Clock
 
 	mu     sync.Mutex
+	src    *countrand.Source
 	rng    *rand.Rand
 	nextID int64
 }
@@ -88,11 +90,43 @@ type TrackerService struct {
 // NewTrackerService builds the service. The seed keeps generated IDs
 // deterministic per world.
 func NewTrackerService(cfg Tracker, clk clock.Clock, seed int64) *TrackerService {
+	src := countrand.New(seed)
 	return &TrackerService{
 		cfg: cfg,
 		clk: clk,
-		rng: rand.New(rand.NewSource(seed)),
+		src: src,
+		rng: rand.New(src),
 	}
+}
+
+// Domain returns the service's registrable domain.
+func (t *TrackerService) Domain() string { return t.cfg.Domain }
+
+// State captures the service's mutable handler state — the rng draw
+// count and the short-ID counter. Together with the construction seed
+// these two numbers determine every future cookie value, so a checkpoint
+// records them and a resume restores a freshly built service with
+// Restore.
+func (t *TrackerService) State() (draws uint64, nextID int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.src.Draws(), t.nextID
+}
+
+// Restore fast-forwards a freshly built service to a captured State. It
+// fails when the service has already minted values past the target —
+// handler state cannot be rewound.
+func (t *TrackerService) Restore(draws uint64, nextID int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.src.FastForward(draws); err != nil {
+		return fmt.Errorf("headend: tracker %s: %w", t.cfg.Domain, err)
+	}
+	if nextID < t.nextID {
+		return fmt.Errorf("headend: tracker %s: cannot rewind short-ID counter from %d to %d", t.cfg.Domain, t.nextID, nextID)
+	}
+	t.nextID = nextID
+	return nil
 }
 
 // Install registers the tracker's domain (and a www/cdn wildcard) on the

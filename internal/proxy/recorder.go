@@ -2,6 +2,7 @@ package proxy
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"net/http"
 	"net/url"
@@ -337,6 +338,28 @@ func (r *Recorder) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.flows)
+}
+
+// NextID returns the flow-ID counter — the one piece of recorder state
+// that survives Reset (flow IDs run across measurement runs within a
+// shard), so it is part of a checkpoint cell's state.
+func (r *Recorder) NextID() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nextID
+}
+
+// RestoreNextID fast-forwards a fresh recorder's flow-ID counter to a
+// checkpointed value. It fails when flows have already been recorded
+// past the target — the counter cannot be rewound.
+func (r *Recorder) RestoreNextID(next int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if next < r.nextID {
+		return fmt.Errorf("proxy: cannot rewind flow-ID counter from %d to %d", r.nextID, next)
+	}
+	r.nextID = next
+	return nil
 }
 
 // isTextual reports whether a content type is worth retaining for content

@@ -1,0 +1,328 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
+	"github.com/hbbtvlab/hbbtvlab/internal/intern"
+	"github.com/hbbtvlab/hbbtvlab/internal/webos"
+)
+
+// This file is the checkpoint half of the crash-safe campaign layer: the
+// on-disk format that lets a killed collector resume to a Dataset.Digest
+// byte-identical to an uninterrupted run.
+//
+// A checkpoint is a set of completed cells. One cell is one (shard, run)
+// unit of work — the full RunData the shard's framework produced for that
+// run, plus the CellState needed to fast-forward a freshly built
+// framework and world to the exact engine state the producer held when
+// the run finished (rng positions, flow-ID counter, TV log history,
+// retry/quarantine bookkeeping, tracker handler state). Because the
+// engine is deterministic, replaying the cell data and restoring the cell
+// state is indistinguishable from having measured the prefix.
+//
+// On disk a checkpoint is an ordinary snapshot container (same magic,
+// version, and section framing as snapshot.go): a secCheckpoint section
+// holding the JSON metadata — study params fingerprint, topology, channel
+// order, and the per-cell states — followed by one secRun section per
+// cell carrying its RunData through the exact encoder the dataset
+// snapshot uses. Readers that don't know the checkpoint tag skip it, so
+// store.Load opens a checkpoint file as a plain dataset of its cell runs.
+//
+// The sidecar journal (journal.go) appends one single-cell checkpoint
+// per completed cell, CRC-framed and fsync'd, which is what survives
+// SIGKILL; this file defines the cell format both layers share.
+
+// TrackerState is the captured mutable handler state of one synthetic
+// tracker service: the count of rng values it has drawn and its short-ID
+// counter. Keyed by position in the world's deterministic install order;
+// Domain is carried for validation (a few domains are installed twice, so
+// the domain alone is not a key).
+type TrackerState struct {
+	Domain string `json:"domain"`
+	Draws  uint64 `json:"draws,omitempty"`
+	NextID int64  `json:"nextId,omitempty"`
+}
+
+// CellState is everything beyond the RunData itself that a resumed
+// framework must restore at a run boundary to continue byte-identically:
+// the cumulative state of the shard's deterministic machinery as of the
+// end of the cell's run.
+type CellState struct {
+	// FrameworkDraws is the framework rng's draw count (channel-order
+	// permutations and interaction scripts consume it).
+	FrameworkDraws uint64 `json:"frameworkDraws"`
+	// TVDraws is the TV identifier rng's draw count (user and session
+	// IDs).
+	TVDraws uint64 `json:"tvDraws"`
+	// RecorderNextID is the proxy recorder's next flow ID — flow IDs run
+	// across runs within a shard and are not reset by Recorder.Reset.
+	RecorderNextID int64 `json:"recorderNextId"`
+	// TVLogTail holds the TV log entries recorded after the run's data
+	// was collected (the trailing power-off entry): the TV accumulates
+	// logs across runs, so a resume seeds the TV with the cell's
+	// Data.Logs plus this tail.
+	TVLogTail []webos.LogEntry `json:"tvLogTail,omitempty"`
+	// FailStreak and Quarantined capture the retry policy's cross-run
+	// bookkeeping: consecutive failed runs per channel, and the channels
+	// already benched. A channel quarantined before a kill must stay
+	// quarantined after the resume — no bonus retries.
+	FailStreak  map[string]int `json:"failStreak,omitempty"`
+	Quarantined []string       `json:"quarantined,omitempty"`
+	// Trackers is the world's handler state in install order.
+	Trackers []TrackerState `json:"trackers,omitempty"`
+}
+
+// CheckpointCell is one completed (shard, run) unit of work.
+type CheckpointCell struct {
+	// Shard is the engine shard that produced the cell — the in-process
+	// shard index, or the fleet shard for -shard i/N collectors.
+	Shard int `json:"shard"`
+	// RunIndex is the run's position in the study's run-spec order.
+	RunIndex int `json:"runIndex"`
+	// Run is the run's name (validated against the spec on resume).
+	Run RunName `json:"run"`
+	// State is the shard's cumulative engine state at the end of the run.
+	State CellState `json:"state"`
+	// Data is the run's full measurement data, carried as a run section
+	// in the container rather than in the JSON metadata.
+	Data *RunData `json:"-"`
+}
+
+// Checkpoint is a self-describing set of completed cells. Its identity
+// block (Params through OrderDigest) pins the campaign the cells belong
+// to, so a resume with mismatched study parameters or topology is
+// rejected with the differing field named instead of silently producing a
+// dataset no uninterrupted run could have measured.
+type Checkpoint struct {
+	// Params is the study fingerprint — the same one the fleet layer's
+	// shard manifests carry.
+	Params StudyParams `json:"params"`
+	// Shards is the engine's shard count (Options.Shards for in-process
+	// campaigns, the fleet width for -shard collectors).
+	Shards int `json:"shards"`
+	// FleetShard is the fleet partition index for -shard i/N collectors,
+	// or -1 for in-process campaigns (which own every shard).
+	FleetShard int `json:"fleetShard"`
+	// Runs lists the run names in spec order; cell RunIndex values index
+	// into it.
+	Runs []RunName `json:"runs"`
+	// ChannelOrder is the canonical channel order with its digest — same
+	// contract as ShardManifest.
+	ChannelOrder []string `json:"channelOrder"`
+	OrderDigest  string   `json:"orderDigest"`
+	// Cells are the completed cells, in commit order.
+	Cells []*CheckpointCell `json:"cells,omitempty"`
+}
+
+// Validate checks that the loaded checkpoint describes the same campaign
+// as want (a header built from the resuming study's configuration). The
+// first mismatching field is named in the error.
+func (cp *Checkpoint) Validate(want *Checkpoint) error {
+	if field := cp.Params.diff(want.Params); field != "" {
+		return fmt.Errorf("store: checkpoint: study parameter mismatch: %s differs from the checkpointed campaign", field)
+	}
+	if cp.Shards != want.Shards {
+		return fmt.Errorf("store: checkpoint: shard count mismatch: checkpoint has %d, study wants %d", cp.Shards, want.Shards)
+	}
+	if cp.FleetShard != want.FleetShard {
+		return fmt.Errorf("store: checkpoint: fleet shard mismatch: checkpoint is for shard %s, study wants %s",
+			fleetShardLabel(cp.FleetShard), fleetShardLabel(want.FleetShard))
+	}
+	if len(cp.Runs) != len(want.Runs) {
+		return fmt.Errorf("store: checkpoint: run specs mismatch: checkpoint has %d runs, study wants %d", len(cp.Runs), len(want.Runs))
+	}
+	for i, name := range cp.Runs {
+		if name != want.Runs[i] {
+			return fmt.Errorf("store: checkpoint: run specs mismatch: run %d is %s in the checkpoint, %s in the study", i, name, want.Runs[i])
+		}
+	}
+	if cp.OrderDigest != want.OrderDigest {
+		return fmt.Errorf("store: checkpoint: channel order mismatch: checkpoint digest %s, study digest %s", cp.OrderDigest, want.OrderDigest)
+	}
+	return nil
+}
+
+func fleetShardLabel(shard int) string {
+	if shard < 0 {
+		return "the whole campaign (in-process)"
+	}
+	return fmt.Sprintf("%d", shard)
+}
+
+// checkCell validates a cell's coordinates against the checkpoint header.
+func (cp *Checkpoint) checkCell(c *CheckpointCell) error {
+	if c.RunIndex < 0 || c.RunIndex >= len(cp.Runs) {
+		return fmt.Errorf("store: checkpoint: cell run index %d out of range [0, %d)", c.RunIndex, len(cp.Runs))
+	}
+	if c.Run != cp.Runs[c.RunIndex] {
+		return fmt.Errorf("store: checkpoint: cell for run %d is named %s, spec says %s", c.RunIndex, c.Run, cp.Runs[c.RunIndex])
+	}
+	if c.Shard < 0 || (cp.Shards > 0 && c.Shard >= cp.Shards) {
+		return fmt.Errorf("store: checkpoint: cell shard %d out of range [0, %d)", c.Shard, cp.Shards)
+	}
+	if c.Data == nil {
+		return fmt.Errorf("store: checkpoint: cell (shard %d, run %s) has no data section", c.Shard, c.Run)
+	}
+	if c.Data.Name != c.Run {
+		return fmt.Errorf("store: checkpoint: cell (shard %d, run %s) carries data for run %s", c.Shard, c.Run, c.Data.Name)
+	}
+	return nil
+}
+
+// WriteCheckpoint writes the checkpoint as a snapshot container: the
+// metadata section first, then the shared tables, then one run section
+// per cell in cell order. The output is deterministic for a given
+// checkpoint.
+func WriteCheckpoint(w io.Writer, cp *Checkpoint) error {
+	for _, c := range cp.Cells {
+		if c.Data == nil {
+			return fmt.Errorf("store: checkpoint: cell (shard %d, run %s) has no data", c.Shard, c.Run)
+		}
+	}
+
+	tab := intern.NewStrings(1024)
+	tab.Intern("") // ID 0 is the empty string
+	blobs := newBlobTable()
+	scratch := flowSnapScratch{reqTab: newHeaderTable(), respTab: newHeaderTable()}
+	runSecs := make([][]byte, 0, len(cp.Cells))
+	for _, c := range cp.Cells {
+		sec, err := encodeRunSnapshot(c.Data, tab, blobs, &scratch)
+		if err != nil {
+			return err
+		}
+		runSecs = append(runSecs, sec)
+	}
+
+	meta, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("store: checkpoint: marshal metadata: %w", err)
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := writeSnapshotHeader(bw); err != nil {
+		return err
+	}
+	if err := writeSection(bw, secCheckpoint, meta); err != nil {
+		return err
+	}
+	if err := writeSnapshotTables(bw, tab, blobs, &scratch); err != nil {
+		return err
+	}
+	for _, sec := range runSecs {
+		if err := writeSection(bw, secRun, sec); err != nil {
+			return err
+		}
+	}
+	// End marker, same contract as the dataset snapshot: it lets both the
+	// checkpoint reader and the plain dataset loader detect a file cut at
+	// a section boundary.
+	if err := writeSection(bw, secEnd, nil); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint reads a checkpoint container written by WriteCheckpoint,
+// reattaching each cell's run data. Truncated or corrupted input fails
+// with a wrapped error naming the damage; it never yields a checkpoint
+// with fewer cells than the metadata promises.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	raw, err := readAllSized(r)
+	if err != nil {
+		return nil, fmt.Errorf("store: checkpoint: %w", err)
+	}
+	return decodeCheckpoint(raw)
+}
+
+// decodeCheckpoint decodes a checkpoint container from memory (the
+// journal reader calls this once per frame).
+func decodeCheckpoint(raw []byte) (*Checkpoint, error) {
+	if len(raw) < len(snapshotMagic)+1 || string(raw[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("store: checkpoint: bad magic")
+	}
+	if ver := raw[len(snapshotMagic)]; ver != snapshotVer {
+		return nil, fmt.Errorf("store: checkpoint: unsupported snapshot version %d", ver)
+	}
+	sr := &snapReader{b: raw, off: len(snapshotMagic) + 1}
+
+	dec := &snapDecoder{overlays: make(map[uint64]*appmodel.OverlaySpec, 16)}
+	var cp *Checkpoint
+	var runs []*RunData
+	sawEnd := false
+	for sr.err == nil && sr.off < len(sr.b) {
+		tag := sr.byte()
+		payload := sr.bytes()
+		if sr.err != nil {
+			break
+		}
+		ps := &snapReader{b: payload}
+		switch tag {
+		case secCheckpoint:
+			cp = &Checkpoint{}
+			if err := json.Unmarshal(payload, cp); err != nil {
+				return nil, fmt.Errorf("store: checkpoint: metadata: %w", err)
+			}
+		case secStrings:
+			n := ps.uvarint()
+			if n > uint64(len(payload)) {
+				return nil, fmt.Errorf("store: snapshot: implausible string count %d", n)
+			}
+			dec.strs = make([]string, 0, n)
+			for i := uint64(0); i < n && ps.err == nil; i++ {
+				dec.strs = append(dec.strs, string(ps.bytes()))
+			}
+		case secBlobs:
+			n := ps.uvarint()
+			if n > uint64(len(payload)) {
+				return nil, fmt.Errorf("store: snapshot: implausible blob count %d", n)
+			}
+			dec.blobs = make([][]byte, 0, n)
+			for i := uint64(0); i < n && ps.err == nil; i++ {
+				dec.blobs = append(dec.blobs, ps.bytes())
+			}
+		case secReqHdrs:
+			dec.reqList = dec.decodeHeaderTable(ps, false)
+		case secRespHdrs:
+			dec.respList = dec.decodeHeaderTable(ps, true)
+		case secRun:
+			run, err := dec.decodeRun(ps)
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, run)
+		case secEnd:
+			sawEnd = true
+		default:
+			// Unknown section from a newer writer: skip.
+		}
+		if ps.err != nil {
+			return nil, ps.err
+		}
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if cp == nil {
+		return nil, fmt.Errorf("store: checkpoint: no checkpoint section (not a checkpoint file?)")
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("store: checkpoint: truncated: missing end-of-snapshot marker")
+	}
+	if len(runs) != len(cp.Cells) {
+		return nil, fmt.Errorf("store: checkpoint: truncated: metadata promises %d cells, found %d run sections", len(cp.Cells), len(runs))
+	}
+	for i, c := range cp.Cells {
+		c.Data = runs[i]
+		if err := cp.checkCell(c); err != nil {
+			return nil, err
+		}
+	}
+	return cp, nil
+}

@@ -1,0 +1,121 @@
+package store
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// This file is the torn-file contract of the two dataset formats: a
+// truncated or corrupted input must fail with a descriptive wrapped error
+// — never a raw io.EOF, never a panic, and never a silently shorter
+// dataset. The checkpoint/journal formats have their own twin in
+// checkpoint_test.go.
+
+func snapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleDataset(), FormatSnapshot); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotTruncatedEverywhere cuts the snapshot at EVERY byte —
+// section boundaries included, which is what a torn download or a
+// half-flushed write leaves behind — and demands a real error each time.
+func TestSnapshotTruncatedEverywhere(t *testing.T) {
+	raw := snapshotBytes(t)
+	for cut := 0; cut < len(raw); cut++ {
+		ds, err := Load(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at byte %d of %d loaded %d run(s) without error", cut, len(raw), len(ds.Runs))
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			t.Fatalf("truncation at byte %d returned a raw %v instead of a descriptive error", cut, err)
+		}
+		if !strings.Contains(err.Error(), "store:") {
+			t.Fatalf("truncation at byte %d: error %q is not wrapped with store context", cut, err)
+		}
+	}
+}
+
+// TestSnapshotSectionBoundaryTruncation pins the sharpest case: a file
+// cut exactly between two sections is structurally valid section-by-
+// section, and only the end marker reveals the loss.
+func TestSnapshotSectionBoundaryTruncation(t *testing.T) {
+	raw := snapshotBytes(t)
+	// Walk the section framing to find every boundary.
+	sr := &snapReader{b: raw, off: len(snapshotMagic) + 1}
+	var bounds []int
+	for sr.err == nil && sr.off < len(sr.b) {
+		sr.byte()
+		sr.bytes()
+		if sr.err == nil {
+			bounds = append(bounds, sr.off)
+		}
+	}
+	if sr.err != nil {
+		t.Fatalf("walking sections of a clean snapshot failed: %v", sr.err)
+	}
+	if len(bounds) < 3 {
+		t.Fatalf("snapshot has only %d sections", len(bounds))
+	}
+	// The final boundary is the intact file; every earlier one lost at
+	// least the end marker.
+	for _, b := range bounds[:len(bounds)-1] {
+		_, err := Load(bytes.NewReader(raw[:b]))
+		if err == nil {
+			t.Fatalf("snapshot cut at section boundary %d loaded without error", b)
+		}
+		if !strings.Contains(err.Error(), "missing end-of-snapshot marker") {
+			t.Fatalf("boundary cut at %d: error %q does not name the missing end marker", b, err)
+		}
+	}
+	if _, err := Load(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("intact snapshot rejected: %v", err)
+	}
+}
+
+// TestSnapshotBitFlipsNoPanic flips every byte of the container one at a
+// time. Any outcome is acceptable except a panic or a raw io.EOF: the
+// loader must stay in control of arbitrary damage.
+func TestSnapshotBitFlipsNoPanic(t *testing.T) {
+	raw := snapshotBytes(t)
+	flipped := make([]byte, len(raw))
+	for i := 0; i < len(raw); i++ {
+		copy(flipped, raw)
+		flipped[i] ^= 0xff
+		_, err := Load(bytes.NewReader(flipped))
+		if err == io.EOF {
+			t.Fatalf("bit flip at byte %d returned a raw io.EOF", i)
+		}
+	}
+}
+
+// TestJSONTruncatedFailsWrapped: the gzip-JSON format's torn-tail story —
+// cut anywhere, the error is wrapped load context, not a bare EOF.
+func TestJSONTruncatedFailsWrapped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, sampleDataset(), FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, frac := range []int{1, 2, 3, 4, 8} {
+		cut := len(raw) * (frac - 1) / frac
+		if frac == 1 {
+			cut = len(raw) - 1 // lose only the stream's final byte
+		}
+		_, err := Load(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("gzip-JSON truncated to %d of %d bytes loaded without error", cut, len(raw))
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			t.Fatalf("gzip-JSON truncation at %d returned raw %v", cut, err)
+		}
+		if !strings.Contains(err.Error(), "store:") {
+			t.Fatalf("gzip-JSON truncation at %d: error %q lacks store context", cut, err)
+		}
+	}
+}

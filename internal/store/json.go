@@ -722,6 +722,13 @@ func loadJSON(r io.Reader, dd *Dedup) (*Dataset, error) {
 	if err := json.NewDecoder(gz).Decode(&in); err != nil {
 		return nil, fmt.Errorf("store: load: %w", err)
 	}
+	// The JSON decoder stops at the value's closing brace, which leaves
+	// the gzip trailer (and its CRC) unread — a file torn inside the
+	// trailer would load "cleanly". Drain the stream so the checksum is
+	// actually verified.
+	if _, err := io.Copy(io.Discard, gz); err != nil {
+		return nil, fmt.Errorf("store: load: verify gzip stream: %w", err)
+	}
 	if in.Version != 1 {
 		return nil, fmt.Errorf("store: unsupported dataset version %d", in.Version)
 	}

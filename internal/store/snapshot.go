@@ -62,6 +62,13 @@ import (
 //	  tag 7  shard manifest: ShardManifest as JSON (fleet shard datasets
 //	         only; written before every other section so fleet tooling can
 //	         read a shard's identity without decoding the data)
+//	  tag 8  span trace:     telemetry.Trace as JSON
+//	  tag 9  checkpoint:     Checkpoint metadata as JSON (checkpoint files
+//	         only — see checkpoint.go; written first, one tag-3 run section
+//	         follows per cell; the dataset loader skips it)
+//	  tag 10 end marker:     empty payload, always the last section; its
+//	         absence tells the loader the file was cut at a section
+//	         boundary (mid-section cuts fail the section framing itself)
 //
 // Flow records are framed in length-prefixed chunks so the loader can
 // decode chunks concurrently — records themselves are variable-length, and
@@ -108,14 +115,16 @@ const (
 	snapshotMagic  = "HBTV"
 	snapshotVer    = 1
 
-	secStrings   = 1
-	secBlobs     = 2
-	secRun       = 3
-	secTelemetry = 4
-	secReqHdrs   = 5
-	secRespHdrs  = 6
-	secShard     = 7
-	secTrace     = 8
+	secStrings    = 1
+	secBlobs      = 2
+	secRun        = 3
+	secTelemetry  = 4
+	secReqHdrs    = 5
+	secRespHdrs   = 6
+	secShard      = 7
+	secTrace      = 8
+	secCheckpoint = 9
+	secEnd        = 10
 
 	flowFlagHTTPS   = 1 << 0
 	flowFlagFastURL = 1 << 1
@@ -303,11 +312,8 @@ func (d *Dataset) saveSnapshot(w io.Writer) error {
 
 	// Pass 2: emit header, tables, runs, telemetry.
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
-		return fmt.Errorf("store: snapshot: %w", err)
-	}
-	if err := bw.WriteByte(snapshotVer); err != nil {
-		return fmt.Errorf("store: snapshot: %w", err)
+	if err := writeSnapshotHeader(bw); err != nil {
+		return err
 	}
 
 	// The shard manifest leads so fleet tooling can identify a shard file
@@ -323,6 +329,62 @@ func (d *Dataset) saveSnapshot(w io.Writer) error {
 		}
 	}
 
+	if err := writeSnapshotTables(bw, tab, blobs, &scratch); err != nil {
+		return err
+	}
+
+	for _, sec := range runSecs {
+		if err := writeSection(bw, secRun, sec); err != nil {
+			return err
+		}
+	}
+
+	if d.Telemetry != nil {
+		raw, err := json.Marshal(d.Telemetry)
+		if err != nil {
+			return fmt.Errorf("store: snapshot: marshal telemetry: %w", err)
+		}
+		if err := writeSection(bw, secTelemetry, raw); err != nil {
+			return err
+		}
+	}
+	if d.Trace != nil {
+		raw, err := json.Marshal(d.Trace)
+		if err != nil {
+			return fmt.Errorf("store: snapshot: marshal trace: %w", err)
+		}
+		if err := writeSection(bw, secTrace, raw); err != nil {
+			return err
+		}
+	}
+	// The end marker makes truncation at a section boundary detectable —
+	// without it a file cut between sections loads "cleanly" with runs
+	// silently missing.
+	if err := writeSection(bw, secEnd, nil); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	return nil
+}
+
+// writeSnapshotHeader emits the container preamble: magic and version.
+func writeSnapshotHeader(bw *bufio.Writer) error {
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	if err := bw.WriteByte(snapshotVer); err != nil {
+		return fmt.Errorf("store: snapshot: %w", err)
+	}
+	return nil
+}
+
+// writeSnapshotTables emits the shared string, blob, and header tables,
+// which every run section written after them references by dense ID. The
+// checkpoint writer shares this path with saveSnapshot, so checkpoint
+// files are ordinary snapshot containers.
+func writeSnapshotTables(bw *bufio.Writer, tab *intern.Strings, blobs *blobTable, scratch *flowSnapScratch) error {
 	var sw snapWriter
 	sw.uvarint(uint64(tab.Len()))
 	for _, s := range tab.All() {
@@ -355,34 +417,6 @@ func (d *Dataset) saveSnapshot(w io.Writer) error {
 		if err := writeSection(bw, ht.tag, sw.buf); err != nil {
 			return err
 		}
-	}
-
-	for _, sec := range runSecs {
-		if err := writeSection(bw, secRun, sec); err != nil {
-			return err
-		}
-	}
-
-	if d.Telemetry != nil {
-		raw, err := json.Marshal(d.Telemetry)
-		if err != nil {
-			return fmt.Errorf("store: snapshot: marshal telemetry: %w", err)
-		}
-		if err := writeSection(bw, secTelemetry, raw); err != nil {
-			return err
-		}
-	}
-	if d.Trace != nil {
-		raw, err := json.Marshal(d.Trace)
-		if err != nil {
-			return fmt.Errorf("store: snapshot: marshal trace: %w", err)
-		}
-		if err := writeSection(bw, secTrace, raw); err != nil {
-			return err
-		}
-	}
-	if err := bw.Flush(); err != nil {
-		return fmt.Errorf("store: snapshot: %w", err)
 	}
 	return nil
 }
@@ -662,6 +696,7 @@ func loadSnapshot(r io.Reader, dd *Dedup) (*Dataset, error) {
 		dd:       dd,
 	}
 	d := &Dataset{}
+	sawEnd := false
 	for sr.err == nil && sr.off < len(sr.b) {
 		tag := sr.byte()
 		payload := sr.bytes()
@@ -722,6 +757,12 @@ func loadSnapshot(r io.Reader, dd *Dedup) (*Dataset, error) {
 				return nil, fmt.Errorf("store: snapshot: trace: %w", err)
 			}
 			d.Trace = &tr
+		case secCheckpoint:
+			// Checkpoint metadata (see checkpoint.go). A checkpoint file is
+			// an ordinary snapshot container; the dataset loader skips the
+			// resume bookkeeping and yields the cell runs as data.
+		case secEnd:
+			sawEnd = true
 		default:
 			// Unknown section from a newer writer: skip.
 		}
@@ -731,6 +772,9 @@ func loadSnapshot(r io.Reader, dd *Dedup) (*Dataset, error) {
 	}
 	if sr.err != nil {
 		return nil, sr.err
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("store: snapshot: truncated: missing end-of-snapshot marker (file cut at a section boundary?)")
 	}
 	return d, nil
 }

@@ -137,10 +137,10 @@ func TestSnapshotRejectsCorruption(t *testing.T) {
 		t.Error("wrong version accepted")
 	}
 
-	// The five header bytes alone are a valid (empty) snapshot; anything
-	// cut mid-section must fail.
-	if empty, err := LoadSnapshot(bytes.NewReader(raw[:5])); err != nil || len(empty.Runs) != 0 {
-		t.Errorf("header-only snapshot: got %v, want empty dataset", err)
+	// The five header bytes alone are a truncated snapshot — the end
+	// marker is missing — and anything cut mid-section must fail too.
+	if _, err := LoadSnapshot(bytes.NewReader(raw[:5])); err == nil {
+		t.Error("header-only snapshot accepted despite missing end marker")
 	}
 	for _, cut := range []int{7, len(raw) / 2, len(raw) - 1} {
 		if _, err := LoadSnapshot(bytes.NewReader(raw[:cut])); err == nil {

@@ -71,16 +71,16 @@ func (w *World) ensureGroupServices(g *OperatorGroup) {
 	// stats.<fp>: the group's own audience-measurement pixel (first-party
 	// tracking: 88% of fingerprinting and much pixel traffic is
 	// first-party in the study).
-	headend.NewTrackerService(headend.Tracker{
+	w.installTracker(headend.NewTrackerService(headend.Tracker{
 		Domain:     "stats." + g.FirstParty,
 		CookieName: "ps_vid",
 		CookieKind: headend.CookieID,
-	}, w.clk, int64(len(g.FirstParty))*977+w.Cfg.Seed).Install(w.Internet)
+	}, w.clk, int64(len(g.FirstParty))*977+w.Cfg.Seed))
 	if g.FingerprintFirstParty {
-		headend.NewTrackerService(headend.Tracker{
+		w.installTracker(headend.NewTrackerService(headend.Tracker{
 			Domain:      "fp." + g.FirstParty,
 			Fingerprint: true,
-		}, w.clk, int64(len(g.FirstParty))*571+w.Cfg.Seed).Install(w.Internet)
+		}, w.clk, int64(len(g.FirstParty))*571+w.Cfg.Seed))
 	}
 }
 

@@ -70,6 +70,53 @@ type World struct {
 
 	clk        clock.Clock
 	groupHosts map[string]bool
+	// trackerSvcs is the registry of running tracker services in install
+	// order. World construction is deterministic, so the order is a stable
+	// coordinate system: checkpointed tracker state is keyed by index and
+	// validated by domain (domains alone are ambiguous — a few collectors
+	// are installed under both the device and profile rosters).
+	trackerSvcs []*headend.TrackerService
+}
+
+// installTracker registers the service on the virtual Internet and in the
+// world's deterministic service registry (the checkpoint layer's
+// coordinate system for handler state).
+func (w *World) installTracker(svc *headend.TrackerService) {
+	svc.Install(w.Internet)
+	w.trackerSvcs = append(w.trackerSvcs, svc)
+}
+
+// TrackerStates captures the mutable handler state of every installed
+// tracker service, in install order. Equal seeds build worlds with equal
+// registries, so the snapshot restores onto a freshly built world of the
+// same seed via RestoreTrackerStates.
+func (w *World) TrackerStates() []store.TrackerState {
+	out := make([]store.TrackerState, len(w.trackerSvcs))
+	for i, svc := range w.trackerSvcs {
+		draws, nextID := svc.State()
+		out[i] = store.TrackerState{Domain: svc.Domain(), Draws: draws, NextID: nextID}
+	}
+	return out
+}
+
+// RestoreTrackerStates fast-forwards this (freshly built) world's tracker
+// services to a captured TrackerStates snapshot. The registry must line
+// up service for service; a mismatch means the snapshot was taken on a
+// different world and is rejected.
+func (w *World) RestoreTrackerStates(states []store.TrackerState) error {
+	if len(states) != len(w.trackerSvcs) {
+		return fmt.Errorf("synth: restore tracker state: snapshot has %d services, world has %d (different world?)", len(states), len(w.trackerSvcs))
+	}
+	for i, st := range states {
+		svc := w.trackerSvcs[i]
+		if st.Domain != svc.Domain() {
+			return fmt.Errorf("synth: restore tracker state: service %d is %s in the snapshot but %s in the world (different world?)", i, st.Domain, svc.Domain())
+		}
+		if err := svc.Restore(st.Draws, st.NextID); err != nil {
+			return fmt.Errorf("synth: restore tracker state: %w", err)
+		}
+	}
+	return nil
 }
 
 // ChannelBySlug returns the channel with the given slug, or nil.

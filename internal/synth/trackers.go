@@ -73,7 +73,7 @@ func longTailDomain(i int) string {
 // buildTrackers installs the full tracker roster on the virtual Internet.
 func (w *World) buildTrackers(clk clock.Clock, rng *rand.Rand) {
 	install := func(t headend.Tracker) {
-		headend.NewTrackerService(t, clk, rng.Int63()).Install(w.Internet)
+		w.installTracker(headend.NewTrackerService(t, clk, rng.Int63()))
 		w.Trackers = append(w.Trackers, t)
 	}
 	install(headend.Tracker{Domain: DomainTVPing, CookieName: "tvpid", CookieKind: headend.CookieID})

@@ -21,6 +21,7 @@ import (
 
 	"github.com/hbbtvlab/hbbtvlab/internal/appmodel"
 	"github.com/hbbtvlab/hbbtvlab/internal/clock"
+	"github.com/hbbtvlab/hbbtvlab/internal/countrand"
 	"github.com/hbbtvlab/hbbtvlab/internal/dvb"
 	"github.com/hbbtvlab/hbbtvlab/internal/faults"
 	"github.com/hbbtvlab/hbbtvlab/internal/telemetry"
@@ -129,6 +130,7 @@ type TV struct {
 
 	userID    string
 	sessionID string
+	src       *countrand.Source
 	rng       *rand.Rand
 
 	// Hot-path caches. The device identity is fixed at construction, the
@@ -201,12 +203,14 @@ func New(cfg Config) *TV {
 	if cfg.Device == (DeviceInfo{}) {
 		cfg.Device = LGDevice
 	}
+	src := countrand.New(cfg.Seed)
 	tv := &TV{
 		cfg:     cfg,
 		clk:     cfg.Clock,
 		jar:     NewJar(cfg.Clock),
 		storage: NewLocalStorage(),
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		src:     src,
+		rng:     rand.New(src),
 	}
 	tv.userID = tv.newID("u")
 	tv.userAgent = fmt.Sprintf(
@@ -284,6 +288,25 @@ func (tv *TV) Logs() []LogEntry {
 	out := make([]LogEntry, len(tv.logs))
 	copy(out, tv.logs)
 	return out
+}
+
+// RNGDraws returns how many values the TV's identifier rng has drawn —
+// the TV half of a checkpoint cell's state (the other half is the log
+// history, which WipeBrowserState deliberately does not clear).
+func (tv *TV) RNGDraws() uint64 { return tv.src.Draws() }
+
+// RestoreSession fast-forwards a freshly built TV to a checkpointed
+// state: the identifier rng to the given draw count (so the next PowerOn
+// mints the session ID the uninterrupted run would have) and the log
+// stream to the accumulated history. It fails when the TV has already
+// drawn past the target.
+func (tv *TV) RestoreSession(draws uint64, logs []LogEntry) error {
+	if err := tv.src.FastForward(draws); err != nil {
+		return fmt.Errorf("webos: restore session: %w", err)
+	}
+	tv.logs = make([]LogEntry, len(logs))
+	copy(tv.logs, logs)
+	return nil
 }
 
 // Log appends an external log entry to the TV's log stream. The
